@@ -1,0 +1,94 @@
+#ifndef MUFUZZ_BENCH_BENCH_UTIL_H_
+#define MUFUZZ_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/datasets.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::bench {
+
+/// Compiles a corpus entry; prints and skips on failure (should not happen —
+/// the test suite compiles every corpus source).
+inline std::optional<lang::ContractArtifact> CompileEntry(
+    const corpus::CorpusEntry& entry) {
+  auto result = lang::CompileContract(entry.source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "[bench] compile failed for %s: %s\n",
+                 entry.name.c_str(), result.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::move(result).value();
+}
+
+/// Runs one fuzzing campaign over one corpus entry.
+inline fuzzer::CampaignResult RunOne(const corpus::CorpusEntry& entry,
+                                     const fuzzer::StrategyConfig& strategy,
+                                     int execs, uint64_t seed) {
+  auto artifact = CompileEntry(entry);
+  if (!artifact.has_value()) return {};
+  fuzzer::CampaignConfig config;
+  config.strategy = strategy;
+  config.seed = seed;
+  config.max_executions = execs;
+  return fuzzer::RunCampaign(*artifact, config);
+}
+
+/// Mean final coverage of `strategy` across a dataset.
+struct AggregateCoverage {
+  double mean_final = 0;
+  /// Average coverage at each normalized curve point (resampled to
+  /// `points` buckets over the execution budget).
+  std::vector<double> curve;
+};
+
+inline AggregateCoverage AggregateOverDataset(
+    const std::vector<corpus::CorpusEntry>& dataset,
+    const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
+    int points = 20) {
+  AggregateCoverage agg;
+  agg.curve.assign(points, 0);
+  int counted = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    fuzzer::CampaignResult result =
+        RunOne(dataset[i], strategy, execs, seed + i);
+    if (result.total_jumpis == 0) continue;
+    ++counted;
+    agg.mean_final += result.branch_coverage;
+    // Resample the curve to fixed buckets (step interpolation).
+    for (int p = 0; p < points; ++p) {
+      int target = (p + 1) * execs / points;
+      double cov = 0;
+      for (const auto& [at, value] : result.coverage_curve) {
+        if (at <= target) cov = value;
+      }
+      agg.curve[p] += cov;
+    }
+  }
+  if (counted > 0) {
+    agg.mean_final /= counted;
+    for (double& v : agg.curve) v /= counted;
+  }
+  return agg;
+}
+
+/// Milliseconds since `start`.
+inline double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mufuzz::bench
+
+#endif  // MUFUZZ_BENCH_BENCH_UTIL_H_

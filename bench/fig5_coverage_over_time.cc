@@ -1,0 +1,74 @@
+// Reproduces Fig. 5 of the MuFuzz paper: branch coverage over time for
+// MuFuzz / IR-Fuzz / ConFuzzius / sFuzz on (a) small and (b) large
+// contracts. Time is measured in sequence executions (the substrate-neutral
+// analogue of the paper's wall-clock axis); the paper's shape to reproduce:
+// MuFuzz dominates at every point and converges earliest, sFuzz trails.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+
+namespace {
+
+using mufuzz::bench::AggregateOverDataset;
+using mufuzz::bench::PrintRule;
+using mufuzz::corpus::BuildD1Large;
+using mufuzz::corpus::BuildD1Small;
+using mufuzz::fuzzer::StrategyConfig;
+
+void RunPanel(const char* title,
+              const std::vector<mufuzz::corpus::CorpusEntry>& dataset,
+              int execs, uint64_t seed) {
+  const std::vector<StrategyConfig> tools = {
+      StrategyConfig::MuFuzz(), StrategyConfig::IRFuzz(),
+      StrategyConfig::ConFuzzius(), StrategyConfig::SFuzz()};
+  constexpr int kPoints = 15;
+
+  std::vector<mufuzz::bench::AggregateCoverage> curves;
+  curves.reserve(tools.size());
+  for (const auto& tool : tools) {
+    curves.push_back(AggregateOverDataset(dataset, tool, execs, seed,
+                                          kPoints));
+  }
+
+  std::printf("\n%s (n=%zu contracts, budget=%d executions, seed=%llu)\n",
+              title, dataset.size(), execs,
+              static_cast<unsigned long long>(seed));
+  PrintRule();
+  std::printf("%10s", "execs");
+  for (const auto& tool : tools) std::printf(" %12s", tool.name.c_str());
+  std::printf("\n");
+  PrintRule();
+  for (int p = 0; p < kPoints; ++p) {
+    std::printf("%10d", (p + 1) * execs / kPoints);
+    for (const auto& curve : curves) {
+      std::printf(" %11.1f%%", 100.0 * curve.curve[p]);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  std::printf("%10s", "final");
+  for (const auto& curve : curves) {
+    std::printf(" %11.1f%%", 100.0 * curve.mean_final);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int small_n = argc > 1 ? std::atoi(argv[1]) : 12;
+  int large_n = argc > 2 ? std::atoi(argv[2]) : 6;
+  uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  std::printf("== Fig. 5: branch coverage over time ==\n");
+  std::printf("paper shape: MuFuzz above IR-Fuzz above ConFuzzius above "
+              "sFuzz at every point;\nMuFuzz reaches most of its final "
+              "coverage within the first tenth of the budget.\n");
+
+  RunPanel("(a) small contracts", BuildD1Small(small_n, seed), 400, seed);
+  RunPanel("(b) large contracts", BuildD1Large(large_n, seed), 500,
+           seed + 777);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Micro-benchmarks for the substrate: 256-bit arithmetic, keccak, the EVM
+// interpreter, the compiler, and full sequence execution. These support the
+// paper's §IV-C claim that "the pre-fuzz phase yields little impact on the
+// overall runtime overhead" (see BM_PreFuzzObservation vs BM_SequenceRun).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/prefix_inference.h"
+#include "common/keccak.h"
+#include "common/rng.h"
+#include "common/u256.h"
+#include "corpus/builtin.h"
+#include "evm/executor.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/energy.h"
+#include "lang/compiler.h"
+
+namespace {
+
+using namespace mufuzz;  // NOLINT: bench-local convenience
+
+void BM_U256Add(benchmark::State& state) {
+  Rng rng(1);
+  U256 a(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+  U256 b(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a = a + b);
+  }
+}
+BENCHMARK(BM_U256Add);
+
+void BM_U256Mul(benchmark::State& state) {
+  Rng rng(2);
+  U256 a(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+  U256 b(rng.NextU64(), rng.NextU64(), 0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_U256Mul);
+
+void BM_U256Div(benchmark::State& state) {
+  Rng rng(3);
+  U256 a(rng.NextU64(), rng.NextU64(), rng.NextU64(), rng.NextU64());
+  U256 b(rng.NextU64(), rng.NextU64(), 0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a / b);
+  }
+}
+BENCHMARK(BM_U256Div);
+
+void BM_Keccak256(benchmark::State& state) {
+  Bytes data(state.range(0), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Keccak256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(32)->Arg(136)->Arg(1024);
+
+void BM_CompileCrowdsale(benchmark::State& state) {
+  const std::string& source = corpus::CrowdsaleExample().source;
+  for (auto _ : state) {
+    auto artifact = lang::CompileContract(source);
+    benchmark::DoNotOptimize(artifact);
+  }
+}
+BENCHMARK(BM_CompileCrowdsale);
+
+/// One full transaction against the deployed Crowdsale (dispatch + body).
+void BM_TransactionExecution(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  evm::AcceptingHost host;
+  evm::ChainSession chain(&host);
+  Address deployer = Address::FromUint(0xd0);
+  chain.FundAccount(deployer, U256::PowerOfTen(24));
+  auto addr = chain.Deploy(artifact->runtime_code, artifact->ctor_code, {},
+                           deployer, U256(0));
+  // invest(5).
+  evm::TransactionRequest tx;
+  tx.to = addr.value();
+  tx.sender = deployer;
+  Bytes data;
+  AppendU32BE(&data, artifact->abi.functions[0].selector);
+  U256(5).AppendBytesBE(&data);
+  tx.data = data;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.Apply(tx));
+  }
+}
+BENCHMARK(BM_TransactionExecution);
+
+/// A complete fuzzing campaign (the unit of every table/figure run).
+void BM_CampaignHundredExecs(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  for (auto _ : state) {
+    fuzzer::CampaignConfig config;
+    config.seed = 1;
+    config.max_executions = 100;
+    benchmark::DoNotOptimize(fuzzer::RunCampaign(*artifact, config));
+  }
+}
+BENCHMARK(BM_CampaignHundredExecs);
+
+/// Cost of the Algorithm-3 machinery alone: prefix inference construction
+/// plus branch weighting of a synthetic trace — the "pre-fuzz" overhead.
+void BM_PreFuzzObservation(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  evm::TraceRecorder trace;
+  for (const auto& entry : artifact->branch_map) {
+    evm::BranchEvent ev;
+    ev.pc = entry.jumpi_pc;
+    trace.OnBranch(ev);
+  }
+  for (auto _ : state) {
+    fuzzer::EnergyScheduler scheduler(&artifact.value(), true);
+    scheduler.ObserveTrace(trace);
+    benchmark::DoNotOptimize(scheduler.weighted_branches());
+  }
+}
+BENCHMARK(BM_PreFuzzObservation);
+
+/// CFG + vulnerable-location analysis from bytecode.
+void BM_PrefixInferenceBuild(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  for (auto _ : state) {
+    analysis::PrefixInference inference(artifact->runtime_code);
+    benchmark::DoNotOptimize(inference.vulnerable_locations().size());
+  }
+}
+BENCHMARK(BM_PrefixInferenceBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

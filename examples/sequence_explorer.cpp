@@ -1,0 +1,89 @@
+// Sequence explorer: shows the static machinery behind §IV-A on any of the
+// built-in contracts — the per-function read/write sets (Fig. 3), the
+// write-before-read dependency graph, the derived transaction order, and
+// which functions the read-after-write rule marks for repetition.
+//
+//   ./sequence_explorer
+
+#include <cstdio>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/statevar_analysis.h"
+#include "corpus/builtin.h"
+#include "fuzzer/abi_codec.h"
+#include "fuzzer/sequence.h"
+#include "lang/compiler.h"
+
+namespace {
+
+void PrintSet(const char* label, const std::set<std::string>& s) {
+  std::printf("      %s:", label);
+  if (s.empty()) std::printf(" (none)");
+  for (const auto& v : s) std::printf(" %s", v.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto& entry = mufuzz::corpus::CrowdsaleExample();
+  auto artifact = mufuzz::lang::CompileContract(entry.source);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== dependency analysis of %s (Fig. 3 of the paper) ==\n\n",
+              entry.name.c_str());
+  auto dataflow = mufuzz::analysis::AnalyzeDataflow(*artifact->ast);
+  for (size_t i = 0; i < dataflow.functions.size(); ++i) {
+    std::printf("  %s%s\n", artifact->abi.functions[i].signature.c_str(),
+                dataflow.FunctionIsRepeatable(i)
+                    ? "   <-- RAW rule: execute repeatedly"
+                    : "");
+    PrintSet("reads ", dataflow.functions[i].reads);
+    PrintSet("writes", dataflow.functions[i].writes);
+    PrintSet("RAW   ", dataflow.functions[i].raw_self);
+  }
+  PrintSet("\n  branch-read state vars", dataflow.branch_read_vars);
+
+  auto graph = mufuzz::analysis::DependencyGraph::Build(dataflow);
+  std::printf("\n  write-before-read edges:\n");
+  for (int f = 0; f < graph.num_functions(); ++f) {
+    for (int g : graph.Successors(f)) {
+      std::printf("    %s -> %s\n",
+                  artifact->abi.functions[f].name.c_str(),
+                  artifact->abi.functions[g].name.c_str());
+    }
+  }
+
+  std::printf("\n  derived order:");
+  for (int fn : graph.DeriveOrder()) {
+    std::printf(" %s", artifact->abi.functions[fn].name.c_str());
+  }
+  std::printf("\n");
+
+  // Show a few concrete initial sequences as the fuzzer would emit them.
+  mufuzz::Rng rng(42);
+  std::vector<mufuzz::Address> senders = {mufuzz::Address::FromUint(1),
+                                          mufuzz::Address::FromUint(2)};
+  mufuzz::fuzzer::AbiCodec codec(&artifact->abi, senders);
+  mufuzz::fuzzer::SequenceBuilder builder(&codec, &dataflow, &graph);
+  std::printf("\n  example MuFuzz initial sequences (note the repeated "
+              "invest):\n");
+  auto strategy = mufuzz::fuzzer::StrategyConfig::MuFuzz();
+  for (int k = 0; k < 3; ++k) {
+    auto seq = builder.InitialSequence(strategy, &rng);
+    std::printf("    [");
+    for (size_t i = 0; i < seq.size(); ++i) {
+      std::printf("%s%s", i ? " -> " : "",
+                  artifact->abi.functions[seq[i].fn_index].name.c_str());
+    }
+    std::printf("]\n");
+  }
+  std::printf("\nthis is the [invest -> invest -> withdraw] insight of "
+              "§III-A: only a repeated\ninvest can flip phase to 1 and "
+              "unlock the withdraw branch.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "analysis/bug_types.h"
+
+namespace mufuzz::analysis {
+
+const char* BugClassCode(BugClass bug) {
+  switch (bug) {
+    case BugClass::kBlockDependency: return "BD";
+    case BugClass::kUnprotectedDelegatecall: return "UD";
+    case BugClass::kEtherFreezing: return "EF";
+    case BugClass::kIntegerOverflow: return "IO";
+    case BugClass::kReentrancy: return "RE";
+    case BugClass::kUnprotectedSelfdestruct: return "US";
+    case BugClass::kStrictEtherEquality: return "SE";
+    case BugClass::kTxOriginUse: return "TO";
+    case BugClass::kUnhandledException: return "UE";
+  }
+  return "??";
+}
+
+const char* BugClassName(BugClass bug) {
+  switch (bug) {
+    case BugClass::kBlockDependency: return "block dependency";
+    case BugClass::kUnprotectedDelegatecall: return "unprotected delegatecall";
+    case BugClass::kEtherFreezing: return "ether freezing";
+    case BugClass::kIntegerOverflow: return "integer over-/under-flow";
+    case BugClass::kReentrancy: return "reentrancy";
+    case BugClass::kUnprotectedSelfdestruct: return "unprotected selfdestruct";
+    case BugClass::kStrictEtherEquality: return "strict ether equality";
+    case BugClass::kTxOriginUse: return "transaction origin use";
+    case BugClass::kUnhandledException: return "unhandled exception";
+  }
+  return "unknown";
+}
+
+const std::vector<BugClass>& AllBugClasses() {
+  static const std::vector<BugClass>* classes = new std::vector<BugClass>{
+      BugClass::kBlockDependency,
+      BugClass::kUnprotectedDelegatecall,
+      BugClass::kEtherFreezing,
+      BugClass::kIntegerOverflow,
+      BugClass::kReentrancy,
+      BugClass::kUnprotectedSelfdestruct,
+      BugClass::kStrictEtherEquality,
+      BugClass::kTxOriginUse,
+      BugClass::kUnhandledException,
+  };
+  return *classes;
+}
+
+}  // namespace mufuzz::analysis

@@ -1,0 +1,45 @@
+#ifndef MUFUZZ_ANALYSIS_BUG_TYPES_H_
+#define MUFUZZ_ANALYSIS_BUG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mufuzz::analysis {
+
+/// The nine bug classes of Table I, with the paper's two-letter codes.
+enum class BugClass : uint8_t {
+  kBlockDependency,        // BD: block.timestamp / block.number influence
+  kUnprotectedDelegatecall,// UD
+  kEtherFreezing,          // EF: accepts ether, can never send it
+  kIntegerOverflow,        // IO: wrapping ADD/SUB/MUL
+  kReentrancy,             // RE
+  kUnprotectedSelfdestruct,// US
+  kStrictEtherEquality,    // SE: balance == constant guards
+  kTxOriginUse,            // TO
+  kUnhandledException,     // UE: unchecked external-call failure
+};
+
+inline constexpr int kNumBugClasses = 9;
+
+/// Two-letter code used throughout the paper's tables ("BD", "RE", ...).
+const char* BugClassCode(BugClass bug);
+
+/// Long name ("block dependency").
+const char* BugClassName(BugClass bug);
+
+/// All nine classes in Table I/III row order.
+const std::vector<BugClass>& AllBugClasses();
+
+/// One reported finding (from an oracle or the static detector).
+struct BugReport {
+  BugClass bug;
+  uint32_t pc = 0;          ///< location in runtime code (0 if AST-level)
+  int line = 0;             ///< source line when known
+  std::string detail;       ///< human-readable note
+  int function_index = -1;  ///< function it was found in, when known
+};
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_BUG_TYPES_H_

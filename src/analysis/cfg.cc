@@ -1,0 +1,152 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "evm/opcodes.h"
+
+namespace mufuzz::analysis {
+
+namespace {
+
+using evm::Op;
+
+bool IsTerminator(uint8_t opcode) { return evm::IsBlockTerminator(opcode); }
+
+}  // namespace
+
+Cfg Cfg::Build(BytesView code) {
+  Cfg cfg;
+  std::vector<Insn> insns = Disassemble(code);
+  if (insns.empty()) return cfg;
+
+  // Pass 1: identify leaders (block entry pcs).
+  std::set<uint32_t> leaders;
+  leaders.insert(0);
+  for (size_t i = 0; i < insns.size(); ++i) {
+    const Insn& insn = insns[i];
+    if (insn.opcode == static_cast<uint8_t>(Op::kJumpdest)) {
+      leaders.insert(insn.pc);
+    }
+    if (IsTerminator(insn.opcode) && i + 1 < insns.size()) {
+      leaders.insert(insns[i + 1].pc);
+    }
+  }
+
+  // Pass 2: materialize blocks.
+  for (size_t i = 0; i < insns.size();) {
+    BasicBlock block;
+    block.id = static_cast<int>(cfg.blocks_.size());
+    block.start_pc = insns[i].pc;
+    for (; i < insns.size(); ++i) {
+      // Stop before a new leader (unless it's the block's own first insn).
+      if (insns[i].pc != block.start_pc && leaders.contains(insns[i].pc)) {
+        break;
+      }
+      block.insns.push_back(insns[i]);
+      cfg.block_of_pc_[insns[i].pc] = block.id;
+      if (insns[i].opcode == static_cast<uint8_t>(Op::kJumpi)) {
+        ++cfg.jumpi_count_;
+      }
+      if (IsTerminator(insns[i].opcode)) {
+        ++i;
+        break;
+      }
+    }
+    cfg.blocks_.push_back(std::move(block));
+  }
+
+  // Pass 3: edges. Static jump targets come from the PUSH immediately
+  // preceding a JUMP/JUMPI.
+  auto block_id_at = [&](uint32_t pc) -> int {
+    auto it = cfg.block_of_pc_.find(pc);
+    return it == cfg.block_of_pc_.end() ? -1 : it->second;
+  };
+  for (BasicBlock& block : cfg.blocks_) {
+    if (block.insns.empty()) continue;
+    const Insn& last = block.insns.back();
+    uint8_t opcode = last.opcode;
+    auto add_edge = [&](int target) {
+      if (target >= 0 &&
+          std::find(block.successors.begin(), block.successors.end(),
+                    target) == block.successors.end()) {
+        block.successors.push_back(target);
+      }
+    };
+
+    if (opcode == static_cast<uint8_t>(Op::kJump) ||
+        opcode == static_cast<uint8_t>(Op::kJumpi)) {
+      // Resolve the target if the preceding instruction is a PUSH.
+      if (block.insns.size() >= 2) {
+        const Insn& prev = block.insns[block.insns.size() - 2];
+        if (evm::IsPush(prev.opcode) && prev.immediate.size() <= 8) {
+          add_edge(block_id_at(static_cast<uint32_t>(prev.ImmediateU64())));
+        }
+      }
+      if (opcode == static_cast<uint8_t>(Op::kJumpi)) {
+        // Fallthrough edge.
+        add_edge(block_id_at(last.pc + 1));
+      }
+    } else if (!IsTerminator(opcode)) {
+      // Block ended because the next pc is a leader: fallthrough.
+      uint32_t next_pc =
+          last.pc + 1 +
+          (evm::IsPush(opcode) ? evm::PushSize(opcode) : 0);
+      add_edge(block_id_at(next_pc));
+    }
+    // STOP/RETURN/REVERT/INVALID/SELFDESTRUCT: no successors.
+  }
+  return cfg;
+}
+
+const BasicBlock* Cfg::BlockAt(uint32_t pc) const {
+  auto it = block_of_pc_.find(pc);
+  return it == block_of_pc_.end() ? nullptr : &blocks_[it->second];
+}
+
+std::vector<int> Cfg::ReachableFrom(uint32_t pc) const {
+  std::vector<int> out;
+  const BasicBlock* start = BlockAt(pc);
+  if (start == nullptr) return out;
+  std::vector<bool> seen(blocks_.size(), false);
+  std::deque<int> queue{start->id};
+  seen[start->id] = true;
+  while (!queue.empty()) {
+    int id = queue.front();
+    queue.pop_front();
+    out.push_back(id);
+    for (int succ : blocks_[id].successors) {
+      if (!seen[succ]) {
+        seen[succ] = true;
+        queue.push_back(succ);
+      }
+    }
+  }
+  return out;
+}
+
+bool Cfg::BranchSuccessor(uint32_t jumpi_pc, bool taken,
+                          uint32_t* out_pc) const {
+  const BasicBlock* block = BlockAt(jumpi_pc);
+  if (block == nullptr || block->insns.empty()) return false;
+  const Insn& last = block->insns.back();
+  if (last.pc != jumpi_pc ||
+      last.opcode != static_cast<uint8_t>(Op::kJumpi)) {
+    return false;
+  }
+  if (!taken) {
+    *out_pc = jumpi_pc + 1;
+    return true;
+  }
+  if (block->insns.size() >= 2) {
+    const Insn& prev = block->insns[block->insns.size() - 2];
+    if (evm::IsPush(prev.opcode) && prev.immediate.size() <= 8) {
+      *out_pc = static_cast<uint32_t>(prev.ImmediateU64());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mufuzz::analysis

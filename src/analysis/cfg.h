@@ -1,0 +1,59 @@
+#ifndef MUFUZZ_ANALYSIS_CFG_H_
+#define MUFUZZ_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/disasm.h"
+#include "common/bytes.h"
+
+namespace mufuzz::analysis {
+
+/// A basic block of EVM code: a maximal straight-line instruction run.
+struct BasicBlock {
+  int id = -1;
+  uint32_t start_pc = 0;
+  std::vector<Insn> insns;
+  std::vector<int> successors;  ///< block ids
+
+  uint32_t EndPc() const {
+    return insns.empty() ? start_pc : insns.back().pc;
+  }
+};
+
+/// Control-flow graph over bytecode. Jump targets are resolved statically for
+/// the `PUSHn addr; JUMP/JUMPI` idiom (the only one the MiniSol code
+/// generator emits); other indirect jumps are left without successors, which
+/// makes downstream reachability conservative-under (documented in
+/// DESIGN.md).
+class Cfg {
+ public:
+  /// Builds the CFG for `code`.
+  static Cfg Build(BytesView code);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  /// Block containing `pc`, or nullptr.
+  const BasicBlock* BlockAt(uint32_t pc) const;
+
+  /// Block ids reachable from the block containing `pc` (inclusive).
+  std::vector<int> ReachableFrom(uint32_t pc) const;
+
+  /// For a JUMPI at `jumpi_pc`: the pc where execution continues for the
+  /// given direction (taken -> jump target, not taken -> fallthrough).
+  /// Returns false if the branch or its target cannot be resolved.
+  bool BranchSuccessor(uint32_t jumpi_pc, bool taken, uint32_t* out_pc) const;
+
+  /// Total JUMPI count.
+  int jumpi_count() const { return jumpi_count_; }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::unordered_map<uint32_t, int> block_of_pc_;  ///< insn pc -> block id
+  int jumpi_count_ = 0;
+};
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_CFG_H_

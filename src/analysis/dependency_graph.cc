@@ -1,0 +1,80 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+
+namespace mufuzz::analysis {
+
+DependencyGraph DependencyGraph::Build(const ContractDataflow& dataflow) {
+  DependencyGraph graph;
+  size_t n = dataflow.functions.size();
+  graph.adj_.assign(n, {});
+  for (size_t f = 0; f < n; ++f) {
+    for (size_t g = 0; g < n; ++g) {
+      if (f == g) continue;
+      // f -> g iff f writes some V that g reads.
+      for (const std::string& v : dataflow.functions[f].writes) {
+        if (dataflow.functions[g].ReadsVar(v)) {
+          graph.adj_[f].push_back(static_cast<int>(g));
+          break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+bool DependencyGraph::HasEdge(int f, int g) const {
+  return std::find(adj_[f].begin(), adj_[f].end(), g) != adj_[f].end();
+}
+
+namespace {
+
+/// Kahn's algorithm with deterministic or randomized tie-breaking; cycles
+/// are broken by picking the remaining node with the smallest in-degree.
+std::vector<int> TopoOrder(const std::vector<std::vector<int>>& adj,
+                           Rng* rng) {
+  int n = static_cast<int>(adj.size());
+  std::vector<int> in_degree(n, 0);
+  for (int f = 0; f < n; ++f) {
+    for (int g : adj[f]) ++in_degree[g];
+  }
+  std::vector<bool> done(n, false);
+  std::vector<int> order;
+  order.reserve(n);
+
+  for (int step = 0; step < n; ++step) {
+    // Candidates with in-degree zero; if none (cycle), minimum in-degree.
+    int best = -1;
+    std::vector<int> zeros;
+    for (int i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (in_degree[i] == 0) zeros.push_back(i);
+      if (best == -1 || in_degree[i] < in_degree[best]) best = i;
+    }
+    int pick;
+    if (!zeros.empty()) {
+      pick = (rng != nullptr) ? zeros[rng->NextBelow(zeros.size())]
+                              : zeros.front();
+    } else {
+      pick = best;  // cycle: fewest unmet dependencies, declaration order
+    }
+    done[pick] = true;
+    order.push_back(pick);
+    for (int g : adj[pick]) {
+      if (!done[g]) --in_degree[g];
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> DependencyGraph::DeriveOrder() const {
+  return TopoOrder(adj_, nullptr);
+}
+
+std::vector<int> DependencyGraph::DeriveOrderRandomized(Rng* rng) const {
+  return TopoOrder(adj_, rng);
+}
+
+}  // namespace mufuzz::analysis

@@ -1,0 +1,43 @@
+#ifndef MUFUZZ_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define MUFUZZ_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/statevar_analysis.h"
+#include "common/rng.h"
+
+namespace mufuzz::analysis {
+
+/// The function-level write-before-read dependency graph of §IV-A / Fig. 3:
+/// an edge f -> g means f writes a state variable that g reads, so a
+/// meaningful transaction sequence runs f before g.
+class DependencyGraph {
+ public:
+  /// Builds the graph from the dataflow summary. `num_functions` nodes.
+  static DependencyGraph Build(const ContractDataflow& dataflow);
+
+  int num_functions() const { return static_cast<int>(adj_.size()); }
+  /// Successors of function i (functions that should come after it).
+  const std::vector<int>& Successors(int i) const { return adj_[i]; }
+  /// True if f -> g.
+  bool HasEdge(int f, int g) const;
+
+  /// Derives an invocation order per the paper: approximate topological
+  /// order over the write-before-read edges (constructor is prepended by the
+  /// sequence builder, not included here). Cycles — ubiquitous in real
+  /// contracts — are broken by preferring the function with the fewest
+  /// unsatisfied predecessors, ties by declaration order.
+  std::vector<int> DeriveOrder() const;
+
+  /// Like DeriveOrder but breaks ties randomly — used by sequence mutation
+  /// to explore alternative valid orders.
+  std::vector<int> DeriveOrderRandomized(Rng* rng) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_DEPENDENCY_GRAPH_H_

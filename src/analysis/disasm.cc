@@ -1,0 +1,49 @@
+#include "analysis/disasm.h"
+
+#include "common/bytes.h"
+#include "evm/opcodes.h"
+
+namespace mufuzz::analysis {
+
+std::vector<Insn> Disassemble(BytesView code) {
+  std::vector<Insn> insns;
+  for (size_t pc = 0; pc < code.size();) {
+    Insn insn;
+    insn.pc = static_cast<uint32_t>(pc);
+    insn.opcode = code[pc];
+    size_t imm = evm::IsPush(insn.opcode) ? evm::PushSize(insn.opcode) : 0;
+    for (size_t i = 0; i < imm; ++i) {
+      size_t idx = pc + 1 + i;
+      insn.immediate.push_back(idx < code.size() ? code[idx] : 0);
+    }
+    pc += 1 + imm;
+    insns.push_back(std::move(insn));
+  }
+  return insns;
+}
+
+std::string FormatDisassembly(const std::vector<Insn>& insns) {
+  std::string out;
+  char buf[16];
+  for (const Insn& insn : insns) {
+    std::snprintf(buf, sizeof(buf), "0x%04x ", insn.pc);
+    out += buf;
+    out += evm::OpName(insn.opcode);
+    if (!insn.immediate.empty()) {
+      out += " 0x";
+      out += HexEncode(insn.immediate);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+int CountJumpis(BytesView code) {
+  int count = 0;
+  for (const Insn& insn : Disassemble(code)) {
+    if (insn.opcode == static_cast<uint8_t>(evm::Op::kJumpi)) ++count;
+  }
+  return count;
+}
+
+}  // namespace mufuzz::analysis

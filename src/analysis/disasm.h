@@ -1,0 +1,39 @@
+#ifndef MUFUZZ_ANALYSIS_DISASM_H_
+#define MUFUZZ_ANALYSIS_DISASM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace mufuzz::analysis {
+
+/// One decoded EVM instruction.
+struct Insn {
+  uint32_t pc = 0;
+  uint8_t opcode = 0;
+  Bytes immediate;  ///< PUSH payload (empty otherwise)
+
+  /// For PUSH1..PUSH8-sized immediates, the numeric value (zero-extended).
+  uint64_t ImmediateU64() const {
+    uint64_t v = 0;
+    for (uint8_t b : immediate) v = (v << 8) | b;
+    return v;
+  }
+};
+
+/// Linear sweep disassembly; PUSH data is consumed as immediates so later
+/// passes never misread payload bytes as opcodes.
+std::vector<Insn> Disassemble(BytesView code);
+
+/// Renders "0x0004 PUSH2 0x0102" style listings (debugging aid).
+std::string FormatDisassembly(const std::vector<Insn>& insns);
+
+/// Counts JUMPI instructions — the denominator of the paper's branch
+/// coverage metric is 2 * CountJumpis(code).
+int CountJumpis(BytesView code);
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_DISASM_H_

@@ -1,0 +1,36 @@
+#include "analysis/prefix_inference.h"
+
+#include "evm/opcodes.h"
+
+namespace mufuzz::analysis {
+
+PrefixInference::PrefixInference(BytesView code) : cfg_(Cfg::Build(code)) {
+  for (const BasicBlock& block : cfg_.blocks()) {
+    for (const Insn& insn : block.insns) {
+      // Arithmetic opcodes are only interesting when they can wrap with
+      // attacker influence; statically we keep CALL-family, block state,
+      // SELFDESTRUCT, BALANCE, ORIGIN as strong markers and arithmetic as a
+      // weak one — the scheduler weights them differently.
+      if (evm::IsVulnerableInstruction(insn.opcode)) {
+        vulnerable_locations_.push_back(insn.pc);
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> PrefixInference::ReachableVulnerable(
+    uint32_t jumpi_pc, bool taken) const {
+  std::vector<uint32_t> out;
+  uint32_t succ_pc = 0;
+  if (!cfg_.BranchSuccessor(jumpi_pc, taken, &succ_pc)) return out;
+  for (int block_id : cfg_.ReachableFrom(succ_pc)) {
+    for (const Insn& insn : cfg_.blocks()[block_id].insns) {
+      if (evm::IsVulnerableInstruction(insn.opcode)) {
+        out.push_back(insn.pc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mufuzz::analysis

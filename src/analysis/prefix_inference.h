@@ -1,0 +1,45 @@
+#ifndef MUFUZZ_ANALYSIS_PREFIX_INFERENCE_H_
+#define MUFUZZ_ANALYSIS_PREFIX_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/bytes.h"
+
+namespace mufuzz::analysis {
+
+/// The "lightweight abstract interpreter" of Algorithm 3 (§IV-C): given a
+/// path prefix ending at a branch, decide which vulnerable instructions
+/// (CALL, DELEGATECALL, SELFDESTRUCT, TIMESTAMP, BALANCE, ORIGIN, wrapping
+/// arithmetic) are reachable past that branch. The fuzzer adds weight to
+/// branches that guard such instructions so more energy flows toward them.
+class PrefixInference {
+ public:
+  explicit PrefixInference(BytesView code);
+
+  /// Pcs of vulnerable instructions reachable from the given direction of
+  /// the JUMPI at `jumpi_pc` (empty if the branch cannot be resolved).
+  std::vector<uint32_t> ReachableVulnerable(uint32_t jumpi_pc,
+                                            bool taken) const;
+
+  /// True if any vulnerable instruction is reachable from that direction.
+  bool GuardsVulnerableInstruction(uint32_t jumpi_pc, bool taken) const {
+    return !ReachableVulnerable(jumpi_pc, taken).empty();
+  }
+
+  /// All vulnerable-instruction pcs in the code (instLoc of Algorithm 3).
+  const std::vector<uint32_t>& vulnerable_locations() const {
+    return vulnerable_locations_;
+  }
+
+  const Cfg& cfg() const { return cfg_; }
+
+ private:
+  Cfg cfg_;
+  std::vector<uint32_t> vulnerable_locations_;
+};
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_PREFIX_INFERENCE_H_

@@ -1,0 +1,225 @@
+#include "analysis/statevar_analysis.h"
+
+namespace mufuzz::analysis {
+
+namespace {
+
+using lang::AssignOp;
+using lang::AssignStmt;
+using lang::BalanceExpr;
+using lang::BinaryExpr;
+using lang::BlockStmt;
+using lang::CastExpr;
+using lang::ContractDecl;
+using lang::DelegateExpr;
+using lang::Expr;
+using lang::ExprKind;
+using lang::ExprStmt;
+using lang::ForStmt;
+using lang::FunctionDecl;
+using lang::IdentExpr;
+using lang::IfStmt;
+using lang::IndexExpr;
+using lang::KeccakExpr;
+using lang::LowCallExpr;
+using lang::RefKind;
+using lang::RequireStmt;
+using lang::ReturnStmt;
+using lang::SelfdestructStmt;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::TransferExpr;
+using lang::UnaryExpr;
+using lang::VarDeclStmt;
+using lang::WhileStmt;
+
+/// Walks one function's AST, collecting state-variable reads/writes, RAW
+/// self-dependencies, and condition reads.
+class DataflowWalker {
+ public:
+  explicit DataflowWalker(FunctionDataflow* out) : out_(out) {}
+
+  void WalkStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        for (const auto& s : static_cast<const BlockStmt&>(stmt).stmts) {
+          WalkStmt(*s);
+        }
+        return;
+      case StmtKind::kVarDecl: {
+        const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+        if (decl.init != nullptr) CollectReads(*decl.init, /*in_cond=*/false);
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        // RHS reads.
+        std::set<std::string> rhs_reads;
+        CollectReadsInto(*assign.value, &rhs_reads);
+        for (const auto& v : rhs_reads) out_->reads.insert(v);
+
+        // Target writes (and index-expression reads for mapping lvalues).
+        const std::string* written = nullptr;
+        if (assign.target->kind == ExprKind::kIdent) {
+          const auto& ident = static_cast<const IdentExpr&>(*assign.target);
+          if (ident.ref == RefKind::kStateVar) written = &ident.name;
+        } else if (assign.target->kind == ExprKind::kIndex) {
+          const auto& index = static_cast<const IndexExpr&>(*assign.target);
+          CollectReads(*index.index, /*in_cond=*/false);
+          const auto& base = static_cast<const IdentExpr&>(*index.base);
+          if (base.ref == RefKind::kStateVar) written = &base.name;
+        }
+        if (written != nullptr) {
+          out_->writes.insert(*written);
+          // Compound assignment always reads the target; a plain assignment
+          // forms a RAW only if the RHS mentions the target.
+          if (assign.op != AssignOp::kAssign) {
+            out_->reads.insert(*written);
+            out_->raw_self.insert(*written);
+          } else if (rhs_reads.contains(*written)) {
+            out_->raw_self.insert(*written);
+          }
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        CollectReads(*s.cond, /*in_cond=*/true);
+        WalkStmt(*s.then_branch);
+        if (s.else_branch != nullptr) WalkStmt(*s.else_branch);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        CollectReads(*s.cond, /*in_cond=*/true);
+        WalkStmt(*s.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        if (s.init != nullptr) WalkStmt(*s.init);
+        if (s.cond != nullptr) CollectReads(*s.cond, /*in_cond=*/true);
+        if (s.post != nullptr) WalkStmt(*s.post);
+        WalkStmt(*s.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        if (s.value != nullptr) CollectReads(*s.value, /*in_cond=*/false);
+        return;
+      }
+      case StmtKind::kRequire:
+        CollectReads(*static_cast<const RequireStmt&>(stmt).cond,
+                     /*in_cond=*/true);
+        return;
+      case StmtKind::kExpr:
+        CollectReads(*static_cast<const ExprStmt&>(stmt).expr,
+                     /*in_cond=*/false);
+        return;
+      case StmtKind::kSelfdestruct:
+        CollectReads(*static_cast<const SelfdestructStmt&>(stmt).beneficiary,
+                     /*in_cond=*/false);
+        return;
+    }
+  }
+
+ private:
+  void CollectReads(const Expr& expr, bool in_cond) {
+    std::set<std::string> reads;
+    CollectReadsInto(expr, &reads);
+    for (const auto& v : reads) {
+      out_->reads.insert(v);
+      if (in_cond) out_->cond_reads.insert(v);
+    }
+  }
+
+  void CollectReadsInto(const Expr& expr, std::set<std::string>* out) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+      case ExprKind::kBoolLit:
+      case ExprKind::kEnv:
+        return;
+      case ExprKind::kIdent: {
+        const auto& ident = static_cast<const IdentExpr&>(expr);
+        if (ident.ref == RefKind::kStateVar) out->insert(ident.name);
+        return;
+      }
+      case ExprKind::kIndex: {
+        const auto& index = static_cast<const IndexExpr&>(expr);
+        CollectReadsInto(*index.base, out);
+        CollectReadsInto(*index.index, out);
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto& bin = static_cast<const BinaryExpr&>(expr);
+        CollectReadsInto(*bin.lhs, out);
+        CollectReadsInto(*bin.rhs, out);
+        return;
+      }
+      case ExprKind::kUnary:
+        CollectReadsInto(*static_cast<const UnaryExpr&>(expr).operand, out);
+        return;
+      case ExprKind::kBalance:
+        CollectReadsInto(*static_cast<const BalanceExpr&>(expr).address, out);
+        return;
+      case ExprKind::kKeccak:
+        for (const auto& arg : static_cast<const KeccakExpr&>(expr).args) {
+          CollectReadsInto(*arg, out);
+        }
+        return;
+      case ExprKind::kTransfer: {
+        const auto& t = static_cast<const TransferExpr&>(expr);
+        CollectReadsInto(*t.target, out);
+        CollectReadsInto(*t.amount, out);
+        return;
+      }
+      case ExprKind::kLowCall: {
+        const auto& c = static_cast<const LowCallExpr&>(expr);
+        CollectReadsInto(*c.target, out);
+        CollectReadsInto(*c.amount, out);
+        return;
+      }
+      case ExprKind::kDelegate:
+        CollectReadsInto(*static_cast<const DelegateExpr&>(expr).target, out);
+        return;
+      case ExprKind::kCast:
+        CollectReadsInto(*static_cast<const CastExpr&>(expr).operand, out);
+        return;
+    }
+  }
+
+  FunctionDataflow* out_;
+};
+
+FunctionDataflow AnalyzeFunction(const FunctionDecl& fn) {
+  FunctionDataflow out;
+  DataflowWalker walker(&out);
+  walker.WalkStmt(*fn.body);
+  return out;
+}
+
+}  // namespace
+
+ContractDataflow AnalyzeDataflow(const ContractDecl& contract) {
+  ContractDataflow out;
+  for (const auto& fn : contract.functions) {
+    out.functions.push_back(AnalyzeFunction(*fn));
+  }
+  if (contract.constructor != nullptr) {
+    out.constructor = AnalyzeFunction(*contract.constructor);
+    // State-var initializers are constructor writes.
+    for (const auto& sv : contract.state_vars) {
+      if (sv.init != nullptr) out.constructor.writes.insert(sv.name);
+    }
+  } else {
+    for (const auto& sv : contract.state_vars) {
+      if (sv.init != nullptr) out.constructor.writes.insert(sv.name);
+    }
+  }
+  for (const auto& fn : out.functions) {
+    for (const auto& v : fn.cond_reads) out.branch_read_vars.insert(v);
+  }
+  return out;
+}
+
+}  // namespace mufuzz::analysis

@@ -1,0 +1,60 @@
+#ifndef MUFUZZ_ANALYSIS_STATEVAR_ANALYSIS_H_
+#define MUFUZZ_ANALYSIS_STATEVAR_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace mufuzz::analysis {
+
+/// Read/write footprint of one function over the contract's state variables
+/// — the per-node payload of the dependency graph in Fig. 3 of the paper.
+struct FunctionDataflow {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  /// Variables with a read-after-write self-dependency inside this function
+  /// (e.g. `invested += donations`, or `x = x + 1`).
+  std::set<std::string> raw_self;
+  /// Variables read inside this function's branch conditions (if/while/for/
+  /// require).
+  std::set<std::string> cond_reads;
+
+  bool ReadsVar(const std::string& v) const { return reads.contains(v); }
+  bool WritesVar(const std::string& v) const { return writes.contains(v); }
+};
+
+/// Whole-contract dataflow summary (§IV-A: "MuFuzz captures the data
+/// dependencies of all state variables in the contract").
+struct ContractDataflow {
+  /// Parallel to ContractDecl::functions.
+  std::vector<FunctionDataflow> functions;
+  FunctionDataflow constructor;
+  /// Union of cond_reads over every function — "V is read by one of the
+  /// branch statements" in the paper's RAW-repetition rule.
+  std::set<std::string> branch_read_vars;
+
+  /// The paper's repetition rule (§IV-A): function i must be executed
+  /// repeatedly in the sequence iff it has a RAW dependency on some state
+  /// variable V that is also read by a branch statement.
+  bool FunctionIsRepeatable(size_t i) const {
+    for (const std::string& v : functions[i].raw_self) {
+      if (branch_read_vars.contains(v)) return true;
+    }
+    return false;
+  }
+
+  /// True if function i touches no state variables at all — the paper
+  /// ignores such functions ("they cannot affect the persistent state").
+  bool FunctionIsStateless(size_t i) const {
+    return functions[i].reads.empty() && functions[i].writes.empty();
+  }
+};
+
+/// Computes the dataflow summary from an analyzed AST.
+ContractDataflow AnalyzeDataflow(const lang::ContractDecl& contract);
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_STATEVAR_ANALYSIS_H_

@@ -1,0 +1,418 @@
+#include "analysis/static_detector.h"
+
+#include <set>
+#include <string>
+
+namespace mufuzz::analysis {
+
+namespace {
+
+using lang::AssignStmt;
+using lang::BalanceExpr;
+using lang::BinaryExpr;
+using lang::BinOp;
+using lang::BlockStmt;
+using lang::CastExpr;
+using lang::ContractDecl;
+using lang::DelegateExpr;
+using lang::EnvExpr;
+using lang::EnvKind;
+using lang::Expr;
+using lang::ExprKind;
+using lang::ExprStmt;
+using lang::ForStmt;
+using lang::FunctionDecl;
+using lang::IdentExpr;
+using lang::IfStmt;
+using lang::IndexExpr;
+using lang::KeccakExpr;
+using lang::LowCallExpr;
+using lang::RefKind;
+using lang::RequireStmt;
+using lang::ReturnStmt;
+using lang::SelfdestructStmt;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::TransferExpr;
+using lang::UnaryExpr;
+using lang::VarDeclStmt;
+using lang::WhileStmt;
+
+/// Syntactic facts about one function, collected in one AST pass.
+struct FnFacts {
+  bool caller_guard = false;       ///< require/if mentions msg.sender
+  bool payable = false;
+  // Per-pattern hits with source lines.
+  std::vector<int> selfdestruct_lines;
+  std::vector<int> delegate_lines;
+  std::vector<int> lowcall_lines;          ///< .call.value(...)
+  bool write_after_lowcall = false;
+  std::vector<int> block_cond_lines;       ///< block state in a condition
+  std::vector<int> origin_cond_lines;      ///< tx.origin in a condition
+  std::vector<int> balance_eq_lines;       ///< balance inside ==
+  std::vector<int> arith_lines;            ///< +,-,* on non-literals
+  std::vector<int> unchecked_call_lines;   ///< send/call result discarded
+  bool sends_ether = false;                ///< transfer/send/call/selfdestruct
+  std::set<std::string> vars_written_from_block;  ///< x = ...timestamp...
+  std::set<std::string> state_vars_in_cond;
+};
+
+/// Expression predicates.
+bool ContainsEnv(const Expr& e, EnvKind env);
+bool ContainsBalance(const Expr& e);
+void CollectStateReads(const Expr& e, std::set<std::string>* out);
+
+template <typename Pred>
+bool AnySubexpr(const Expr& e, Pred pred) {
+  if (pred(e)) return true;
+  switch (e.kind) {
+    case ExprKind::kIndex: {
+      const auto& x = static_cast<const IndexExpr&>(e);
+      return AnySubexpr(*x.base, pred) || AnySubexpr(*x.index, pred);
+    }
+    case ExprKind::kBinary: {
+      const auto& x = static_cast<const BinaryExpr&>(e);
+      return AnySubexpr(*x.lhs, pred) || AnySubexpr(*x.rhs, pred);
+    }
+    case ExprKind::kUnary:
+      return AnySubexpr(*static_cast<const UnaryExpr&>(e).operand, pred);
+    case ExprKind::kBalance:
+      return AnySubexpr(*static_cast<const BalanceExpr&>(e).address, pred);
+    case ExprKind::kKeccak: {
+      for (const auto& a : static_cast<const KeccakExpr&>(e).args) {
+        if (AnySubexpr(*a, pred)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kTransfer: {
+      const auto& x = static_cast<const TransferExpr&>(e);
+      return AnySubexpr(*x.target, pred) || AnySubexpr(*x.amount, pred);
+    }
+    case ExprKind::kLowCall: {
+      const auto& x = static_cast<const LowCallExpr&>(e);
+      return AnySubexpr(*x.target, pred) || AnySubexpr(*x.amount, pred);
+    }
+    case ExprKind::kDelegate:
+      return AnySubexpr(*static_cast<const DelegateExpr&>(e).target, pred);
+    case ExprKind::kCast:
+      return AnySubexpr(*static_cast<const CastExpr&>(e).operand, pred);
+    default:
+      return false;
+  }
+}
+
+bool ContainsEnv(const Expr& e, EnvKind env) {
+  return AnySubexpr(e, [env](const Expr& x) {
+    return x.kind == ExprKind::kEnv &&
+           static_cast<const EnvExpr&>(x).env == env;
+  });
+}
+
+bool ContainsBalance(const Expr& e) {
+  return AnySubexpr(
+      e, [](const Expr& x) { return x.kind == ExprKind::kBalance; });
+}
+
+void CollectStateReads(const Expr& e, std::set<std::string>* out) {
+  AnySubexpr(e, [out](const Expr& x) {
+    if (x.kind == ExprKind::kIdent) {
+      const auto& ident = static_cast<const IdentExpr&>(x);
+      if (ident.ref == RefKind::kStateVar) out->insert(ident.name);
+    }
+    return false;  // keep walking
+  });
+}
+
+/// Collects facts; `after_lowcall` threads "have we passed a call.value yet"
+/// through the statement walk to recognize the classic reentrancy shape.
+class FactCollector {
+ public:
+  explicit FactCollector(FnFacts* facts) : facts_(facts) {}
+
+  void WalkStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        for (const auto& s : static_cast<const BlockStmt&>(stmt).stmts) {
+          WalkStmt(*s);
+        }
+        return;
+      case StmtKind::kVarDecl: {
+        const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+        if (decl.init != nullptr) WalkExpr(*decl.init, decl.line);
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        WalkExpr(*assign.value, assign.line);
+        if (assign.op != lang::AssignOp::kAssign) {
+          facts_->arith_lines.push_back(assign.line);
+        }
+        // State write (for reentrancy ordering and block-write tracking).
+        const IdentExpr* target_ident = nullptr;
+        if (assign.target->kind == ExprKind::kIdent) {
+          target_ident = static_cast<const IdentExpr*>(assign.target.get());
+        } else if (assign.target->kind == ExprKind::kIndex) {
+          target_ident = static_cast<const IdentExpr*>(
+              static_cast<const IndexExpr&>(*assign.target).base.get());
+        }
+        if (target_ident != nullptr &&
+            target_ident->ref == RefKind::kStateVar) {
+          if (seen_lowcall_) facts_->write_after_lowcall = true;
+          if (ContainsEnv(*assign.value, EnvKind::kBlockTimestamp) ||
+              ContainsEnv(*assign.value, EnvKind::kBlockNumber)) {
+            facts_->vars_written_from_block.insert(target_ident->name);
+          }
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        WalkCondition(*s.cond, s.line);
+        WalkStmt(*s.then_branch);
+        if (s.else_branch != nullptr) WalkStmt(*s.else_branch);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const WhileStmt&>(stmt);
+        WalkCondition(*s.cond, s.line);
+        WalkStmt(*s.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        if (s.init != nullptr) WalkStmt(*s.init);
+        if (s.cond != nullptr) WalkCondition(*s.cond, s.line);
+        if (s.post != nullptr) WalkStmt(*s.post);
+        WalkStmt(*s.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        if (s.value != nullptr) WalkExpr(*s.value, s.line);
+        return;
+      }
+      case StmtKind::kRequire: {
+        const auto& s = static_cast<const RequireStmt&>(stmt);
+        WalkCondition(*s.cond, s.line);
+        return;
+      }
+      case StmtKind::kExpr: {
+        const auto& s = static_cast<const ExprStmt&>(stmt);
+        WalkExpr(*s.expr, s.line);
+        // Result-discarding send / call.value: unchecked exception.
+        if (s.expr->kind == ExprKind::kLowCall ||
+            (s.expr->kind == ExprKind::kTransfer &&
+             static_cast<const TransferExpr&>(*s.expr).is_send)) {
+          facts_->unchecked_call_lines.push_back(s.line);
+        }
+        return;
+      }
+      case StmtKind::kSelfdestruct: {
+        const auto& s = static_cast<const SelfdestructStmt&>(stmt);
+        facts_->selfdestruct_lines.push_back(s.line);
+        facts_->sends_ether = true;
+        return;
+      }
+    }
+  }
+
+ private:
+  void WalkCondition(const Expr& cond, int line) {
+    WalkExpr(cond, line);
+    if (ContainsEnv(cond, EnvKind::kBlockTimestamp) ||
+        ContainsEnv(cond, EnvKind::kBlockNumber)) {
+      facts_->block_cond_lines.push_back(line);
+    }
+    if (ContainsEnv(cond, EnvKind::kTxOrigin)) {
+      facts_->origin_cond_lines.push_back(line);
+    }
+    if (ContainsEnv(cond, EnvKind::kMsgSender)) {
+      facts_->caller_guard = true;
+    }
+    // balance == X (strict ether equality): the equality must involve a
+    // balance read.
+    if (cond.kind == ExprKind::kBinary) {
+      const auto& bin = static_cast<const BinaryExpr&>(cond);
+      if ((bin.op == BinOp::kEq || bin.op == BinOp::kNe) &&
+          (ContainsBalance(*bin.lhs) || ContainsBalance(*bin.rhs))) {
+        facts_->balance_eq_lines.push_back(line);
+      }
+    }
+    CollectStateReads(cond, &facts_->state_vars_in_cond);
+  }
+
+  void WalkExpr(const Expr& e, int line) {
+    AnySubexpr(e, [this, line](const Expr& x) {
+      switch (x.kind) {
+        case ExprKind::kBinary: {
+          const auto& bin = static_cast<const BinaryExpr&>(x);
+          bool arith = bin.op == BinOp::kAdd || bin.op == BinOp::kSub ||
+                       bin.op == BinOp::kMul;
+          // Literal-only arithmetic cannot overflow at runtime inputs.
+          bool lhs_lit = bin.lhs->kind == ExprKind::kNumber;
+          bool rhs_lit = bin.rhs->kind == ExprKind::kNumber;
+          if (arith && !(lhs_lit && rhs_lit)) {
+            facts_->arith_lines.push_back(line);
+          }
+          return false;
+        }
+        case ExprKind::kTransfer:
+          facts_->sends_ether = true;
+          return false;
+        case ExprKind::kLowCall:
+          facts_->lowcall_lines.push_back(line);
+          facts_->sends_ether = true;
+          seen_lowcall_ = true;
+          return false;
+        case ExprKind::kDelegate:
+          facts_->delegate_lines.push_back(line);
+          return false;
+        default:
+          return false;
+      }
+    });
+  }
+
+  FnFacts* facts_;
+  bool seen_lowcall_ = false;
+};
+
+FnFacts CollectFacts(const FunctionDecl& fn) {
+  FnFacts facts;
+  facts.payable = fn.payable;
+  FactCollector collector(&facts);
+  collector.WalkStmt(*fn.body);
+  return facts;
+}
+
+}  // namespace
+
+StaticDetectorProfile OyenteProfile() {
+  return {{BugClass::kBlockDependency, BugClass::kIntegerOverflow,
+           BugClass::kReentrancy},
+          /*ignore_guards=*/true,
+          /*intra_procedural_only=*/true};
+}
+
+StaticDetectorProfile MythrilProfile() {
+  return {{BugClass::kBlockDependency, BugClass::kUnprotectedDelegatecall,
+           BugClass::kIntegerOverflow, BugClass::kReentrancy,
+           BugClass::kUnprotectedSelfdestruct, BugClass::kStrictEtherEquality,
+           BugClass::kTxOriginUse, BugClass::kUnhandledException},
+          /*ignore_guards=*/false,
+          /*intra_procedural_only=*/true};
+}
+
+StaticDetectorProfile OsirisProfile() {
+  return {{BugClass::kBlockDependency, BugClass::kIntegerOverflow,
+           BugClass::kReentrancy},
+          /*ignore_guards=*/true,
+          /*intra_procedural_only=*/true};
+}
+
+StaticDetectorProfile SecurifyProfile() {
+  return {{BugClass::kReentrancy, BugClass::kUnhandledException},
+          /*ignore_guards=*/true,
+          /*intra_procedural_only=*/true};
+}
+
+StaticDetectorProfile SlitherProfile() {
+  return {{BugClass::kBlockDependency, BugClass::kUnprotectedDelegatecall,
+           BugClass::kEtherFreezing, BugClass::kReentrancy,
+           BugClass::kUnprotectedSelfdestruct, BugClass::kStrictEtherEquality,
+           BugClass::kTxOriginUse, BugClass::kUnhandledException},
+          /*ignore_guards=*/false,
+          /*intra_procedural_only=*/true};
+}
+
+std::vector<BugReport> RunStaticDetector(
+    const lang::ContractArtifact& artifact,
+    const StaticDetectorProfile& profile) {
+  std::vector<BugReport> reports;
+  const ContractDecl& contract = *artifact.ast;
+
+  auto supported = [&](BugClass bug) {
+    for (BugClass b : profile.supported) {
+      if (b == bug) return true;
+    }
+    return false;
+  };
+  auto report = [&](BugClass bug, int line, int fn_index,
+                    const std::string& detail) {
+    if (supported(bug)) {
+      reports.push_back({bug, 0, line, detail, fn_index});
+    }
+  };
+
+  std::vector<FnFacts> all_facts;
+  for (const auto& fn : contract.functions) {
+    all_facts.push_back(CollectFacts(*fn));
+  }
+  // Inter-procedural helper: state vars written from block values anywhere.
+  std::set<std::string> block_tainted_vars;
+  for (const FnFacts& facts : all_facts) {
+    block_tainted_vars.insert(facts.vars_written_from_block.begin(),
+                              facts.vars_written_from_block.end());
+  }
+
+  bool any_payable = false;
+  bool any_ether_out = false;
+  for (size_t i = 0; i < all_facts.size(); ++i) {
+    const FnFacts& facts = all_facts[i];
+    int fi = static_cast<int>(i);
+    any_payable = any_payable || facts.payable;
+    any_ether_out = any_ether_out || facts.sends_ether;
+
+    bool guarded = facts.caller_guard && !profile.ignore_guards;
+
+    for (int line : facts.block_cond_lines) {
+      report(BugClass::kBlockDependency, line, fi,
+             "block state read in branch condition");
+    }
+    if (!profile.intra_procedural_only) {
+      for (const std::string& v : facts.state_vars_in_cond) {
+        if (block_tainted_vars.contains(v)) {
+          report(BugClass::kBlockDependency, contract.functions[i]->line, fi,
+                 "condition reads block-tainted state var " + v);
+        }
+      }
+    }
+    for (int line : facts.origin_cond_lines) {
+      report(BugClass::kTxOriginUse, line, fi, "tx.origin in condition");
+    }
+    for (int line : facts.balance_eq_lines) {
+      report(BugClass::kStrictEtherEquality, line, fi,
+             "balance compared with ==");
+    }
+    for (int line : facts.arith_lines) {
+      report(BugClass::kIntegerOverflow, line, fi,
+             "unchecked arithmetic (pattern match)");
+    }
+    if (!guarded) {
+      for (int line : facts.selfdestruct_lines) {
+        report(BugClass::kUnprotectedSelfdestruct, line, fi,
+               "selfdestruct without caller guard");
+      }
+      for (int line : facts.delegate_lines) {
+        report(BugClass::kUnprotectedDelegatecall, line, fi,
+               "delegatecall without caller guard");
+      }
+    }
+    if (!facts.lowcall_lines.empty() && facts.write_after_lowcall) {
+      report(BugClass::kReentrancy, facts.lowcall_lines.front(), fi,
+             "state write after call.value");
+    }
+    for (int line : facts.unchecked_call_lines) {
+      report(BugClass::kUnhandledException, line, fi,
+             "external call result discarded");
+    }
+  }
+
+  if (any_payable && !any_ether_out) {
+    report(BugClass::kEtherFreezing, 0, -1,
+           "accepts ether but has no sending instruction");
+  }
+  return reports;
+}
+
+}  // namespace mufuzz::analysis

@@ -1,0 +1,42 @@
+#ifndef MUFUZZ_ANALYSIS_STATIC_DETECTOR_H_
+#define MUFUZZ_ANALYSIS_STATIC_DETECTOR_H_
+
+#include <vector>
+
+#include "analysis/bug_types.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::analysis {
+
+/// Emulated profile of a pattern-based static analyzer: which bug classes it
+/// supports and how aggressive its patterns are. These stand in for the
+/// static-analysis rows of Table III (Oyente, Mythril, Osiris, Securify,
+/// Slither) — tools that inspect code without executing it, over-reporting
+/// guarded code (false positives) and missing cross-transaction flows
+/// (false negatives).
+struct StaticDetectorProfile {
+  std::vector<BugClass> supported;
+  /// If true, flags patterns even when an obvious guard (require on
+  /// msg.sender) dominates them — the classic static-analysis FP source.
+  bool ignore_guards = true;
+  /// If true, only intra-function flows are considered (misses state-var
+  /// mediated cross-function bugs — the classic FN source).
+  bool intra_procedural_only = true;
+};
+
+/// Profiles approximating the paper's baseline static tools.
+StaticDetectorProfile OyenteProfile();     // BD, IO, RE
+StaticDetectorProfile MythrilProfile();    // BD, UD, IO, RE, US, SE, TO, UE
+StaticDetectorProfile OsirisProfile();     // BD, IO, RE
+StaticDetectorProfile SecurifyProfile();   // RE, UE
+StaticDetectorProfile SlitherProfile();    // BD, UD, EF, RE, US, SE, TO, UE
+
+/// Runs pattern-matching over the contract's AST and bytecode; purely
+/// static — it never executes the contract, so it has no coverage signal.
+std::vector<BugReport> RunStaticDetector(
+    const lang::ContractArtifact& artifact,
+    const StaticDetectorProfile& profile);
+
+}  // namespace mufuzz::analysis
+
+#endif  // MUFUZZ_ANALYSIS_STATIC_DETECTOR_H_

@@ -1,0 +1,68 @@
+#ifndef MUFUZZ_COMMON_ADDRESS_H_
+#define MUFUZZ_COMMON_ADDRESS_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/u256.h"
+
+namespace mufuzz {
+
+/// A 160-bit Ethereum account address.
+struct Address {
+  std::array<uint8_t, 20> bytes{};
+
+  Address() = default;
+
+  /// Builds a deterministic address from a small integer (test/fuzzer
+  /// convenience): the integer is placed big-endian in the low bytes.
+  static Address FromUint(uint64_t v) {
+    Address a;
+    for (int i = 0; i < 8; ++i) {
+      a.bytes[19 - i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    return a;
+  }
+
+  /// Truncates a 256-bit word to its low 160 bits (EVM address coercion).
+  static Address FromWord(const U256& w) {
+    auto raw = w.ToBytesBE();
+    Address a;
+    std::copy(raw.begin() + 12, raw.end(), a.bytes.begin());
+    return a;
+  }
+
+  /// Zero-extends into a 256-bit word.
+  U256 ToWord() const {
+    Bytes raw(bytes.begin(), bytes.end());
+    return U256::FromBytesBE(raw).value();
+  }
+
+  bool IsZero() const {
+    for (uint8_t b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  std::string ToHex() const {
+    return HexEncode0x(BytesView(bytes.data(), bytes.size()));
+  }
+
+  bool operator==(const Address&) const = default;
+  auto operator<=>(const Address&) const = default;
+
+  struct Hasher {
+    size_t operator()(const Address& a) const {
+      return static_cast<size_t>(
+          Fnv1a64(BytesView(a.bytes.data(), a.bytes.size())));
+    }
+  };
+};
+
+}  // namespace mufuzz
+
+#endif  // MUFUZZ_COMMON_ADDRESS_H_

@@ -1,0 +1,121 @@
+#include "common/keccak.h"
+
+#include <cstring>
+
+namespace mufuzz {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr size_t kRateBytes = 136;  // 1088-bit rate for Keccak-256.
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kRotations[5][5] = {
+    {0, 36, 3, 41, 18},
+    {1, 44, 10, 45, 2},
+    {62, 6, 43, 15, 61},
+    {28, 55, 25, 21, 56},
+    {27, 20, 39, 8, 14},
+};
+
+inline uint64_t Rotl64(uint64_t v, int n) {
+  return n == 0 ? v : (v << n) | (v >> (64 - n));
+}
+
+void KeccakF1600(uint64_t state[25]) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^
+             state[x + 20];
+    }
+    uint64_t d[5];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
+    }
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        state[x + 5 * y] ^= d[x];
+      }
+    }
+    // Rho and Pi.
+    uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] =
+            Rotl64(state[x + 5 * y], kRotations[x][y]);
+      }
+    }
+    // Chi.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        state[x + 5 * y] =
+            b[x + 5 * y] ^ ((~b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    state[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+std::array<uint8_t, 32> Keccak256(BytesView data) {
+  uint64_t state[25] = {0};
+  uint8_t block[kRateBytes];
+
+  size_t offset = 0;
+  // Absorb full blocks.
+  while (data.size() - offset >= kRateBytes) {
+    for (size_t i = 0; i < kRateBytes / 8; ++i) {
+      uint64_t lane = 0;
+      std::memcpy(&lane, data.data() + offset + i * 8, 8);  // little-endian
+      state[i] ^= lane;
+    }
+    KeccakF1600(state);
+    offset += kRateBytes;
+  }
+
+  // Final block with Keccak (0x01 … 0x80) padding.
+  size_t remaining = data.size() - offset;
+  std::memset(block, 0, kRateBytes);
+  if (remaining > 0) std::memcpy(block, data.data() + offset, remaining);
+  block[remaining] = 0x01;
+  block[kRateBytes - 1] |= 0x80;
+  for (size_t i = 0; i < kRateBytes / 8; ++i) {
+    uint64_t lane = 0;
+    std::memcpy(&lane, block + i * 8, 8);
+    state[i] ^= lane;
+  }
+  KeccakF1600(state);
+
+  std::array<uint8_t, 32> digest;
+  std::memcpy(digest.data(), state, 32);
+  return digest;
+}
+
+std::array<uint8_t, 32> Keccak256(std::string_view data) {
+  return Keccak256(BytesView(reinterpret_cast<const uint8_t*>(data.data()),
+                             data.size()));
+}
+
+uint32_t AbiSelector(std::string_view signature) {
+  auto digest = Keccak256(signature);
+  return (static_cast<uint32_t>(digest[0]) << 24) |
+         (static_cast<uint32_t>(digest[1]) << 16) |
+         (static_cast<uint32_t>(digest[2]) << 8) |
+         static_cast<uint32_t>(digest[3]);
+}
+
+}  // namespace mufuzz

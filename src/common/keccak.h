@@ -1,0 +1,26 @@
+#ifndef MUFUZZ_COMMON_KECCAK_H_
+#define MUFUZZ_COMMON_KECCAK_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace mufuzz {
+
+/// Keccak-256 digest (the pre-NIST padding variant Ethereum uses).
+///
+/// Used for function selectors (first four bytes of the signature hash),
+/// mapping storage slots, and the KECCAK256 opcode.
+std::array<uint8_t, 32> Keccak256(BytesView data);
+
+/// Convenience overload hashing a string (e.g. a function signature).
+std::array<uint8_t, 32> Keccak256(std::string_view data);
+
+/// First four bytes of Keccak256(signature) — the Solidity ABI selector.
+uint32_t AbiSelector(std::string_view signature);
+
+}  // namespace mufuzz
+
+#endif  // MUFUZZ_COMMON_KECCAK_H_

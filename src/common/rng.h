@@ -1,0 +1,108 @@
+#ifndef MUFUZZ_COMMON_RNG_H_
+#define MUFUZZ_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mufuzz {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic decision in the fuzzer flows through one Rng instance so
+/// that campaigns are reproducible from a single seed — the benches print the
+/// seed they used.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Re-initializes the state from `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be nonzero.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound != 0);
+    // Debiased modulo via rejection on the tail.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniform byte.
+  uint8_t NextByte() { return static_cast<uint8_t>(NextU64() & 0xff); }
+
+  /// Returns a reference to a uniformly chosen element. `v` must be
+  /// non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[NextBelow(v.size())];
+  }
+  template <typename T>
+  T& Pick(std::vector<T>& v) {
+    assert(!v.empty());
+    return v[NextBelow(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel subsystems).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int n) { return (v << n) | (v >> (64 - n)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mufuzz
+
+#endif  // MUFUZZ_COMMON_RNG_H_

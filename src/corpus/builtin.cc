@@ -1,0 +1,438 @@
+#include "corpus/builtin.h"
+
+namespace mufuzz::corpus {
+
+namespace {
+
+using analysis::BugClass;
+
+/// Replaces every "{{N}}" in `tpl` with `value` (decimal).
+std::string Instantiate(std::string tpl, uint64_t value) {
+  const std::string needle = "{{N}}";
+  std::string replacement = std::to_string(value);
+  size_t pos = 0;
+  while ((pos = tpl.find(needle, pos)) != std::string::npos) {
+    tpl.replace(pos, needle.size(), replacement);
+    pos += replacement.size();
+  }
+  return tpl;
+}
+
+/// Renames "contract <Name>" to "<Name>_<suffix>".
+std::string Rename(std::string source, const std::string& suffix) {
+  size_t pos = source.find("contract ");
+  if (pos == std::string::npos) return source;
+  size_t name_start = pos + 9;
+  size_t name_end = source.find_first_of(" \n{", name_start);
+  source.insert(name_end, "_" + suffix);
+  return source;
+}
+
+struct Template {
+  const char* name;
+  const char* source;  ///< may contain {{N}} parameter slots
+  std::vector<BugClass> bugs;
+};
+
+/// The handwritten D2-style suite. Every template compiles under MiniSol and
+/// carries its ground-truth labels; "clean" decoys keep the false-positive
+/// accounting honest.
+const std::vector<Template>& Templates() {
+  static const auto* templates = new std::vector<Template>{
+      // ---- BD ------------------------------------------------------------
+      {"TimedLottery", R"(
+contract TimedLottery {
+  uint256 prize = 1 ether;
+  address winner;
+  function play() public payable {
+    require(msg.value > {{N}} wei);
+    if (block.timestamp % 7 == 0) {
+      winner = msg.sender;
+      msg.sender.transfer(prize);
+    }
+  }
+  function refill() public payable { prize += msg.value; }
+})",
+       {BugClass::kBlockDependency}},
+
+      {"BlockGate", R"(
+contract BlockGate {
+  uint256 start;
+  uint256 pot;
+  constructor() public { start = block.number; }
+  function enter() public payable {
+    require(block.number > start + {{N}});
+    pot += msg.value;
+  }
+  function drain(address to) public {
+    if (pot > 0) { to.transfer(pot); pot = 0; }
+  }
+})",
+       {BugClass::kBlockDependency}},
+
+      // ---- UD ------------------------------------------------------------
+      {"OpenProxy", R"(
+contract OpenProxy {
+  uint256 hits;
+  function forward(address impl) public {
+    hits = hits + {{N}};
+    bool ok = impl.delegatecall(msg.data);
+  }
+})",
+       {BugClass::kUnprotectedDelegatecall}},
+
+      {"GuardedProxy", R"(
+contract GuardedProxy {
+  address owner;
+  uint256 hits;
+  constructor() public { owner = msg.sender; }
+  function forward(address impl) public {
+    require(msg.sender == owner);
+    hits = hits + {{N}};
+    bool ok = impl.delegatecall(msg.data);
+  }
+})",
+       {}},  // clean: caller-guarded
+
+      // ---- EF ------------------------------------------------------------
+      {"PiggyBank", R"(
+contract PiggyBank {
+  uint256 total;
+  mapping(address => uint256) saved;
+  function save() public payable {
+    saved[msg.sender] += msg.value;
+    total += msg.value;
+    require(total >= {{N}} wei || total < {{N}} wei);
+  }
+})",
+       {BugClass::kEtherFreezing}},
+
+      {"OpenVault", R"(
+contract OpenVault {
+  mapping(address => uint256) saved;
+  function save() public payable { saved[msg.sender] += msg.value; }
+  function out(uint256 amount) public {
+    require(saved[msg.sender] >= amount);
+    require(amount > {{N}} wei);
+    saved[msg.sender] -= amount;
+    msg.sender.transfer(amount);
+  }
+})",
+       {}},  // clean: funds can leave
+
+      // ---- IO ------------------------------------------------------------
+      {"TokenSale", R"(
+contract TokenSale {
+  mapping(address => uint256) balances;
+  uint256 rate = {{N}};
+  function buy(uint256 lots) public payable {
+    require(msg.value > 0);
+    balances[msg.sender] += lots * rate * msg.value;
+  }
+  function setRate(uint256 r) public { rate = r; }
+})",
+       {BugClass::kIntegerOverflow}},
+
+      {"BatchTransfer", R"(
+contract BatchTransfer {
+  mapping(address => uint256) balances;
+  function seed() public payable { balances[msg.sender] += msg.value; }
+  function batch(address to, uint256 count, uint256 each) public {
+    uint256 amount = count * each;
+    require(balances[msg.sender] >= amount || amount == {{N}});
+    balances[to] += amount;
+  }
+})",
+       {BugClass::kIntegerOverflow}},
+
+      {"CheckedCounter", R"(
+contract CheckedCounter {
+  uint256 total;
+  function add(uint256 v) public {
+    require(v < {{N}});
+    require(total + v >= total);
+    total += v;
+  }
+})",
+       {}},  // clean: guarded arithmetic (static tools still flag it)
+
+      // ---- RE ------------------------------------------------------------
+      {"VulnerableBank", R"(
+contract VulnerableBank {
+  mapping(address => uint256) bal;
+  function deposit() public payable { bal[msg.sender] += msg.value; }
+  function withdraw() public {
+    uint256 amount = bal[msg.sender];
+    require(amount > {{N}} wei);
+    bool ok = msg.sender.call.value(amount)();
+    require(ok);
+    bal[msg.sender] = 0;
+  }
+})",
+       {BugClass::kReentrancy}},
+
+      {"SafeBank", R"(
+contract SafeBank {
+  mapping(address => uint256) bal;
+  function deposit() public payable { bal[msg.sender] += msg.value; }
+  function withdraw() public {
+    uint256 amount = bal[msg.sender];
+    require(amount > {{N}} wei);
+    bal[msg.sender] = 0;
+    bool ok = msg.sender.call.value(amount)();
+    require(ok);
+  }
+})",
+       {}},  // clean: checks-effects-interactions
+
+      // ---- US ------------------------------------------------------------
+      {"Killable", R"(
+contract Killable {
+  uint256 marker = {{N}};
+  function kill() public { selfdestruct(msg.sender); }
+  function ping() public { marker += 1; }
+})",
+       {BugClass::kUnprotectedSelfdestruct}},
+
+      {"OwnedKillable", R"(
+contract OwnedKillable {
+  address owner;
+  uint256 marker = {{N}};
+  constructor() public { owner = msg.sender; }
+  function kill() public {
+    require(msg.sender == owner);
+    selfdestruct(owner);
+  }
+  function ping() public { marker += 1; }
+})",
+       {}},  // clean: owner-guarded
+
+      // ---- SE ------------------------------------------------------------
+      {"EqualityGame", R"(
+contract EqualityGame {
+  address winner;
+  function stake() public payable { }
+  function claim() public {
+    if (this.balance == {{N}} finney) {
+      winner = msg.sender;
+      msg.sender.transfer(this.balance);
+    }
+  }
+})",
+       {BugClass::kStrictEtherEquality}},
+
+      // ---- TO ------------------------------------------------------------
+      {"OriginAuth", R"(
+contract OriginAuth {
+  address owner;
+  uint256 pot;
+  constructor() public { owner = msg.sender; }
+  function fund() public payable { pot += msg.value; }
+  function pay(address to, uint256 amount) public {
+    require(tx.origin == owner);
+    require(amount <= pot + {{N}});
+    to.transfer(amount);
+  }
+})",
+       {BugClass::kTxOriginUse}},
+
+      // ---- UE ------------------------------------------------------------
+      {"CarelessPayout", R"(
+contract CarelessPayout {
+  mapping(address => uint256) owed;
+  function fund(address to) public payable { owed[to] += msg.value; }
+  function pay(address to) public {
+    uint256 amount = owed[to] + {{N}} wei;
+    owed[to] = 0;
+    to.send(amount);
+  }
+})",
+       {BugClass::kUnhandledException}},
+
+      {"CheckedPayout", R"(
+contract CheckedPayout {
+  mapping(address => uint256) owed;
+  function fund(address to) public payable { owed[to] += msg.value; }
+  function pay(address to) public {
+    uint256 amount = owed[to] + {{N}} wei;
+    bool ok = to.send(amount);
+    if (ok) { owed[to] = 0; }
+  }
+})",
+       {}},  // clean: result checked
+
+      // ---- Sequence-deep bugs (the MuFuzz showcase) ------------------------
+      {"StagedDestruct", R"(
+contract StagedDestruct {
+  uint256 steps;
+  uint256 stage;
+  function advance() public {
+    steps += 1;
+    if (steps >= {{N}}) { stage = 1; }
+  }
+  function fire() public {
+    if (stage == 1) { selfdestruct(msg.sender); }
+  }
+})",
+       {BugClass::kUnprotectedSelfdestruct}},
+
+      {"StoredTimestamp", R"(
+contract StoredTimestamp {
+  uint256 snap;
+  uint256 prize;
+  function record() public payable {
+    snap = block.timestamp;
+    prize += msg.value;
+  }
+  function settle() public {
+    if (snap % {{N}} == 1) {
+      msg.sender.transfer(prize);
+      prize = 0;
+    }
+  }
+})",
+       // The block value flows through storage across transactions: an
+       // intra-procedural static pattern cannot see it, dynamic taint can.
+       {BugClass::kBlockDependency}},
+
+      {"LaunderedOrigin", R"(
+contract LaunderedOrigin {
+  address gate;
+  uint256 pot;
+  function arm() public {
+    gate = tx.origin;
+  }
+  function fire(address to) public {
+    require(gate == msg.sender);
+    if (pot > {{N}}) { to.transfer(pot); pot = 0; }
+  }
+  function fund() public payable { pot += msg.value; }
+})",
+       // tx.origin stored in one tx, compared in another — again invisible
+       // intra-procedurally, caught by storage-persisted taint.
+       {BugClass::kTxOriginUse}},
+
+      {"AccumulatorBomb", R"(
+contract AccumulatorBomb {
+  uint256 acc = 1;
+  uint256 armed;
+  function feed(uint256 f) public {
+    require(f > 1);
+    acc = acc * f;
+    if (acc > {{N}}) { armed = 1; }
+  }
+  function blast() public {
+    if (armed == 1) {
+      if (block.timestamp % 3 == 0) { acc = block.timestamp; }
+    }
+  }
+})",
+       {BugClass::kBlockDependency, BugClass::kIntegerOverflow}},
+  };
+  return *templates;
+}
+
+}  // namespace
+
+const CorpusEntry& CrowdsaleExample() {
+  // The `bug()` marker at line 31 of the paper's Fig. 1 is realized as an
+  // unprotected selfdestruct so the US oracle can witness it; everything
+  // else follows the figure.
+  static const CorpusEntry* entry = new CorpusEntry{
+      "Crowdsale",
+      R"(
+contract Crowdsale {
+  uint256 phase = 0;
+  uint256 goal;
+  uint256 invested;
+  address owner;
+  mapping(address => uint256) invests;
+  constructor() public {
+    goal = 100 ether;
+    invested = 0;
+    owner = msg.sender;
+  }
+  function invest(uint256 donations) public payable {
+    if (invested < goal) {
+      invests[msg.sender] += donations;
+      invested += donations;
+      phase = 0;
+    } else {
+      phase = 1;
+    }
+  }
+  function refund() public {
+    if (phase == 0) {
+      msg.sender.transfer(invests[msg.sender]);
+      invests[msg.sender] = 0;
+    }
+  }
+  function withdraw() public {
+    if (phase == 1) {
+      selfdestruct(msg.sender);
+    }
+  }
+})",
+      {BugClass::kUnprotectedSelfdestruct}};
+  return *entry;
+}
+
+const CorpusEntry& GameExample() {
+  // Fig. 4, extended with a settable multiplier so the "possible integer
+  // overflow at line 11" is dynamically reachable (the paper's fixed ×10
+  // cannot wrap within any real account balance) — reaching it still
+  // requires the 88-finney strict guard plus the nested branch, and now a
+  // two-transaction sequence.
+  static const CorpusEntry* entry = new CorpusEntry{
+      "Game",
+      R"(
+contract Game {
+  mapping(address => uint256) balance;
+  uint256 multiplier = 10;
+  function setMultiplier(uint256 m) public {
+    require(m > 0);
+    multiplier = m;
+  }
+  function guessNum(uint256 number) public payable {
+    uint256 random = uint256(keccak256(abi.encodePacked(block.timestamp, now))) % 200;
+    require(msg.value == 88 finney);
+    if (number < random) {
+      uint256 luckyNum = number % 2;
+      if (luckyNum == 0) {
+        balance[msg.sender] += msg.value * multiplier;
+      } else {
+        balance[msg.sender] += msg.value * 5;
+      }
+    }
+  }
+})",
+      {BugClass::kIntegerOverflow, BugClass::kBlockDependency,
+       BugClass::kEtherFreezing}};  // no payout path exists in Fig. 4
+  return *entry;
+}
+
+std::vector<CorpusEntry> VulnerableSuite(int target_count) {
+  std::vector<CorpusEntry> suite;
+  suite.push_back(CrowdsaleExample());
+  suite.push_back(GameExample());
+
+  const auto& templates = Templates();
+  // Parameter values that keep guards satisfiable but distinct per variant.
+  int variant = 0;
+  while (static_cast<int>(suite.size()) < target_count) {
+    const Template& tpl = templates[variant % templates.size()];
+    // Parameter cycles 3..9: keeps stage thresholds within what a
+    // 12-transaction sequence can actually reach.
+    uint64_t param = 3 + 2 * ((variant / templates.size()) % 4);
+    CorpusEntry entry;
+    entry.name = std::string(tpl.name) + "_v" + std::to_string(variant);
+    entry.source = Rename(Instantiate(tpl.source, param),
+                          "v" + std::to_string(variant));
+    entry.ground_truth = tpl.bugs;
+    suite.push_back(std::move(entry));
+    ++variant;
+  }
+  return suite;
+}
+
+}  // namespace mufuzz::corpus

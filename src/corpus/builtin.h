@@ -1,0 +1,42 @@
+#ifndef MUFUZZ_CORPUS_BUILTIN_H_
+#define MUFUZZ_CORPUS_BUILTIN_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/bug_types.h"
+
+namespace mufuzz::corpus {
+
+/// One corpus contract: MiniSol source plus ground-truth bug labels.
+struct CorpusEntry {
+  std::string name;
+  std::string source;
+  std::vector<analysis::BugClass> ground_truth;  ///< empty = known clean
+
+  bool HasBug(analysis::BugClass bug) const {
+    for (analysis::BugClass b : ground_truth) {
+      if (b == bug) return true;
+    }
+    return false;
+  }
+};
+
+/// Fig. 1 of the paper: the Crowdsale contract whose deep bug (an
+/// unprotected selfdestruct standing in for the paper's `bug()` marker at
+/// line 31) requires the sequence [invest, invest, withdraw] with the first
+/// donation meeting the goal.
+const CorpusEntry& CrowdsaleExample();
+
+/// Fig. 4 of the paper: the guess-number Game with the 88-finney strict
+/// guard and the nested branch hiding an integer overflow.
+const CorpusEntry& GameExample();
+
+/// The D2-style vulnerable-contract suite: handwritten contracts covering
+/// all nine bug classes (plus clean decoys), expanded with parameterized
+/// variants to `target_count` unique contracts.
+std::vector<CorpusEntry> VulnerableSuite(int target_count = 155);
+
+}  // namespace mufuzz::corpus
+
+#endif  // MUFUZZ_CORPUS_BUILTIN_H_

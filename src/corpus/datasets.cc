@@ -1,0 +1,47 @@
+#include "corpus/datasets.h"
+
+namespace mufuzz::corpus {
+
+std::vector<CorpusEntry> BuildD1Small(int count, uint64_t seed) {
+  std::vector<CorpusEntry> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(
+        GenerateContract(GeneratorParams::Small(), seed + 1000003ULL * i));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> BuildD1Large(int count, uint64_t seed) {
+  std::vector<CorpusEntry> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(
+        GenerateContract(GeneratorParams::Large(), seed + 2000029ULL * i));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> BuildD2(int count) {
+  return VulnerableSuite(count);
+}
+
+std::vector<CorpusEntry> BuildD3(int count, uint64_t seed) {
+  std::vector<CorpusEntry> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(GenerateContract(GeneratorParams::RealWorld(),
+                                   seed + 3000017ULL * i));
+  }
+  return out;
+}
+
+int CountAnnotations(const std::vector<CorpusEntry>& dataset) {
+  int total = 0;
+  for (const CorpusEntry& entry : dataset) {
+    total += static_cast<int>(entry.ground_truth.size());
+  }
+  return total;
+}
+
+}  // namespace mufuzz::corpus

@@ -1,0 +1,34 @@
+#ifndef MUFUZZ_CORPUS_DATASETS_H_
+#define MUFUZZ_CORPUS_DATASETS_H_
+
+#include <vector>
+
+#include "corpus/builtin.h"
+#include "corpus/generator.h"
+
+namespace mufuzz::corpus {
+
+/// Builders for the three benchmark datasets of Table II, scaled down so a
+/// full reproduction fits laptop budgets (the paper's counts are 17,803 /
+/// 3,344 / 155 / 500 — EXPERIMENTS.md records the scaling).
+///
+/// All builders are deterministic in `seed`.
+
+/// D1-small: generated contracts below the paper's 3,632-instruction split.
+std::vector<CorpusEntry> BuildD1Small(int count, uint64_t seed);
+
+/// D1-large: generated contracts above the split.
+std::vector<CorpusEntry> BuildD1Large(int count, uint64_t seed);
+
+/// D2: the vulnerable suite (default 155 entries, ground-truth labeled).
+std::vector<CorpusEntry> BuildD2(int count = 155);
+
+/// D3: large "popular contract" stand-ins, ~45% carrying an injected bug.
+std::vector<CorpusEntry> BuildD3(int count, uint64_t seed);
+
+/// Total ground-truth bug annotations across a dataset.
+int CountAnnotations(const std::vector<CorpusEntry>& dataset);
+
+}  // namespace mufuzz::corpus
+
+#endif  // MUFUZZ_CORPUS_DATASETS_H_

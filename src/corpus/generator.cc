@@ -1,0 +1,282 @@
+#include "corpus/generator.h"
+
+#include <string>
+#include <vector>
+
+namespace mufuzz::corpus {
+
+namespace {
+
+using analysis::BugClass;
+
+/// Incremental MiniSol source writer with the state the generator threads
+/// through: how many uints/mappings exist, which flags gate which stages.
+class ContractWriter {
+ public:
+  ContractWriter(const GeneratorParams& params, uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  CorpusEntry Build() {
+    CorpusEntry entry;
+    entry.name = "Gen" + std::to_string(rng_.NextU64() % 1000000);
+
+    DeclareState();
+    EmitConstructor();
+    for (int i = 0; i < params_.num_functions; ++i) {
+      EmitFunction(i);
+    }
+    MaybeInjectBug(&entry);
+    // Ether-freezing consistency: a payable contract with no ether-out path
+    // either gets a rescue hatch (stays clean) or is labeled as frozen.
+    if (has_payable_ && !has_ether_out_) {
+      if (rng_.Chance(0.5)) {
+        functions_ +=
+            "  function rescue(uint256 amount) public {\n"
+            "    require(ledger[msg.sender] >= amount);\n"
+            "    ledger[msg.sender] -= amount;\n"
+            "    msg.sender.transfer(amount);\n  }\n";
+        has_ether_out_ = true;
+      } else {
+        entry.ground_truth.push_back(BugClass::kEtherFreezing);
+      }
+    }
+
+    std::string out = "contract " + entry.name + " {\n";
+    out += state_decls_;
+    out += ctor_;
+    out += functions_;
+    out += "}\n";
+    entry.source = std::move(out);
+    return entry;
+  }
+
+ private:
+  // ------------------------------------------------------------ helpers --
+  std::string UintVar(int i) const { return "u" + std::to_string(i); }
+  std::string RandomUintVar() {
+    return UintVar(static_cast<int>(rng_.NextBelow(num_uints_)));
+  }
+  std::string Lit(uint64_t max = 1000) {
+    return std::to_string(rng_.NextBelow(max) + 1);
+  }
+  std::string Cmp() {
+    static const char* kOps[] = {"<", ">", "<=", ">=", "=="};
+    return kOps[rng_.NextBelow(5)];
+  }
+
+  void DeclareState() {
+    num_uints_ = std::max(2, params_.num_state_vars - 2);
+    for (int i = 0; i < num_uints_; ++i) {
+      state_decls_ += "  uint256 " + UintVar(i) + ";\n";
+    }
+    state_decls_ += "  mapping(address => uint256) ledger;\n";
+    state_decls_ += "  address owner;\n";
+  }
+
+  void EmitConstructor() {
+    ctor_ = "  constructor() public {\n    owner = msg.sender;\n";
+    // Seed a couple of state vars so guards start satisfiable.
+    for (int i = 0; i < num_uints_ && i < 2; ++i) {
+      ctor_ += "    " + UintVar(i) + " = " + Lit(50) + ";\n";
+    }
+    ctor_ += "  }\n";
+  }
+
+  /// One randomly shaped function. The shapes mirror what the paper's
+  /// motivation highlights: stateful guards, RAW accumulators, nested
+  /// conditions, strict guards, loops, payable deposits, withdrawals.
+  void EmitFunction(int index) {
+    std::string name = "f" + std::to_string(index);
+    // Weighted shape pick: the order/repetition-sensitive shapes (RAW
+    // accumulators, nested guards, stage machines, strict equalities) are
+    // what real stateful contracts are made of — and what separates
+    // sequence-aware fuzzing from random sequencing.
+    static constexpr int kShapeWeights[] = {0, 1, 1, 2, 2, 3,
+                                            4, 5, 6, 6, 7, 8, 8};
+    switch (kShapeWeights[rng_.NextBelow(std::size(kShapeWeights))]) {
+      case 0: {  // guarded setter: couples two state vars (write-then-read)
+        std::string src = RandomUintVar();
+        std::string dst = RandomUintVar();
+        functions_ += "  function " + name + "(uint256 a) public {\n";
+        functions_ += "    require(" + src + " " + Cmp() + " " + Lit(100) +
+                      ");\n";
+        functions_ += "    " + dst + " = a % 100000;\n  }\n";
+        break;
+      }
+      case 7: {  // strict-equality guard on a param (distance/solver bait)
+        std::string dst = RandomUintVar();
+        functions_ += "  function " + name + "(uint256 key) public {\n";
+        functions_ += "    if (key == " + Lit(900000) + ") {\n";
+        functions_ += "      " + dst + " = key;\n    }\n  }\n";
+        break;
+      }
+      case 8: {  // strict-equality guard on *state* another function sets —
+                 // order-sensitive (write-before-read) exploration bait
+        std::string gate = RandomUintVar();
+        std::string dst = RandomUintVar();
+        functions_ += "  function " + name + "(uint256 a) public {\n";
+        functions_ += "    if (" + gate + " == " + Lit(40) + ") {\n";
+        functions_ += "      if (a > " + Lit(60) + ") {\n";
+        functions_ += "        " + dst + " += 1;\n      }\n    }\n  }\n";
+        break;
+      }
+      case 1: {  // RAW accumulator with a branch-read variable
+        std::string acc = RandomUintVar();
+        std::string other = RandomUintVar();
+        functions_ += "  function " + name + "(uint256 a) public {\n";
+        functions_ += "    if (" + acc + " < " + Lit(500) + ") {\n";
+        functions_ += "      " + acc + " += a % 1000;\n";
+        functions_ += "    } else {\n";
+        functions_ += "      " + other + " = " + Lit(10) + ";\n";
+        functions_ += "    }\n  }\n";
+        break;
+      }
+      case 2: {  // nested guards up to max_nesting
+        int depth = 1 + static_cast<int>(rng_.NextBelow(
+                            static_cast<uint64_t>(params_.max_nesting)));
+        functions_ +=
+            "  function " + name + "(uint256 a, uint256 b) public {\n";
+        std::string indent = "    ";
+        for (int d = 0; d < depth; ++d) {
+          std::string guard =
+              (d % 2 == 0) ? RandomUintVar() + " " + Cmp() + " " + Lit(80)
+                           : (d % 3 == 1 ? "a" : "b") + std::string(" ") +
+                                 Cmp() + " " + Lit(200);
+          functions_ += indent + "if (" + guard + ") {\n";
+          indent += "  ";
+        }
+        functions_ += indent + RandomUintVar() + " = a % 1000 + b % 1000;\n";
+        for (int d = depth; d > 0; --d) {
+          indent.resize(indent.size() - 2);
+          functions_ += indent + "}\n";
+        }
+        functions_ += "  }\n";
+        break;
+      }
+      case 3: {  // payable deposit into the ledger
+        if (!params_.payable_functions) {
+          EmitFunction(index);  // re-roll
+          return;
+        }
+        std::string tracker = RandomUintVar();
+        has_payable_ = true;
+        functions_ += "  function " + name + "() public payable {\n";
+        functions_ += "    ledger[msg.sender] += msg.value;\n";
+        functions_ += "    " + tracker + " += 1;\n  }\n";
+        break;
+      }
+      case 4: {  // guarded withdrawal (transfer path)
+        has_ether_out_ = true;
+        functions_ += "  function " + name + "(uint256 amount) public {\n";
+        functions_ += "    require(ledger[msg.sender] >= amount);\n";
+        functions_ += "    ledger[msg.sender] -= amount;\n";
+        functions_ += "    msg.sender.transfer(amount);\n  }\n";
+        break;
+      }
+      case 5: {  // bounded loop accumulating into state
+        std::string acc = RandomUintVar();
+        functions_ += "  function " + name + "(uint256 n) public {\n";
+        functions_ += "    require(n < " + Lit(12) + ");\n";
+        functions_ += "    for (uint256 i = 0; i < n; i++) {\n";
+        functions_ += "      " + acc + " += i;\n    }\n  }\n";
+        break;
+      }
+      default: {  // stage machine: strict guard flips a flag another
+                  // function consumes
+        std::string stage = RandomUintVar();
+        std::string counter = RandomUintVar();
+        functions_ += "  function " + name + "() public {\n";
+        functions_ += "    " + counter + " += 1;\n";
+        functions_ += "    if (" + counter + " >= " + Lit(6) + ") {\n";
+        functions_ += "      " + stage + " = 1;\n    }\n  }\n";
+        break;
+      }
+    }
+    // Densify: roughly half the functions get a second small conditional
+    // tail so user branches dominate the dispatch scaffolding, as they do
+    // in real contracts.
+    if (rng_.Chance(0.5)) {
+      // Splice an extra statement before the function's closing brace.
+      size_t close = functions_.rfind("  }\n");
+      if (close != std::string::npos) {
+        std::string extra = "    if (" + RandomUintVar() + " " + Cmp() +
+                            " " + Lit(300) + ") {\n      " +
+                            RandomUintVar() + " += " + Lit(9) +
+                            ";\n    }\n";
+        functions_.insert(close, extra);
+      }
+    }
+  }
+
+  void MaybeInjectBug(CorpusEntry* entry) {
+    if (!rng_.Chance(params_.bug_probability)) return;
+    switch (rng_.NextBelow(6)) {
+      case 0:  // US behind a strict code gate
+        functions_ +=
+            "  function emergency(uint256 code) public {\n"
+            "    if (code == " + Lit(800000) +
+            ") { selfdestruct(msg.sender); }\n  }\n";
+        entry->ground_truth.push_back(BugClass::kUnprotectedSelfdestruct);
+        break;
+      case 1:  // BD
+        functions_ +=
+            "  function timed() public {\n"
+            "    if (block.timestamp % 5 == 0) { " + UintVar(0) +
+            " = block.number; }\n  }\n";
+        entry->ground_truth.push_back(BugClass::kBlockDependency);
+        break;
+      case 2:  // IO: unchecked multiplication on inputs
+        functions_ +=
+            "  function bonus(uint256 lots, uint256 price) public {\n"
+            "    ledger[msg.sender] += lots * price;\n  }\n";
+        entry->ground_truth.push_back(BugClass::kIntegerOverflow);
+        break;
+      case 3:  // UE: unchecked send
+        has_ether_out_ = true;
+        functions_ +=
+            "  function leak(address to) public {\n"
+            "    to.send(ledger[to]);\n    ledger[to] = 0;\n  }\n";
+        entry->ground_truth.push_back(BugClass::kUnhandledException);
+        break;
+      case 4:  // TO
+        has_ether_out_ = true;
+        functions_ +=
+            "  function adminPay(address to, uint256 a) public {\n"
+            "    require(tx.origin == owner);\n"
+            "    to.transfer(a);\n  }\n";
+        entry->ground_truth.push_back(BugClass::kTxOriginUse);
+        break;
+      default:  // RE: classic withdraw-before-zeroing, with its own primer
+        has_payable_ = true;
+        has_ether_out_ = true;
+        functions_ +=
+            "  function fastIn() public payable {\n"
+            "    ledger[msg.sender] += msg.value;\n  }\n"
+            "  function fastOut() public {\n"
+            "    uint256 amount = ledger[msg.sender];\n"
+            "    require(amount > 0);\n"
+            "    bool ok = msg.sender.call.value(amount)();\n"
+            "    require(ok);\n"
+            "    ledger[msg.sender] = 0;\n  }\n";
+        entry->ground_truth.push_back(BugClass::kReentrancy);
+        break;
+    }
+  }
+
+  const GeneratorParams& params_;
+  Rng rng_;
+  int num_uints_ = 0;
+  bool has_payable_ = false;
+  bool has_ether_out_ = false;
+  std::string state_decls_;
+  std::string ctor_;
+  std::string functions_;
+};
+
+}  // namespace
+
+CorpusEntry GenerateContract(const GeneratorParams& params, uint64_t seed) {
+  return ContractWriter(params, seed).Build();
+}
+
+}  // namespace mufuzz::corpus

@@ -1,0 +1,38 @@
+#ifndef MUFUZZ_CORPUS_GENERATOR_H_
+#define MUFUZZ_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "corpus/builtin.h"
+
+namespace mufuzz::corpus {
+
+/// Shape parameters for the random contract generator — the stand-in for
+/// the paper's Etherscan scrape (D1/D3). The generator emits MiniSol with
+/// the structural features MuFuzz's techniques target: stateful guards
+/// (write-before-read coupling between functions), RAW accumulators, deeply
+/// nested conditionals, strict equality guards, loops, payable flows, and —
+/// when `bug_probability` is nonzero — labeled vulnerability injections.
+struct GeneratorParams {
+  int num_functions = 5;
+  int num_state_vars = 4;
+  int max_nesting = 2;        ///< deepest generated if-nesting
+  double bug_probability = 0; ///< chance each contract gets one injected bug
+  bool payable_functions = true;
+
+  /// D1-small-ish contracts (<= 3632 instructions per the paper's split).
+  static GeneratorParams Small() { return {4, 3, 2, 0.0, true}; }
+  /// D1-large-ish contracts (> 3632 instructions).
+  static GeneratorParams Large() { return {14, 9, 4, 0.0, true}; }
+  /// D3-ish popular contracts: large and occasionally buggy (Table IV finds
+  /// alarms in 39 of 100 contracts).
+  static GeneratorParams RealWorld() { return {12, 8, 3, 0.45, true}; }
+};
+
+/// Generates one random contract (deterministic in `seed`).
+CorpusEntry GenerateContract(const GeneratorParams& params, uint64_t seed);
+
+}  // namespace mufuzz::corpus
+
+#endif  // MUFUZZ_CORPUS_GENERATOR_H_

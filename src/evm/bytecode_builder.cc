@@ -1,0 +1,38 @@
+#include "evm/bytecode_builder.h"
+
+namespace mufuzz::evm {
+
+void BytecodeBuilder::EmitPush(const U256& value) {
+  auto raw = value.ToBytesBE();
+  // Find the minimal byte width (at least one byte).
+  size_t first = 0;
+  while (first < 31 && raw[first] == 0) ++first;
+  size_t width = 32 - first;
+  code_.push_back(static_cast<uint8_t>(0x60 + width - 1));  // PUSHn
+  code_.insert(code_.end(), raw.begin() + first, raw.end());
+}
+
+void BytecodeBuilder::EmitPushLabel(Label label) {
+  code_.push_back(0x61);  // PUSH2
+  fixups_.push_back({code_.size(), label});
+  code_.push_back(0);
+  code_.push_back(0);
+}
+
+Result<Bytes> BytecodeBuilder::Assemble() const {
+  if (code_.size() > 0xffff) {
+    return Status::CodegenError("code exceeds PUSH2 address space");
+  }
+  Bytes out = code_;
+  for (const Fixup& fixup : fixups_) {
+    uint32_t target = label_offsets_[fixup.label];
+    if (target == kUnbound) {
+      return Status::CodegenError("unbound label referenced");
+    }
+    out[fixup.offset] = static_cast<uint8_t>(target >> 8);
+    out[fixup.offset + 1] = static_cast<uint8_t>(target & 0xff);
+  }
+  return out;
+}
+
+}  // namespace mufuzz::evm

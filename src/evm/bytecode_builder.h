@@ -1,0 +1,93 @@
+#ifndef MUFUZZ_EVM_BYTECODE_BUILDER_H_
+#define MUFUZZ_EVM_BYTECODE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/u256.h"
+#include "evm/opcodes.h"
+
+namespace mufuzz::evm {
+
+/// An EVM assembler with labels: the backend of the MiniSol code generator
+/// and the convenient way to hand-write fixtures in tests.
+///
+/// Jump targets are emitted as fixed-width PUSH2 placeholders and patched in
+/// Assemble(), so instruction offsets are final the moment they are emitted —
+/// the code generator relies on that to map AST branches to JUMPI pcs.
+class BytecodeBuilder {
+ public:
+  using Label = int;
+
+  /// Allocates a label to be bound later.
+  Label NewLabel() {
+    label_offsets_.push_back(kUnbound);
+    return static_cast<Label>(label_offsets_.size() - 1);
+  }
+
+  /// Binds `label` to the current offset and emits a JUMPDEST.
+  void Bind(Label label) {
+    label_offsets_[label] = static_cast<uint32_t>(code_.size());
+    Emit(Op::kJumpdest);
+  }
+
+  /// Appends a bare opcode.
+  void Emit(Op op) { code_.push_back(static_cast<uint8_t>(op)); }
+
+  /// Appends a raw byte (escape hatch).
+  void EmitRaw(uint8_t byte) { code_.push_back(byte); }
+
+  /// PUSHes `value` with the minimal width (PUSH1..PUSH32).
+  void EmitPush(const U256& value);
+  void EmitPush(uint64_t value) { EmitPush(U256(value)); }
+
+  /// PUSH2 of a label address, patched at Assemble time.
+  void EmitPushLabel(Label label);
+
+  /// Unconditional jump to `label`.
+  void EmitJump(Label label) {
+    EmitPushLabel(label);
+    Emit(Op::kJump);
+  }
+
+  /// Conditional jump: expects the condition on the stack; pushes the
+  /// destination (so dest is on top, per JUMPI's operand order) and emits
+  /// JUMPI. Returns the pc of the JUMPI instruction.
+  uint32_t EmitJumpI(Label label) {
+    EmitPushLabel(label);
+    uint32_t jumpi_pc = static_cast<uint32_t>(code_.size());
+    Emit(Op::kJumpi);
+    return jumpi_pc;
+  }
+
+  /// Emits PUSH1 0 twice + REVERT (revert with empty data).
+  void EmitRevert() {
+    EmitPush(uint64_t{0});
+    EmitPush(uint64_t{0});
+    Emit(Op::kRevert);
+  }
+
+  uint32_t CurrentOffset() const { return static_cast<uint32_t>(code_.size()); }
+
+  /// Resolves label fixups. Fails if any referenced label is unbound or the
+  /// code exceeds the PUSH2 address space.
+  Result<Bytes> Assemble() const;
+
+ private:
+  static constexpr uint32_t kUnbound = 0xffffffff;
+
+  struct Fixup {
+    size_t offset;  ///< position of the 2 placeholder bytes
+    Label label;
+  };
+
+  Bytes code_;
+  std::vector<uint32_t> label_offsets_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_BYTECODE_BUILDER_H_

@@ -1,0 +1,69 @@
+#ifndef MUFUZZ_EVM_EXECUTOR_H_
+#define MUFUZZ_EVM_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/address.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "evm/host.h"
+#include "evm/interpreter.h"
+#include "evm/world_state.h"
+
+namespace mufuzz::evm {
+
+/// One transaction as the fuzzer submits it.
+struct TransactionRequest {
+  Address to;
+  Address sender;
+  U256 value;
+  Bytes data;
+  uint64_t gas = 8000000;
+};
+
+/// A lightweight chain session: a world state plus an interpreter, with
+/// contract deployment and transaction application. This is the fixture the
+/// fuzzing campaign drives — it replaces the paper's private Ethereum node.
+class ChainSession {
+ public:
+  ChainSession(Host* host, BlockContext block = BlockContext(),
+               EvmConfig config = EvmConfig());
+
+  /// Deploys a contract: installs the constructor code, executes it with
+  /// `ctor_args` as calldata (writing initial storage), then installs the
+  /// runtime code. Returns the new contract address.
+  Result<Address> Deploy(const Bytes& runtime_code, const Bytes& ctor_code,
+                         const Bytes& ctor_args, const Address& deployer,
+                         const U256& value);
+
+  /// Applies one transaction and advances the block (number +1, timestamp
+  /// +13s), so block-state reads vary across a sequence.
+  ExecResult Apply(const TransactionRequest& tx);
+
+  /// Gives `addr` a balance (fuzzer senders get deep pockets).
+  void FundAccount(const Address& addr, const U256& balance);
+
+  WorldState& state() { return state_; }
+  const WorldState& state() const { return state_; }
+  Interpreter& interpreter() { return interpreter_; }
+
+  /// Snapshot/restore of the full session (world state + block context),
+  /// used to rewind to the post-deployment state between fuzz runs.
+  struct SessionSnapshot {
+    size_t state_snapshot;
+    BlockContext block;
+  };
+  SessionSnapshot Snapshot();
+  void Restore(const SessionSnapshot& snap);
+
+ private:
+  WorldState state_;
+  Interpreter interpreter_;
+  BlockContext block_;
+  uint64_t next_contract_nonce_ = 1;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_EXECUTOR_H_

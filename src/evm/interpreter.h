@@ -1,0 +1,116 @@
+#ifndef MUFUZZ_EVM_INTERPRETER_H_
+#define MUFUZZ_EVM_INTERPRETER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/address.h"
+#include "common/bytes.h"
+#include "common/u256.h"
+#include "evm/host.h"
+#include "evm/trace.h"
+#include "evm/world_state.h"
+
+namespace mufuzz::evm {
+
+/// Interpreter limits. The step cap is a belt-and-braces guard on top of gas
+/// so a mis-priced loop cannot wedge a fuzzing campaign.
+struct EvmConfig {
+  uint64_t tx_gas_limit = 10000000;
+  int max_call_depth = 12;
+  uint64_t max_steps = 2000000;
+};
+
+/// A message call to execute: `to` receives the call and supplies the storage
+/// context; `code_address` supplies the code (differs from `to` only for
+/// DELEGATECALL).
+struct MessageCall {
+  Address to;
+  Address code_address;
+  Address caller;
+  Address origin;
+  U256 value;
+  Bytes data;
+  uint64_t gas = 0;
+  bool is_static = false;
+  int depth = 0;
+};
+
+/// Why an execution frame stopped.
+enum class Outcome {
+  kSuccess,       ///< STOP / RETURN / SELFDESTRUCT
+  kRevert,        ///< REVERT
+  kOutOfGas,
+  kInvalidOp,     ///< INVALID or undefined opcode
+  kStackError,    ///< under/overflow
+  kBadJump,       ///< jump target is not a JUMPDEST
+  kMemoryError,   ///< memory expansion beyond the cap
+  kDepthExceeded,
+  kStepLimit,
+  kStaticViolation,  ///< state mutation inside STATICCALL
+  kBalanceError,     ///< value transfer without funds
+};
+
+const char* OutcomeToString(Outcome outcome);
+
+/// Result of one message call (or one transaction at depth zero).
+struct ExecResult {
+  Outcome outcome = Outcome::kSuccess;
+  Bytes output;
+  uint64_t gas_used = 0;
+
+  bool Success() const { return outcome == Outcome::kSuccess; }
+  bool Reverted() const { return outcome == Outcome::kRevert; }
+};
+
+/// The EVM bytecode interpreter with instrumentation hooks.
+///
+/// One instance executes transactions against a WorldState. Nested CALLs to
+/// in-state contracts recurse internally; calls to code-less addresses are
+/// delegated to the Host (which may re-enter via ReentryHandle). The observer
+/// receives branch, call, store, overflow, and taint events — the feedback
+/// channels MuFuzz's three components consume.
+class Interpreter : public ReentryHandle {
+ public:
+  Interpreter(WorldState* state, Host* host, BlockContext block,
+              EvmConfig config = EvmConfig());
+
+  /// Observer for instrumentation events; may be nullptr.
+  void set_observer(ExecObserver* observer) { observer_ = observer; }
+
+  /// Executes a top-level message call. Reverts all state changes if the
+  /// outcome is not success. Comparison records and call ids reset per call.
+  ExecResult ExecuteTransaction(const MessageCall& call);
+
+  /// Comparison records accumulated during the last ExecuteTransaction;
+  /// BranchEvent::cmp_id indexes into this.
+  const std::vector<CmpRecord>& cmp_records() const { return cmp_records_; }
+
+  /// ReentryHandle: used by adversarial hosts to call back into contracts.
+  bool Reenter(const Address& target, const Address& sender,
+               const U256& value, const Bytes& data, uint64_t gas) override;
+
+  const BlockContext& block() const { return block_; }
+  void set_block(const BlockContext& block) { block_ = block; }
+
+ private:
+  friend class Frame;
+  /// Runs one call frame (recursively for nested calls). State snapshots for
+  /// nested frames are managed by the caller of RunFrame.
+  ExecResult RunFrame(const MessageCall& call);
+
+  WorldState* state_;
+  Host* host_;
+  BlockContext block_;
+  EvmConfig config_;
+  ExecObserver* observer_ = nullptr;
+
+  std::vector<CmpRecord> cmp_records_;
+  int32_t next_call_id_ = 0;
+  uint64_t steps_ = 0;
+  int reenter_depth_ = 0;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_INTERPRETER_H_

@@ -1,0 +1,50 @@
+#ifndef MUFUZZ_EVM_MEMORY_H_
+#define MUFUZZ_EVM_MEMORY_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/u256.h"
+
+namespace mufuzz::evm {
+
+/// Byte-addressed, word-expandable EVM memory.
+///
+/// Expansion is capped (kMaxBytes) so hostile offsets fail fast instead of
+/// allocating; the interpreter treats a failed expansion as out-of-gas.
+class Memory {
+ public:
+  static constexpr size_t kMaxBytes = 1u << 21;  // 2 MiB per frame.
+
+  /// Expands to cover [offset, offset+len). Returns false if the request
+  /// exceeds the cap or overflows.
+  bool Expand(uint64_t offset, uint64_t len);
+
+  /// Reads 32 bytes at `offset` as a big-endian word (expanding as needed).
+  bool Load32(uint64_t offset, U256* out);
+
+  /// Writes a 32-byte big-endian word at `offset`.
+  bool Store32(uint64_t offset, const U256& value);
+
+  /// Writes a single byte.
+  bool Store8(uint64_t offset, uint8_t value);
+
+  /// Copies `len` bytes from `src` (zero-padded past its end, as CALLDATACOPY
+  /// does) into memory at `offset`.
+  bool CopyIn(uint64_t offset, BytesView src, uint64_t src_offset,
+              uint64_t len);
+
+  /// Returns a copy of [offset, offset+len) (expanding as needed).
+  bool CopyOut(uint64_t offset, uint64_t len, Bytes* out);
+
+  size_t size() const { return data_.size(); }
+  /// Number of 32-byte words currently allocated (MSIZE).
+  uint64_t SizeWords() const { return (data_.size() + 31) / 32; }
+
+ private:
+  Bytes data_;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_MEMORY_H_

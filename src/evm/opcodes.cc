@@ -1,0 +1,181 @@
+#include "evm/opcodes.h"
+
+#include <array>
+
+namespace mufuzz::evm {
+
+namespace {
+
+struct OpTable {
+  std::array<OpInfo, 256> entries;
+
+  constexpr OpTable() : entries{} {
+    for (auto& e : entries) {
+      e = OpInfo{"UNDEFINED", 0, 0, 0, 0, false};
+    }
+    auto def = [&](uint8_t code, const char* name, int in, int out,
+                   uint16_t gas, uint8_t imm = 0) {
+      entries[code] = OpInfo{name, in, out, gas, imm, true};
+    };
+    def(0x00, "STOP", 0, 0, 0);
+    def(0x01, "ADD", 2, 1, 3);
+    def(0x02, "MUL", 2, 1, 5);
+    def(0x03, "SUB", 2, 1, 3);
+    def(0x04, "DIV", 2, 1, 5);
+    def(0x05, "SDIV", 2, 1, 5);
+    def(0x06, "MOD", 2, 1, 5);
+    def(0x07, "SMOD", 2, 1, 5);
+    def(0x08, "ADDMOD", 3, 1, 8);
+    def(0x09, "MULMOD", 3, 1, 8);
+    def(0x0a, "EXP", 2, 1, 10);
+    def(0x0b, "SIGNEXTEND", 2, 1, 5);
+
+    def(0x10, "LT", 2, 1, 3);
+    def(0x11, "GT", 2, 1, 3);
+    def(0x12, "SLT", 2, 1, 3);
+    def(0x13, "SGT", 2, 1, 3);
+    def(0x14, "EQ", 2, 1, 3);
+    def(0x15, "ISZERO", 1, 1, 3);
+    def(0x16, "AND", 2, 1, 3);
+    def(0x17, "OR", 2, 1, 3);
+    def(0x18, "XOR", 2, 1, 3);
+    def(0x19, "NOT", 1, 1, 3);
+    def(0x1a, "BYTE", 2, 1, 3);
+    def(0x1b, "SHL", 2, 1, 3);
+    def(0x1c, "SHR", 2, 1, 3);
+    def(0x1d, "SAR", 2, 1, 3);
+
+    def(0x20, "KECCAK256", 2, 1, 30);
+
+    def(0x30, "ADDRESS", 0, 1, 2);
+    def(0x31, "BALANCE", 1, 1, 400);
+    def(0x32, "ORIGIN", 0, 1, 2);
+    def(0x33, "CALLER", 0, 1, 2);
+    def(0x34, "CALLVALUE", 0, 1, 2);
+    def(0x35, "CALLDATALOAD", 1, 1, 3);
+    def(0x36, "CALLDATASIZE", 0, 1, 2);
+    def(0x37, "CALLDATACOPY", 3, 0, 3);
+    def(0x38, "CODESIZE", 0, 1, 2);
+    def(0x39, "CODECOPY", 3, 0, 3);
+    def(0x3a, "GASPRICE", 0, 1, 2);
+    def(0x3d, "RETURNDATASIZE", 0, 1, 2);
+    def(0x3e, "RETURNDATACOPY", 3, 0, 3);
+
+    def(0x40, "BLOCKHASH", 1, 1, 20);
+    def(0x41, "COINBASE", 0, 1, 2);
+    def(0x42, "TIMESTAMP", 0, 1, 2);
+    def(0x43, "NUMBER", 0, 1, 2);
+    def(0x44, "DIFFICULTY", 0, 1, 2);
+    def(0x45, "GASLIMIT", 0, 1, 2);
+    def(0x47, "SELFBALANCE", 0, 1, 5);
+
+    def(0x50, "POP", 1, 0, 2);
+    def(0x51, "MLOAD", 1, 1, 3);
+    def(0x52, "MSTORE", 2, 0, 3);
+    def(0x53, "MSTORE8", 2, 0, 3);
+    def(0x54, "SLOAD", 1, 1, 200);
+    def(0x55, "SSTORE", 2, 0, 5000);
+    def(0x56, "JUMP", 1, 0, 8);
+    def(0x57, "JUMPI", 2, 0, 10);
+    def(0x58, "PC", 0, 1, 2);
+    def(0x59, "MSIZE", 0, 1, 2);
+    def(0x5a, "GAS", 0, 1, 2);
+    def(0x5b, "JUMPDEST", 0, 0, 1);
+
+    constexpr const char* kPushNames[32] = {
+        "PUSH1",  "PUSH2",  "PUSH3",  "PUSH4",  "PUSH5",  "PUSH6",  "PUSH7",
+        "PUSH8",  "PUSH9",  "PUSH10", "PUSH11", "PUSH12", "PUSH13", "PUSH14",
+        "PUSH15", "PUSH16", "PUSH17", "PUSH18", "PUSH19", "PUSH20", "PUSH21",
+        "PUSH22", "PUSH23", "PUSH24", "PUSH25", "PUSH26", "PUSH27", "PUSH28",
+        "PUSH29", "PUSH30", "PUSH31", "PUSH32"};
+    for (int i = 0; i < 32; ++i) {
+      def(static_cast<uint8_t>(0x60 + i), kPushNames[i], 0, 1, 3,
+          static_cast<uint8_t>(i + 1));
+    }
+    constexpr const char* kDupNames[16] = {
+        "DUP1",  "DUP2",  "DUP3",  "DUP4",  "DUP5",  "DUP6",  "DUP7",  "DUP8",
+        "DUP9",  "DUP10", "DUP11", "DUP12", "DUP13", "DUP14", "DUP15", "DUP16"};
+    for (int i = 0; i < 16; ++i) {
+      def(static_cast<uint8_t>(0x80 + i), kDupNames[i], i + 1, i + 2, 3);
+    }
+    constexpr const char* kSwapNames[16] = {
+        "SWAP1",  "SWAP2",  "SWAP3",  "SWAP4",  "SWAP5",  "SWAP6",
+        "SWAP7",  "SWAP8",  "SWAP9",  "SWAP10", "SWAP11", "SWAP12",
+        "SWAP13", "SWAP14", "SWAP15", "SWAP16"};
+    for (int i = 0; i < 16; ++i) {
+      def(static_cast<uint8_t>(0x90 + i), kSwapNames[i], i + 2, i + 2, 3);
+    }
+    constexpr const char* kLogNames[5] = {"LOG0", "LOG1", "LOG2", "LOG3",
+                                          "LOG4"};
+    for (int i = 0; i < 5; ++i) {
+      def(static_cast<uint8_t>(0xa0 + i), kLogNames[i], i + 2, 0,
+          static_cast<uint16_t>(375 + 375 * i));
+    }
+
+    def(0xf0, "CREATE", 3, 1, 32000);
+    def(0xf1, "CALL", 7, 1, 700);
+    def(0xf2, "CALLCODE", 7, 1, 700);
+    def(0xf3, "RETURN", 2, 0, 0);
+    def(0xf4, "DELEGATECALL", 6, 1, 700);
+    def(0xfa, "STATICCALL", 6, 1, 700);
+    def(0xfd, "REVERT", 2, 0, 0);
+    def(0xfe, "INVALID", 0, 0, 0);
+    def(0xff, "SELFDESTRUCT", 1, 0, 5000);
+  }
+};
+
+const OpTable kTable;
+
+}  // namespace
+
+const OpInfo& GetOpInfo(uint8_t opcode) { return kTable.entries[opcode]; }
+
+bool IsBlockTerminator(uint8_t opcode) {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kStop:
+    case Op::kJump:
+    case Op::kJumpi:
+    case Op::kReturn:
+    case Op::kRevert:
+    case Op::kInvalid:
+    case Op::kSelfdestruct:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBlockStateRead(uint8_t opcode) {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kBlockhash:
+    case Op::kCoinbase:
+    case Op::kTimestamp:
+    case Op::kNumber:
+    case Op::kDifficulty:
+    case Op::kGaslimit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsVulnerableInstruction(uint8_t opcode) {
+  if (IsBlockStateRead(opcode)) return true;
+  switch (static_cast<Op>(opcode)) {
+    case Op::kCall:
+    case Op::kDelegatecall:
+    case Op::kSelfdestruct:
+    case Op::kBalance:
+    case Op::kOrigin:
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kSub:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string OpName(uint8_t opcode) { return GetOpInfo(opcode).name; }
+
+}  // namespace mufuzz::evm

@@ -1,0 +1,156 @@
+#ifndef MUFUZZ_EVM_OPCODES_H_
+#define MUFUZZ_EVM_OPCODES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mufuzz::evm {
+
+/// EVM opcodes (the subset a Solidity-style compiler emits, which is what the
+/// MiniSol code generator produces and the interpreter executes).
+enum class Op : uint8_t {
+  kStop = 0x00,
+  kAdd = 0x01,
+  kMul = 0x02,
+  kSub = 0x03,
+  kDiv = 0x04,
+  kSdiv = 0x05,
+  kMod = 0x06,
+  kSmod = 0x07,
+  kAddmod = 0x08,
+  kMulmod = 0x09,
+  kExp = 0x0a,
+  kSignextend = 0x0b,
+
+  kLt = 0x10,
+  kGt = 0x11,
+  kSlt = 0x12,
+  kSgt = 0x13,
+  kEq = 0x14,
+  kIszero = 0x15,
+  kAnd = 0x16,
+  kOr = 0x17,
+  kXor = 0x18,
+  kNot = 0x19,
+  kByte = 0x1a,
+  kShl = 0x1b,
+  kShr = 0x1c,
+  kSar = 0x1d,
+
+  kKeccak256 = 0x20,
+
+  kAddress = 0x30,
+  kBalance = 0x31,
+  kOrigin = 0x32,
+  kCaller = 0x33,
+  kCallvalue = 0x34,
+  kCalldataload = 0x35,
+  kCalldatasize = 0x36,
+  kCalldatacopy = 0x37,
+  kCodesize = 0x38,
+  kCodecopy = 0x39,
+  kGasprice = 0x3a,
+  kReturndatasize = 0x3d,
+  kReturndatacopy = 0x3e,
+
+  kBlockhash = 0x40,
+  kCoinbase = 0x41,
+  kTimestamp = 0x42,
+  kNumber = 0x43,
+  kDifficulty = 0x44,
+  kGaslimit = 0x45,
+  kSelfbalance = 0x47,
+
+  kPop = 0x50,
+  kMload = 0x51,
+  kMstore = 0x52,
+  kMstore8 = 0x53,
+  kSload = 0x54,
+  kSstore = 0x55,
+  kJump = 0x56,
+  kJumpi = 0x57,
+  kPc = 0x58,
+  kMsize = 0x59,
+  kGas = 0x5a,
+  kJumpdest = 0x5b,
+
+  kPush1 = 0x60,
+  // ... PUSH2..PUSH31 fill 0x61..0x7e ...
+  kPush32 = 0x7f,
+  kDup1 = 0x80,
+  kDup16 = 0x8f,
+  kSwap1 = 0x90,
+  kSwap16 = 0x9f,
+  kLog0 = 0xa0,
+  kLog4 = 0xa4,
+
+  kCreate = 0xf0,
+  kCall = 0xf1,
+  kCallcode = 0xf2,
+  kReturn = 0xf3,
+  kDelegatecall = 0xf4,
+  kStaticcall = 0xfa,
+  kRevert = 0xfd,
+  kInvalid = 0xfe,
+  kSelfdestruct = 0xff,
+};
+
+/// Static metadata for one opcode.
+struct OpInfo {
+  const char* name;     ///< Mnemonic ("ADD", "PUSH3", ...).
+  int stack_inputs;     ///< Words popped.
+  int stack_outputs;    ///< Words pushed.
+  uint16_t gas;         ///< Simplified static gas cost.
+  uint8_t immediate;    ///< Trailing immediate bytes (PUSHn only).
+  bool defined;         ///< False for holes in the opcode space.
+};
+
+/// Returns metadata for a raw opcode byte. Undefined opcodes return an entry
+/// with defined == false and name "UNDEFINED".
+const OpInfo& GetOpInfo(uint8_t opcode);
+
+inline const OpInfo& GetOpInfo(Op op) {
+  return GetOpInfo(static_cast<uint8_t>(op));
+}
+
+/// True for PUSH1..PUSH32.
+inline bool IsPush(uint8_t opcode) { return opcode >= 0x60 && opcode <= 0x7f; }
+/// Number of immediate bytes for a PUSH opcode (1..32).
+inline int PushSize(uint8_t opcode) { return opcode - 0x5f; }
+/// True for DUP1..DUP16.
+inline bool IsDup(uint8_t opcode) { return opcode >= 0x80 && opcode <= 0x8f; }
+/// DUP depth (1..16).
+inline int DupDepth(uint8_t opcode) { return opcode - 0x7f; }
+/// True for SWAP1..SWAP16.
+inline bool IsSwap(uint8_t opcode) { return opcode >= 0x90 && opcode <= 0x9f; }
+/// SWAP depth (1..16).
+inline int SwapDepth(uint8_t opcode) { return opcode - 0x8f; }
+/// True for LOG0..LOG4.
+inline bool IsLog(uint8_t opcode) { return opcode >= 0xa0 && opcode <= 0xa4; }
+/// Number of topics for a LOG opcode.
+inline int LogTopics(uint8_t opcode) { return opcode - 0xa0; }
+
+/// True for instructions that terminate a basic block.
+bool IsBlockTerminator(uint8_t opcode);
+
+/// True for comparison instructions (LT, GT, SLT, SGT, EQ).
+inline bool IsComparison(uint8_t opcode) {
+  return opcode >= 0x10 && opcode <= 0x14;
+}
+
+/// True for instructions reading block state (TIMESTAMP, NUMBER, ...), the
+/// trigger set of the block-dependency oracle.
+bool IsBlockStateRead(uint8_t opcode);
+
+/// True for "vulnerable instructions" in the sense of MuFuzz §IV-C: opcodes
+/// whose presence marks a branch as potentially harboring a bug (CALL with
+/// value, DELEGATECALL, SELFDESTRUCT, block-state reads, BALANCE, ORIGIN,
+/// and wrapping arithmetic).
+bool IsVulnerableInstruction(uint8_t opcode);
+
+/// Renders the mnemonic, e.g. "PUSH4" or "ADD".
+std::string OpName(uint8_t opcode);
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_OPCODES_H_

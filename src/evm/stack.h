@@ -1,0 +1,79 @@
+#ifndef MUFUZZ_EVM_STACK_H_
+#define MUFUZZ_EVM_STACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/u256.h"
+#include "evm/taint.h"
+
+namespace mufuzz::evm {
+
+/// A stack word plus the instrumentation the fuzzer feeds on: a taint mask,
+/// an optional comparison-record id (for branch distance), and an optional
+/// originating-call id (for the unhandled-exception oracle).
+struct Word {
+  U256 value;
+  uint32_t taint = kTaintNone;
+  int32_t cmp_id = -1;   ///< Index into the frame's comparison-record table.
+  int32_t call_id = -1;  ///< Id of the CALL that produced this status word.
+
+  Word() = default;
+  explicit Word(U256 v) : value(std::move(v)) {}
+  Word(U256 v, uint32_t t) : value(std::move(v)), taint(t) {}
+};
+
+/// EVM operand stack, limited to 1024 entries like the real machine.
+///
+/// Over/underflow are reported by returning false; the interpreter converts
+/// that into an execution failure (no exceptions in library code).
+class Stack {
+ public:
+  static constexpr size_t kMaxDepth = 1024;
+
+  bool Push(Word w) {
+    if (items_.size() >= kMaxDepth) return false;
+    items_.push_back(std::move(w));
+    return true;
+  }
+
+  bool Pop(Word* out) {
+    if (items_.empty()) return false;
+    *out = std::move(items_.back());
+    items_.pop_back();
+    return true;
+  }
+
+  /// Peeks `depth` items below the top (0 == top). Returns nullptr when the
+  /// stack is too shallow.
+  const Word* Peek(size_t depth = 0) const {
+    if (depth >= items_.size()) return nullptr;
+    return &items_[items_.size() - 1 - depth];
+  }
+
+  /// DUPn: duplicates the item `depth-1` below the top onto the top.
+  bool Dup(int depth) {
+    if (static_cast<size_t>(depth) > items_.size()) return false;
+    if (items_.size() >= kMaxDepth) return false;
+    items_.push_back(items_[items_.size() - depth]);
+    return true;
+  }
+
+  /// SWAPn: swaps the top with the item `depth` below it.
+  bool Swap(int depth) {
+    if (items_.size() < static_cast<size_t>(depth) + 1) return false;
+    std::swap(items_.back(), items_[items_.size() - 1 - depth]);
+    return true;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void Clear() { items_.clear(); }
+
+ private:
+  std::vector<Word> items_;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_STACK_H_

@@ -1,0 +1,26 @@
+#include "evm/taint.h"
+
+namespace mufuzz::evm {
+
+std::string TaintToString(uint32_t taint) {
+  if (taint == kTaintNone) return "none";
+  static constexpr struct {
+    TaintBit bit;
+    const char* name;
+  } kNames[] = {
+      {kTaintBlock, "block"},           {kTaintCalldata, "calldata"},
+      {kTaintCaller, "caller"},         {kTaintOrigin, "origin"},
+      {kTaintBalance, "balance"},       {kTaintCallResult, "call_result"},
+      {kTaintCallValue, "call_value"},  {kTaintStorage, "storage"},
+  };
+  std::string out;
+  for (const auto& entry : kNames) {
+    if (taint & entry.bit) {
+      if (!out.empty()) out += "|";
+      out += entry.name;
+    }
+  }
+  return out;
+}
+
+}  // namespace mufuzz::evm

@@ -1,0 +1,29 @@
+#ifndef MUFUZZ_EVM_TAINT_H_
+#define MUFUZZ_EVM_TAINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mufuzz::evm {
+
+/// Taint sources tracked per stack word. The bug oracles (§IV-D) are built on
+/// these flows: e.g. block dependency = kBlock taint reaching a JUMPI/CALL,
+/// strict ether equality = kBalance taint reaching an EQ that feeds a JUMPI.
+enum TaintBit : uint32_t {
+  kTaintNone = 0,
+  kTaintBlock = 1u << 0,       ///< TIMESTAMP, NUMBER, COINBASE, ...
+  kTaintCalldata = 1u << 1,    ///< CALLDATALOAD / CALLDATACOPY
+  kTaintCaller = 1u << 2,      ///< CALLER (msg.sender)
+  kTaintOrigin = 1u << 3,      ///< ORIGIN (tx.origin)
+  kTaintBalance = 1u << 4,     ///< BALANCE / SELFBALANCE
+  kTaintCallResult = 1u << 5,  ///< status word pushed by CALL-family ops
+  kTaintCallValue = 1u << 6,   ///< CALLVALUE (msg.value)
+  kTaintStorage = 1u << 7,     ///< SLOAD result
+};
+
+/// Renders a taint mask as "block|calldata" (or "none").
+std::string TaintToString(uint32_t taint);
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_TAINT_H_

@@ -1,0 +1,60 @@
+#include "evm/trace.h"
+
+namespace mufuzz::evm {
+
+namespace {
+
+uint64_t SaturatingAdd1(uint64_t v) { return v == UINT64_MAX ? v : v + 1; }
+
+}  // namespace
+
+uint64_t BranchDistance(const CmpRecord& cmp, bool want_true) {
+  // An ISZERO chain flips the target polarity.
+  bool target = cmp.negated ? !want_true : want_true;
+  const U256& a = cmp.a;
+  const U256& b = cmp.b;
+  switch (cmp.op) {
+    case CmpOp::kEq:
+      if (target) {
+        return U256::AbsDiffSaturated(a, b);  // want a == b
+      }
+      return (a == b) ? 1 : 0;  // want a != b
+    case CmpOp::kLt:
+      if (target) {
+        // want a < b: distance 0 when true, else a-b+1.
+        return (a < b) ? 0 : SaturatingAdd1(U256::AbsDiffSaturated(a, b));
+      }
+      // want a >= b.
+      return (a < b) ? U256::AbsDiffSaturated(b, a) : 0;
+    case CmpOp::kGt:
+      if (target) {
+        return (a > b) ? 0 : SaturatingAdd1(U256::AbsDiffSaturated(a, b));
+      }
+      return (a > b) ? U256::AbsDiffSaturated(a, b) : 0;
+    case CmpOp::kSlt: {
+      // Signed comparisons: use the unsigned distance of the two's-complement
+      // difference, which is monotone in how far apart the values are.
+      bool is_true = a.Slt(b);
+      if (target) {
+        return is_true ? 0 : SaturatingAdd1(U256::AbsDiffSaturated(a, b));
+      }
+      return is_true ? U256::AbsDiffSaturated(b, a) : 0;
+    }
+    case CmpOp::kSgt: {
+      bool is_true = a.Sgt(b);
+      if (target) {
+        return is_true ? 0 : SaturatingAdd1(U256::AbsDiffSaturated(a, b));
+      }
+      return is_true ? U256::AbsDiffSaturated(a, b) : 0;
+    }
+    case CmpOp::kIsZero:
+      if (target) {
+        // want a == 0.
+        return a.FitsU64() ? a.low64() : UINT64_MAX;
+      }
+      return a.IsZero() ? 1 : 0;
+  }
+  return UINT64_MAX;
+}
+
+}  // namespace mufuzz::evm

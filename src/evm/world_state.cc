@@ -1,0 +1,37 @@
+#include "evm/world_state.h"
+
+namespace mufuzz::evm {
+
+bool WorldState::Transfer(const Address& from, const Address& to,
+                          const U256& value) {
+  if (value.IsZero()) return true;
+  Account& src = GetOrCreate(from);
+  if (src.balance < value) return false;
+  src.balance = src.balance - value;
+  GetOrCreate(to).balance = GetOrCreate(to).balance + value;
+  return true;
+}
+
+size_t WorldState::Snapshot() {
+  snapshots_.push_back(accounts_);
+  return snapshots_.size() - 1;
+}
+
+void WorldState::RevertTo(size_t id) {
+  if (id >= snapshots_.size()) return;
+  accounts_ = std::move(snapshots_[id]);
+  snapshots_.resize(id);
+}
+
+void WorldState::Commit(size_t id) {
+  if (id >= snapshots_.size()) return;
+  snapshots_.resize(id);
+}
+
+void WorldState::RestoreKeep(size_t id) {
+  if (id >= snapshots_.size()) return;
+  accounts_ = snapshots_[id];
+  snapshots_.resize(id + 1);
+}
+
+}  // namespace mufuzz::evm

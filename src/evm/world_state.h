@@ -1,0 +1,130 @@
+#ifndef MUFUZZ_EVM_WORLD_STATE_H_
+#define MUFUZZ_EVM_WORLD_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/address.h"
+#include "common/bytes.h"
+#include "common/u256.h"
+
+namespace mufuzz::evm {
+
+/// Persistent key-value storage of one account (the contract Storage of
+/// §II-A). Missing keys read as zero; writing zero erases the key so that
+/// snapshots stay compact.
+///
+/// Alongside each slot a taint mask is kept so that flows like "block
+/// timestamp written by tx1, branched on by tx2" survive across transactions
+/// — the oracles need sequence-level taint, not just intra-transaction taint.
+class Storage {
+ public:
+  U256 Load(const U256& key) const {
+    auto it = slots_.find(key);
+    return it == slots_.end() ? U256::Zero() : it->second;
+  }
+
+  /// Taint recorded by the most recent store to `key` (kTaintNone if unset).
+  uint32_t LoadTaint(const U256& key) const {
+    auto it = taints_.find(key);
+    return it == taints_.end() ? 0 : it->second;
+  }
+
+  void Store(const U256& key, const U256& value, uint32_t taint = 0) {
+    if (value.IsZero()) {
+      slots_.erase(key);
+    } else {
+      slots_[key] = value;
+    }
+    if (taint == 0) {
+      taints_.erase(key);
+    } else {
+      taints_[key] = taint;
+    }
+  }
+
+  size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+  void Clear() {
+    slots_.clear();
+    taints_.clear();
+  }
+
+  const std::unordered_map<U256, U256, U256::Hasher>& slots() const {
+    return slots_;
+  }
+
+ private:
+  std::unordered_map<U256, U256, U256::Hasher> slots_;
+  std::unordered_map<U256, uint32_t, U256::Hasher> taints_;
+};
+
+/// One blockchain account: balance, code, and storage.
+struct Account {
+  U256 balance;
+  Bytes code;
+  Storage storage;
+  bool self_destructed = false;
+
+  bool HasCode() const { return !code.empty(); }
+};
+
+/// The mutable world the fuzzer executes against: a map of accounts with
+/// whole-state snapshot/restore. Snapshots are plain copies — contract state
+/// at fuzzing scale is tiny, and copying keeps revert semantics trivially
+/// correct (failed transactions must leave no trace, §IV's fresh-state runs).
+class WorldState {
+ public:
+  /// Returns the account, creating an empty one on first touch.
+  Account& GetOrCreate(const Address& addr) { return accounts_[addr]; }
+
+  /// Returns the account or nullptr if it was never created.
+  const Account* Find(const Address& addr) const {
+    auto it = accounts_.find(addr);
+    return it == accounts_.end() ? nullptr : &it->second;
+  }
+  Account* FindMutable(const Address& addr) {
+    auto it = accounts_.find(addr);
+    return it == accounts_.end() ? nullptr : &it->second;
+  }
+
+  U256 GetBalance(const Address& addr) const {
+    const Account* a = Find(addr);
+    return a ? a->balance : U256::Zero();
+  }
+
+  void SetBalance(const Address& addr, const U256& value) {
+    GetOrCreate(addr).balance = value;
+  }
+
+  /// Moves `value` from `from` to `to`; false if `from` lacks funds.
+  bool Transfer(const Address& from, const Address& to, const U256& value);
+
+  /// Installs code at an address (deployment).
+  void SetCode(const Address& addr, Bytes code) {
+    GetOrCreate(addr).code = std::move(code);
+  }
+
+  /// Snapshot id for later revert. Snapshots nest (stack discipline).
+  size_t Snapshot();
+  /// Reverts to (and discards) snapshot `id` and all later snapshots.
+  void RevertTo(size_t id);
+  /// Discards snapshot `id` and later ones without reverting.
+  void Commit(size_t id);
+  /// Restores the state captured by snapshot `id` but keeps the snapshot
+  /// alive, so it can be restored again — the fuzzer rewinds to the
+  /// post-deployment state before every sequence execution.
+  void RestoreKeep(size_t id);
+
+  size_t account_count() const { return accounts_.size(); }
+
+ private:
+  std::unordered_map<Address, Account, Address::Hasher> accounts_;
+  std::vector<std::unordered_map<Address, Account, Address::Hasher>>
+      snapshots_;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_WORLD_STATE_H_

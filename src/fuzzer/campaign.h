@@ -1,0 +1,143 @@
+#ifndef MUFUZZ_FUZZER_CAMPAIGN_H_
+#define MUFUZZ_FUZZER_CAMPAIGN_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/bug_types.h"
+#include "analysis/dependency_graph.h"
+#include "analysis/statevar_analysis.h"
+#include "common/rng.h"
+#include "evm/executor.h"
+#include "fuzzer/abi_codec.h"
+#include "fuzzer/coverage.h"
+#include "fuzzer/energy.h"
+#include "fuzzer/fuzzing_host.h"
+#include "fuzzer/mask.h"
+#include "fuzzer/sequence.h"
+#include "fuzzer/strategy.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::fuzzer {
+
+/// Campaign knobs. Budgets are in sequence executions, the substrate-neutral
+/// analogue of the paper's 10/20-minute wall-clock budgets (documented in
+/// EXPERIMENTS.md).
+struct CampaignConfig {
+  StrategyConfig strategy;
+  uint64_t seed = 1;
+  int max_executions = 1500;    ///< sequence executions
+  int initial_seeds = 4;
+  int base_energy = 6;          ///< mutations per selected seed
+  double call_failure_probability = 0.25;
+  U256 initial_contract_balance = U256(100) * U256::PowerOfTen(18);
+  int coverage_samples = 25;    ///< points on the coverage-over-time curve
+  int mask_stride_divisor = 8;  ///< mask sampling density (len / divisor)
+};
+
+/// Everything a campaign produces — the raw material of every table/figure.
+struct CampaignResult {
+  /// Branch coverage over all JUMPI directions, in [0, 1].
+  double branch_coverage = 0;
+  /// Coverage restricted to user-level branches (if/while/for/require/
+  /// transfer-check) — the source-level view used in the §V-E case study.
+  double user_branch_coverage = 0;
+  size_t covered_branches = 0;
+  int total_jumpis = 0;
+  /// (executions, coverage fraction) samples over the run.
+  std::vector<std::pair<int, double>> coverage_curve;
+  /// Deduplicated findings.
+  std::vector<analysis::BugReport> bugs;
+  std::set<analysis::BugClass> bug_classes;
+  uint64_t executions = 0;
+  uint64_t transactions = 0;
+  uint64_t instructions = 0;
+  /// Number of mask computations / masked mutations performed (diagnostics).
+  uint64_t masks_computed = 0;
+
+  bool Found(analysis::BugClass bug) const {
+    return bug_classes.contains(bug);
+  }
+};
+
+/// One fuzzing campaign over one contract: deploy once, then iterate
+/// seed-selection → (sequence | masked-input) mutation → execution →
+/// feedback, per the architecture of Fig. 2.
+class Campaign {
+ public:
+  Campaign(const lang::ContractArtifact* artifact, CampaignConfig config);
+  ~Campaign();
+
+  /// Runs to budget exhaustion and returns the result.
+  CampaignResult Run();
+
+ private:
+  struct FuzzSeed {
+    Sequence seq;
+    double priority = 1.0;
+    bool hits_nested = false;
+    bool improved_distance = false;
+    std::vector<uint32_t> touched_pcs;   ///< branch pcs this seed executed
+    int focus_tx = 0;                    ///< tx index mutation concentrates on
+    MutationMask mask;                   ///< per focus_tx stream mask
+    bool mask_valid = false;
+  };
+
+  struct RunStats {
+    int new_branches = 0;
+    bool improved_distance = false;
+    bool hits_nested = false;
+    /// A wrapping arithmetic event occurred — oracle-adjacent behavior worth
+    /// keeping in the queue even without coverage gain.
+    bool saw_overflow = false;
+    std::vector<uint32_t> touched_pcs;
+    int best_tx = 0;  ///< tx index with the closest uncovered branch
+  };
+
+  /// Executes a sequence from the post-deploy snapshot, updating coverage,
+  /// distances, oracles, energy observations, and interesting constants.
+  RunStats ExecuteSequence(const Sequence& seq);
+
+  /// Applies per-transaction feedback from one tx's trace.
+  void ProcessTxTrace(int tx_index, RunStats* stats);
+
+  FuzzSeed* SelectSeed();
+  void MaybeComputeMask(FuzzSeed* seed);
+  void AddSeedToQueue(FuzzSeed seed);
+
+  const lang::ContractArtifact* artifact_;
+  CampaignConfig config_;
+  Rng rng_;
+
+  // Substrate.
+  std::unique_ptr<FuzzingHost> host_;
+  std::unique_ptr<evm::ChainSession> chain_;
+  Address contract_;
+  evm::ChainSession::SessionSnapshot post_deploy_;
+
+  // Analyses.
+  analysis::ContractDataflow dataflow_;
+  analysis::DependencyGraph depgraph_;
+  std::unique_ptr<AbiCodec> codec_;
+  std::unique_ptr<SequenceBuilder> seq_builder_;
+  std::unique_ptr<EnergyScheduler> energy_;
+  std::unique_ptr<CoverageMap> coverage_;
+  ByteMutator byte_mutator_;
+
+  // State.
+  std::vector<FuzzSeed> queue_;
+  evm::TraceRecorder trace_;
+  CampaignResult result_;
+  uint64_t min_distance_seen_ = UINT64_MAX;
+
+  static constexpr size_t kMaxQueue = 64;
+};
+
+/// Convenience: compile-free single call for already-compiled artifacts.
+CampaignResult RunCampaign(const lang::ContractArtifact& artifact,
+                           const CampaignConfig& config);
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_CAMPAIGN_H_

@@ -1,0 +1,77 @@
+#ifndef MUFUZZ_FUZZER_COVERAGE_H_
+#define MUFUZZ_FUZZER_COVERAGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "evm/trace.h"
+
+namespace mufuzz::fuzzer {
+
+/// Identity of one branch direction: (JUMPI pc, taken).
+inline uint64_t BranchId(uint32_t pc, bool taken) {
+  return (static_cast<uint64_t>(pc) << 1) | (taken ? 1 : 0);
+}
+inline uint32_t BranchIdPc(uint64_t id) {
+  return static_cast<uint32_t>(id >> 1);
+}
+inline bool BranchIdTaken(uint64_t id) { return (id & 1) != 0; }
+
+/// Campaign-global branch coverage (the paper's "basic block transitions"
+/// metric, §V-B) plus the per-uncovered-branch best-distance table that
+/// drives seed selection (Algorithm 1, lines 7–13).
+class CoverageMap {
+ public:
+  explicit CoverageMap(int total_jumpis) : total_jumpis_(total_jumpis) {}
+
+  /// Records a branch direction; returns true if it is new coverage.
+  bool AddBranch(uint32_t pc, bool taken) {
+    return covered_.insert(BranchId(pc, taken)).second;
+  }
+
+  bool IsCovered(uint32_t pc, bool taken) const {
+    return covered_.contains(BranchId(pc, taken));
+  }
+
+  /// Offers a distance observation for the *uncovered* direction opposite
+  /// to an executed branch. Returns true if it improves (shrinks) the best
+  /// known distance — the "DISTANCE decreases" trigger of Algorithms 1–2.
+  bool OfferDistance(uint32_t pc, bool want_taken, uint64_t distance) {
+    uint64_t id = BranchId(pc, want_taken);
+    if (covered_.contains(id)) return false;
+    auto it = best_distance_.find(id);
+    if (it == best_distance_.end() || distance < it->second) {
+      best_distance_[id] = distance;
+      return true;
+    }
+    return false;
+  }
+
+  /// Best known distance toward an uncovered direction (UINT64_MAX if none).
+  uint64_t BestDistance(uint32_t pc, bool taken) const {
+    auto it = best_distance_.find(BranchId(pc, taken));
+    return it == best_distance_.end() ? UINT64_MAX : it->second;
+  }
+
+  size_t covered_count() const { return covered_.size(); }
+  int total_jumpis() const { return total_jumpis_; }
+
+  /// Fraction of the 2×JUMPI branch-direction space covered, in [0, 1].
+  double Fraction() const {
+    if (total_jumpis_ == 0) return covered_.empty() ? 1.0 : 0.0;
+    return static_cast<double>(covered_.size()) /
+           static_cast<double>(2 * total_jumpis_);
+  }
+
+  const std::unordered_set<uint64_t>& covered() const { return covered_; }
+
+ private:
+  std::unordered_set<uint64_t> covered_;
+  std::unordered_map<uint64_t, uint64_t> best_distance_;
+  int total_jumpis_;
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_COVERAGE_H_

@@ -1,0 +1,76 @@
+#include "fuzzer/energy.h"
+
+#include <algorithm>
+
+namespace mufuzz::fuzzer {
+
+EnergyScheduler::EnergyScheduler(const lang::ContractArtifact* artifact,
+                                 bool enabled)
+    : artifact_(artifact),
+      inference_(artifact->runtime_code),
+      enabled_(enabled) {}
+
+void EnergyScheduler::ObserveTrace(const evm::TraceRecorder& trace) {
+  if (!enabled_) return;
+  for (const evm::BranchEvent& ev : trace.branches()) {
+    if (weights_.contains(ev.pc)) continue;  // already weighted
+    BranchInfo info;
+    // w1: nested-conditional score from the branch map (Algorithm 3 lines
+    // 6-10). Compiler-introduced guards keep weight 1.
+    const lang::BranchMapEntry* entry = artifact_->FindBranch(ev.pc);
+    int nested_score = 0;
+    if (entry != nullptr) {
+      switch (entry->kind) {
+        case lang::BranchKind::kIf:
+        case lang::BranchKind::kWhile:
+        case lang::BranchKind::kFor:
+        case lang::BranchKind::kRequire:
+          nested_score = entry->nesting_depth + 1;
+          break;
+        default:
+          nested_score = 0;
+      }
+    }
+    info.weight = 1.0 + kNestedWeightStep * nested_score;
+    // w2: prefix inference — is a vulnerable instruction reachable past
+    // either direction of this branch (Algorithm 3 lines 11-15)?
+    if (inference_.GuardsVulnerableInstruction(ev.pc, true) ||
+        inference_.GuardsVulnerableInstruction(ev.pc, false)) {
+      info.weight += kVulnerableWeight;
+      info.guards_vulnerable = true;
+    }
+    weights_[ev.pc] = info;
+  }
+}
+
+double EnergyScheduler::BranchWeight(uint32_t pc) const {
+  if (!enabled_) return 1.0;
+  auto it = weights_.find(pc);
+  return it == weights_.end() ? 1.0 : it->second.weight;
+}
+
+int EnergyScheduler::AssignEnergy(const std::vector<uint32_t>& touched_pcs,
+                                  int base) const {
+  if (!enabled_ || touched_pcs.empty()) return base;
+  double sum = 0;
+  for (uint32_t pc : touched_pcs) sum += BranchWeight(pc);
+  double mean = sum / static_cast<double>(touched_pcs.size());
+  int energy = static_cast<int>(base * mean);
+  return std::clamp(energy, 1,
+                    static_cast<int>(base * kMaxEnergyFactor));
+}
+
+double EnergyScheduler::VulnerabilityBonus(
+    const std::vector<uint32_t>& touched_pcs) const {
+  if (!enabled_) return 0.0;
+  double bonus = 0.0;
+  for (uint32_t pc : touched_pcs) {
+    auto it = weights_.find(pc);
+    if (it != weights_.end() && it->second.guards_vulnerable) {
+      bonus += 1.0;
+    }
+  }
+  return bonus;
+}
+
+}  // namespace mufuzz::fuzzer

@@ -1,0 +1,65 @@
+#ifndef MUFUZZ_FUZZER_ENERGY_H_
+#define MUFUZZ_FUZZER_ENERGY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/prefix_inference.h"
+#include "evm/trace.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::fuzzer {
+
+/// The dynamic-adaptive energy adjustment of §IV-C (Algorithm 3).
+///
+/// During the pre-fuzz phase the scheduler walks the exercised path,
+/// assigns each branch a weight from (a) its nested-conditional score and
+/// (b) whether the path prefix analysis finds a vulnerable instruction
+/// reachable past it; later fuzzing rounds scale a seed's mutation energy by
+/// the weights of the branches it touched.
+class EnergyScheduler {
+ public:
+  /// `artifact` supplies the branch map (nesting scores); its runtime code
+  /// feeds the prefix-inference CFG.
+  EnergyScheduler(const lang::ContractArtifact* artifact, bool enabled);
+
+  /// Algorithm 3 over one executed trace: weights every branch on the path.
+  /// Idempotent per branch (weights are path-independent in our setting).
+  void ObserveTrace(const evm::TraceRecorder& trace);
+
+  /// Weight of the branch at `pc` (1.0 if never observed / disabled).
+  double BranchWeight(uint32_t pc) const;
+
+  /// Mutation energy for a seed touching `touched_pcs`: base energy scaled
+  /// by the mean weight of touched branches, clamped to [1, 8*base].
+  int AssignEnergy(const std::vector<uint32_t>& touched_pcs, int base) const;
+
+  /// Extra seed-selection priority when the seed's path reaches branches
+  /// guarding vulnerable instructions ("seeds that reach branches covering
+  /// the vulnerable instructions are preferentially selected", §IV-C).
+  double VulnerabilityBonus(const std::vector<uint32_t>& touched_pcs) const;
+
+  bool enabled() const { return enabled_; }
+  size_t weighted_branches() const { return weights_.size(); }
+
+  // Weight model constants (exposed for the ablation benches).
+  static constexpr double kNestedWeightStep = 0.5;   // w1 per nesting level
+  static constexpr double kVulnerableWeight = 2.0;   // w2
+  static constexpr double kMaxEnergyFactor = 8.0;
+
+ private:
+  struct BranchInfo {
+    double weight = 1.0;
+    bool guards_vulnerable = false;
+  };
+
+  const lang::ContractArtifact* artifact_;
+  analysis::PrefixInference inference_;
+  bool enabled_;
+  std::unordered_map<uint32_t, BranchInfo> weights_;
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_ENERGY_H_

@@ -1,0 +1,183 @@
+#include "fuzzer/oracles.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "analysis/disasm.h"
+#include "evm/opcodes.h"
+#include "evm/taint.h"
+
+namespace mufuzz::fuzzer {
+
+namespace {
+
+using analysis::BugClass;
+using analysis::BugReport;
+using evm::BranchEvent;
+using evm::CallEvent;
+using evm::CmpOp;
+using evm::CmpRecord;
+using evm::Op;
+
+int LineForPc(const lang::ContractArtifact* artifact, uint32_t pc) {
+  if (artifact == nullptr) return 0;
+  const lang::BranchMapEntry* entry = artifact->FindBranch(pc);
+  return entry != nullptr ? entry->line : 0;
+}
+
+}  // namespace
+
+std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
+  std::vector<BugReport> reports;
+  const evm::TraceRecorder& trace = *ctx.trace;
+
+  // ---- BD: block-state taint reaching control flow or a call value. ----
+  for (const BranchEvent& ev : trace.branches()) {
+    if (ev.cond_taint & evm::kTaintBlock) {
+      reports.push_back({BugClass::kBlockDependency, ev.pc,
+                         LineForPc(ctx.artifact, ev.pc),
+                         "block-state value influences branch condition",
+                         -1});
+    }
+  }
+  for (const CallEvent& ev : trace.calls()) {
+    if ((ev.value_taint & evm::kTaintBlock) && !ev.value.IsZero()) {
+      reports.push_back({BugClass::kBlockDependency, ev.pc, 0,
+                         "block-state value influences transferred amount",
+                         -1});
+    }
+  }
+
+  // ---- TO: tx.origin in a branch condition. ----
+  for (const BranchEvent& ev : trace.branches()) {
+    if (ev.cond_taint & evm::kTaintOrigin) {
+      reports.push_back({BugClass::kTxOriginUse, ev.pc,
+                         LineForPc(ctx.artifact, ev.pc),
+                         "tx.origin used in branch condition", -1});
+    }
+  }
+
+  // ---- SE: strict equality over a balance read feeding a JUMPI. ----
+  for (const BranchEvent& ev : trace.branches()) {
+    if (ev.cmp_id < 0 ||
+        ev.cmp_id >= static_cast<int32_t>(ctx.cmp_records->size())) {
+      continue;
+    }
+    const CmpRecord& cmp = (*ctx.cmp_records)[ev.cmp_id];
+    if (cmp.op == CmpOp::kEq && (cmp.taint & evm::kTaintBalance)) {
+      reports.push_back({BugClass::kStrictEtherEquality, ev.pc,
+                         LineForPc(ctx.artifact, ev.pc),
+                         "balance compared for strict equality", -1});
+    }
+  }
+
+  // ---- IO: wrapping arithmetic with attacker-controllable operands. ----
+  for (const auto& ev : trace.overflows()) {
+    constexpr uint32_t kAttackerTaint =
+        evm::kTaintCalldata | evm::kTaintCallValue;
+    if (ev.operand_taint & kAttackerTaint) {
+      reports.push_back({BugClass::kIntegerOverflow, ev.pc, 0,
+                         std::string("wrapping ") +
+                             evm::GetOpInfo(ev.op).name +
+                             " on attacker-influenced operands",
+                         -1});
+    }
+  }
+
+  // ---- UD: delegatecall to an attacker-influenced target, unguarded. ----
+  for (const CallEvent& ev : trace.calls()) {
+    if (ev.kind != Op::kDelegatecall) continue;
+    bool attacker_target =
+        (ev.target_taint & (evm::kTaintCalldata | evm::kTaintStorage)) != 0;
+    if (attacker_target && !ev.caller_guard_seen) {
+      reports.push_back({BugClass::kUnprotectedDelegatecall, ev.pc, 0,
+                         "delegatecall target controllable and unguarded",
+                         -1});
+    }
+  }
+
+  // ---- RE: the same call site executed again at nested depth (the probe
+  // host re-entered and the contract let the nested call through). Note the
+  // nested event is recorded *before* its enclosing call returns, so the
+  // pairing must be order-insensitive. ----
+  for (size_t i = 0; i < trace.calls().size(); ++i) {
+    for (size_t j = 0; j < trace.calls().size(); ++j) {
+      if (i == j) continue;
+      const CallEvent& outer = trace.calls()[i];
+      const CallEvent& inner = trace.calls()[j];
+      if (outer.pc == inner.pc && inner.depth > outer.depth &&
+          outer.kind == Op::kCall && !outer.value.IsZero() &&
+          outer.gas > 2300) {
+        reports.push_back({BugClass::kReentrancy, outer.pc, 0,
+                           "call site re-entered before state settled", -1});
+      }
+    }
+  }
+
+  // ---- US: selfdestruct reached without a caller guard. ----
+  for (const auto& ev : trace.selfdestructs()) {
+    if (!ev.caller_guard_seen) {
+      reports.push_back({BugClass::kUnprotectedSelfdestruct, ev.pc, 0,
+                         "selfdestruct reachable by arbitrary caller", -1});
+    }
+  }
+
+  // ---- UE: failed external call whose status never reached a JUMPI. ----
+  std::unordered_set<int32_t> checked(trace.checked_calls().begin(),
+                                      trace.checked_calls().end());
+  for (const CallEvent& ev : trace.calls()) {
+    if (ev.kind == Op::kCall && !ev.success && ev.to_external &&
+        !checked.contains(ev.call_id)) {
+      reports.push_back({BugClass::kUnhandledException, ev.pc, 0,
+                         "external call failed and result was not checked",
+                         -1});
+    }
+  }
+
+  return reports;
+}
+
+bool CheckEtherFreezing(const lang::ContractArtifact& artifact,
+                        const evm::WorldState& state,
+                        const Address& contract) {
+  const evm::Account* acct = state.Find(contract);
+  if (acct != nullptr && acct->self_destructed) return false;
+  // The contract must be able to receive ether (a payable function)…
+  bool can_receive = false;
+  for (const auto& fn : artifact.abi.functions) {
+    if (fn.payable) {
+      can_receive = true;
+      break;
+    }
+  }
+  if (!can_receive && artifact.abi.constructor_payable) can_receive = true;
+  if (!can_receive) return false;
+  // …while its runtime code has no instruction that could ever send it out.
+  for (const analysis::Insn& insn :
+       analysis::Disassemble(artifact.runtime_code)) {
+    switch (static_cast<Op>(insn.opcode)) {
+      case Op::kCall:
+      case Op::kCallcode:
+      case Op::kDelegatecall:
+      case Op::kSelfdestruct:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<BugReport> DeduplicateReports(std::vector<BugReport> reports) {
+  std::set<std::pair<int, uint32_t>> seen;
+  std::vector<BugReport> out;
+  for (auto& report : reports) {
+    auto key = std::make_pair(static_cast<int>(report.bug), report.pc);
+    if (seen.insert(key).second) {
+      out.push_back(std::move(report));
+    }
+  }
+  return out;
+}
+
+}  // namespace mufuzz::fuzzer

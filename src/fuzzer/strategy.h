@@ -1,0 +1,124 @@
+#ifndef MUFUZZ_FUZZER_STRATEGY_H_
+#define MUFUZZ_FUZZER_STRATEGY_H_
+
+#include <string>
+
+namespace mufuzz::fuzzer {
+
+/// Feature switches for a fuzzing strategy. MuFuzz is all-on; the ablation
+/// variants of Fig. 7 and the re-implemented baselines of §V-A are obtained
+/// by turning individual components off, on an otherwise identical substrate
+/// (seed queue, executor, oracles), which is what makes the comparisons
+/// apples-to-apples.
+struct StrategyConfig {
+  std::string name = "MuFuzz";
+
+  /// §IV-A: order transactions along write-before-read dependencies.
+  bool dataflow_order = true;
+  /// §IV-A: repeat functions with a RAW self-dependency on a branch-read
+  /// state variable — the paper's key sequence-mutation rule.
+  bool raw_repetition = true;
+  /// Whether sequences may contain the same function more than once at all.
+  /// IR-Fuzz's "prolongation" extends sequences with duplicates but lacks
+  /// the targeted RAW rule; sFuzz/ConFuzzius/Smartian are one-shot.
+  bool allow_duplicates = true;
+  /// §IV-B: branch-distance-feedback seed selection (sFuzz heritage).
+  bool distance_feedback = true;
+  /// §IV-B: mutation masking (Algorithms 1–2).
+  bool mask_guided = true;
+  /// §IV-C: dynamic-adaptive energy adjustment (Algorithm 3).
+  bool dynamic_energy = true;
+  /// Harvest comparison operands observed at uncovered branches and inject
+  /// them via the R operator. Solver-class input feedback: ConFuzzius gets
+  /// it (its constraint solver plays this role) and MuFuzz/IR-Fuzz do;
+  /// sFuzz/Smartian/blackbox use only static interesting values.
+  bool constant_injection = true;
+
+  // ----------------------------------------------------------- Presets ----
+  static StrategyConfig MuFuzz() { return {}; }
+
+  /// Fig. 7 ablations.
+  static StrategyConfig WithoutSequenceAware() {
+    StrategyConfig c;
+    c.name = "MuFuzz-noSeq";
+    c.dataflow_order = false;
+    c.raw_repetition = false;
+    c.allow_duplicates = false;
+    return c;
+  }
+  static StrategyConfig WithoutMask() {
+    StrategyConfig c;
+    c.name = "MuFuzz-noMask";
+    c.mask_guided = false;
+    return c;
+  }
+  static StrategyConfig WithoutEnergy() {
+    StrategyConfig c;
+    c.name = "MuFuzz-noEnergy";
+    c.dynamic_energy = false;
+    return c;
+  }
+
+  /// Baseline emulations (§V-A comparison set).
+  static StrategyConfig SFuzz() {
+    StrategyConfig c;
+    c.name = "sFuzz";
+    c.dataflow_order = false;   // random sequence order
+    c.raw_repetition = false;
+    c.allow_duplicates = false;
+    c.mask_guided = false;
+    c.dynamic_energy = false;   // default allocation
+    c.distance_feedback = true; // sFuzz's own contribution
+    c.constant_injection = false;  // AFL-style static values only
+    return c;
+  }
+  static StrategyConfig ConFuzzius() {
+    StrategyConfig c;
+    c.name = "ConFuzzius";
+    c.dataflow_order = true;    // data-dependency-aware sequences
+    c.raw_repetition = false;   // but no consecutive repetition
+    c.allow_duplicates = false;
+    c.mask_guided = false;
+    c.dynamic_energy = false;
+    return c;
+  }
+  static StrategyConfig Smartian() {
+    StrategyConfig c;
+    c.name = "Smartian";
+    c.dataflow_order = true;
+    c.raw_repetition = false;
+    c.allow_duplicates = false;
+    c.mask_guided = false;
+    c.dynamic_energy = false;
+    c.distance_feedback = false;  // dataflow feedback instead of distance
+    c.constant_injection = false;
+    return c;
+  }
+  static StrategyConfig IRFuzz() {
+    StrategyConfig c;
+    c.name = "IR-Fuzz";
+    c.dataflow_order = true;
+    c.raw_repetition = false;  // prolongation only: duplicates, untargeted
+    c.allow_duplicates = true;
+    c.mask_guided = false;
+    c.dynamic_energy = true;   // "important branch revisiting"
+    c.constant_injection = false;  // AFL-style mutation, no solver feedback
+    return c;
+  }
+  static StrategyConfig BlackBox() {
+    StrategyConfig c;
+    c.name = "blackbox";
+    c.dataflow_order = false;
+    c.raw_repetition = false;
+    c.allow_duplicates = false;
+    c.mask_guided = false;
+    c.dynamic_energy = false;
+    c.distance_feedback = false;
+    c.constant_injection = false;
+    return c;
+  }
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_STRATEGY_H_

@@ -1,0 +1,33 @@
+#ifndef MUFUZZ_FUZZER_TX_H_
+#define MUFUZZ_FUZZER_TX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/address.h"
+#include "common/bytes.h"
+#include "common/u256.h"
+
+namespace mufuzz::fuzzer {
+
+/// One fuzzed transaction: which function, with what argument words, how
+/// much ether, and from which sender.
+struct Tx {
+  int fn_index = -1;          ///< index into the contract's ABI functions
+  std::vector<U256> args;     ///< one word per ABI input
+  U256 value;                 ///< msg.value
+  int sender_index = 0;       ///< index into the campaign's sender pool
+
+  bool operator==(const Tx& o) const {
+    return fn_index == o.fn_index && args == o.args && value == o.value &&
+           sender_index == o.sender_index;
+  }
+};
+
+/// A transaction sequence — the unit the fuzzer mutates and executes
+/// against a fresh post-deployment state (§IV-A).
+using Sequence = std::vector<Tx>;
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_TX_H_

@@ -1,0 +1,31 @@
+#include "lang/abi.h"
+
+#include "common/keccak.h"
+
+namespace mufuzz::lang {
+
+ContractAbi BuildAbi(const ContractDecl& contract) {
+  ContractAbi abi;
+  abi.contract_name = contract.name;
+  for (const auto& fn : contract.functions) {
+    AbiFunction entry;
+    entry.name = fn->name;
+    entry.signature = fn->Signature();
+    entry.selector = AbiSelector(entry.signature);
+    for (const auto& param : fn->params) {
+      entry.inputs.push_back({param.type, param.name});
+    }
+    entry.output = fn->return_type;
+    entry.payable = fn->payable;
+    abi.functions.push_back(std::move(entry));
+  }
+  if (contract.constructor != nullptr) {
+    for (const auto& param : contract.constructor->params) {
+      abi.constructor_inputs.push_back({param.type, param.name});
+    }
+    abi.constructor_payable = contract.constructor->payable;
+  }
+  return abi;
+}
+
+}  // namespace mufuzz::lang

@@ -1,0 +1,50 @@
+#ifndef MUFUZZ_LANG_ABI_H_
+#define MUFUZZ_LANG_ABI_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace mufuzz::lang {
+
+/// One ABI-visible parameter.
+struct AbiParam {
+  Type type;
+  std::string name;
+};
+
+/// One externally callable function: selector-addressed, statically typed.
+struct AbiFunction {
+  std::string name;
+  std::string signature;  ///< canonical, e.g. "invest(uint256)"
+  uint32_t selector = 0;  ///< first 4 bytes of keccak256(signature)
+  std::vector<AbiParam> inputs;
+  std::optional<Type> output;
+  bool payable = false;
+};
+
+/// The full ABI of a compiled contract — what the fuzzer's input encoder
+/// consumes (the paper's "ABI" compiler artifact).
+struct ContractAbi {
+  std::string contract_name;
+  std::vector<AbiFunction> functions;
+  std::vector<AbiParam> constructor_inputs;
+  bool constructor_payable = false;
+
+  const AbiFunction* FindFunction(const std::string& fn_name) const {
+    for (const auto& fn : functions) {
+      if (fn.name == fn_name) return &fn;
+    }
+    return nullptr;
+  }
+};
+
+/// Builds the ABI from an analyzed AST (selectors computed via keccak).
+ContractAbi BuildAbi(const ContractDecl& contract);
+
+}  // namespace mufuzz::lang
+
+#endif  // MUFUZZ_LANG_ABI_H_

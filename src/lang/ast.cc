@@ -1,0 +1,31 @@
+#include "lang/ast.h"
+
+namespace mufuzz::lang {
+
+std::string Type::AbiName() const {
+  switch (kind) {
+    case TypeKind::kUint256:
+      return "uint256";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kAddress:
+      return "address";
+    case TypeKind::kMapping:
+      return "mapping";
+    case TypeKind::kVoid:
+      return "void";
+  }
+  return "?";
+}
+
+std::string FunctionDecl::Signature() const {
+  std::string sig = name + "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) sig += ",";
+    sig += params[i].type.AbiName();
+  }
+  sig += ")";
+  return sig;
+}
+
+}  // namespace mufuzz::lang

@@ -1,0 +1,527 @@
+#include "lang/codegen.h"
+
+#include "evm/bytecode_builder.h"
+#include "lang/sema.h"
+
+namespace mufuzz::lang {
+
+namespace {
+
+using evm::BytecodeBuilder;
+using evm::Op;
+
+/// Compiles one code object (constructor or runtime). Expression results are
+/// single stack words; statements leave the stack balanced.
+///
+/// Stack conventions (matching the interpreter's pop order, which follows
+/// the Yellow Paper): binary "x OP y" pops x from the top, so operands are
+/// emitted right-to-left; MSTORE/SSTORE pop the offset/key from the top, so
+/// the value is pushed first.
+class FunctionCompiler {
+ public:
+  FunctionCompiler(BytecodeBuilder* builder, const ContractDecl* contract,
+                   std::vector<BranchMapEntry>* branch_map,
+                   int function_index, BytecodeBuilder::Label revert_label)
+      : b_(*builder),
+        contract_(contract),
+        branch_map_(branch_map),
+        function_index_(function_index),
+        revert_label_(revert_label) {}
+
+  Status CompileBody(const BlockStmt& body) { return GenStmt(body); }
+
+  /// Emits `storage[sv.slot] = <init expr>` (constructor prologue).
+  Status GenStateVarInit(const StateVarDecl& sv) {
+    MUFUZZ_RETURN_IF_ERROR(GenExpr(*sv.init));
+    b_.EmitPush(static_cast<uint64_t>(sv.slot));
+    b_.Emit(Op::kSstore);
+    return Status::OK();
+  }
+
+  Status GenStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock: {
+        const auto& block = static_cast<const BlockStmt&>(stmt);
+        for (const auto& s : block.stmts) {
+          MUFUZZ_RETURN_IF_ERROR(GenStmt(*s));
+        }
+        return Status::OK();
+      }
+      case StmtKind::kVarDecl: {
+        const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+        if (decl.init != nullptr) {
+          MUFUZZ_RETURN_IF_ERROR(GenExpr(*decl.init));
+        } else {
+          b_.EmitPush(uint64_t{0});
+        }
+        b_.EmitPush(static_cast<uint64_t>(decl.mem_offset));
+        b_.Emit(Op::kMstore);
+        return Status::OK();
+      }
+      case StmtKind::kAssign:
+        return GenAssign(static_cast<const AssignStmt&>(stmt));
+      case StmtKind::kIf:
+        return GenIf(static_cast<const IfStmt&>(stmt));
+      case StmtKind::kWhile:
+        return GenWhile(static_cast<const WhileStmt&>(stmt));
+      case StmtKind::kFor:
+        return GenFor(static_cast<const ForStmt&>(stmt));
+      case StmtKind::kReturn: {
+        const auto& ret = static_cast<const ReturnStmt&>(stmt);
+        if (ret.value != nullptr) {
+          MUFUZZ_RETURN_IF_ERROR(GenExpr(*ret.value));
+          b_.EmitPush(uint64_t{0});
+          b_.Emit(Op::kMstore);
+          b_.EmitPush(uint64_t{32});
+          b_.EmitPush(uint64_t{0});
+          b_.Emit(Op::kReturn);
+        } else {
+          b_.Emit(Op::kStop);
+        }
+        return Status::OK();
+      }
+      case StmtKind::kRequire: {
+        const auto& req = static_cast<const RequireStmt&>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*req.cond));
+        b_.Emit(Op::kIszero);
+        RecordBranch(b_.EmitJumpI(revert_label_), BranchKind::kRequire,
+                     req.line);
+        return Status::OK();
+      }
+      case StmtKind::kExpr: {
+        const auto& es = static_cast<const ExprStmt&>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*es.expr));
+        if (es.expr->type.kind != TypeKind::kVoid) {
+          b_.Emit(Op::kPop);  // discard unused result (e.g. unchecked send)
+        }
+        return Status::OK();
+      }
+      case StmtKind::kSelfdestruct: {
+        const auto& sd = static_cast<const SelfdestructStmt&>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*sd.beneficiary));
+        b_.Emit(Op::kSelfdestruct);
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled statement in codegen");
+  }
+
+ private:
+  Status GenAssign(const AssignStmt& assign) {
+    // Compute the new value first (stack: [new_value]).
+    if (assign.op == AssignOp::kAssign) {
+      MUFUZZ_RETURN_IF_ERROR(GenExpr(*assign.value));
+    } else {
+      // target = target OP value: emit value then current (current on top)
+      // so non-commutative SUB computes current - value.
+      MUFUZZ_RETURN_IF_ERROR(GenExpr(*assign.value));
+      MUFUZZ_RETURN_IF_ERROR(GenExpr(*assign.target));
+      switch (assign.op) {
+        case AssignOp::kAddAssign:
+          b_.Emit(Op::kAdd);
+          break;
+        case AssignOp::kSubAssign:
+          b_.Emit(Op::kSub);
+          break;
+        case AssignOp::kMulAssign:
+          b_.Emit(Op::kMul);
+          break;
+        case AssignOp::kAssign:
+          break;
+      }
+    }
+    // Store into the lvalue.
+    if (assign.target->kind == ExprKind::kIdent) {
+      const auto& ident = static_cast<const IdentExpr&>(*assign.target);
+      if (ident.ref == RefKind::kStateVar) {
+        b_.EmitPush(static_cast<uint64_t>(ident.slot));
+        b_.Emit(Op::kSstore);
+      } else {
+        b_.EmitPush(static_cast<uint64_t>(ident.mem_offset));
+        b_.Emit(Op::kMstore);
+      }
+      return Status::OK();
+    }
+    if (assign.target->kind == ExprKind::kIndex) {
+      const auto& index = static_cast<const IndexExpr&>(*assign.target);
+      MUFUZZ_RETURN_IF_ERROR(GenMappingSlot(index));  // [value, slot_hash]
+      b_.Emit(Op::kSstore);
+      return Status::OK();
+    }
+    return Status::CodegenError("unsupported assignment target");
+  }
+
+  Status GenIf(const IfStmt& s) {
+    auto else_label = b_.NewLabel();
+    auto end_label = b_.NewLabel();
+    MUFUZZ_RETURN_IF_ERROR(GenExpr(*s.cond));
+    b_.Emit(Op::kIszero);
+    RecordBranch(b_.EmitJumpI(else_label), BranchKind::kIf, s.line);
+    ++nesting_depth_;
+    MUFUZZ_RETURN_IF_ERROR(GenStmt(*s.then_branch));
+    --nesting_depth_;
+    b_.EmitJump(end_label);
+    b_.Bind(else_label);
+    if (s.else_branch != nullptr) {
+      ++nesting_depth_;
+      MUFUZZ_RETURN_IF_ERROR(GenStmt(*s.else_branch));
+      --nesting_depth_;
+    }
+    b_.Bind(end_label);
+    return Status::OK();
+  }
+
+  Status GenWhile(const WhileStmt& s) {
+    auto loop_label = b_.NewLabel();
+    auto end_label = b_.NewLabel();
+    b_.Bind(loop_label);
+    MUFUZZ_RETURN_IF_ERROR(GenExpr(*s.cond));
+    b_.Emit(Op::kIszero);
+    RecordBranch(b_.EmitJumpI(end_label), BranchKind::kWhile, s.line);
+    ++nesting_depth_;
+    MUFUZZ_RETURN_IF_ERROR(GenStmt(*s.body));
+    --nesting_depth_;
+    b_.EmitJump(loop_label);
+    b_.Bind(end_label);
+    return Status::OK();
+  }
+
+  Status GenFor(const ForStmt& s) {
+    if (s.init != nullptr) MUFUZZ_RETURN_IF_ERROR(GenStmt(*s.init));
+    auto loop_label = b_.NewLabel();
+    auto end_label = b_.NewLabel();
+    b_.Bind(loop_label);
+    if (s.cond != nullptr) {
+      MUFUZZ_RETURN_IF_ERROR(GenExpr(*s.cond));
+      b_.Emit(Op::kIszero);
+      RecordBranch(b_.EmitJumpI(end_label), BranchKind::kFor, s.line);
+    }
+    ++nesting_depth_;
+    MUFUZZ_RETURN_IF_ERROR(GenStmt(*s.body));
+    --nesting_depth_;
+    if (s.post != nullptr) MUFUZZ_RETURN_IF_ERROR(GenStmt(*s.post));
+    b_.EmitJump(loop_label);
+    b_.Bind(end_label);
+    return Status::OK();
+  }
+
+  /// Emits code leaving the keccak-derived storage slot of `index` on top of
+  /// the stack (solc layout: keccak256(key ++ slot)).
+  Status GenMappingSlot(const IndexExpr& index) {
+    const auto& base = static_cast<const IdentExpr&>(*index.base);
+    MUFUZZ_RETURN_IF_ERROR(GenExpr(*index.index));  // [.., key]
+    b_.EmitPush(uint64_t{kScratchBase});
+    b_.Emit(Op::kMstore);  // scratch[0] = key
+    b_.EmitPush(static_cast<uint64_t>(base.slot));
+    b_.EmitPush(uint64_t{kScratchBase + 32});
+    b_.Emit(Op::kMstore);  // scratch[1] = slot
+    b_.EmitPush(uint64_t{64});
+    b_.EmitPush(uint64_t{kScratchBase});
+    b_.Emit(Op::kKeccak256);
+    return Status::OK();
+  }
+
+  Status GenExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        b_.EmitPush(static_cast<const NumberExpr&>(expr).value);
+        return Status::OK();
+      case ExprKind::kBoolLit:
+        b_.EmitPush(
+            uint64_t{static_cast<const BoolExpr&>(expr).value ? 1u : 0u});
+        return Status::OK();
+      case ExprKind::kIdent: {
+        const auto& ident = static_cast<const IdentExpr&>(expr);
+        if (ident.ref == RefKind::kStateVar) {
+          if (ident.type.kind == TypeKind::kMapping) {
+            return Status::CodegenError(
+                "mapping used as a value (missing index?)");
+          }
+          b_.EmitPush(static_cast<uint64_t>(ident.slot));
+          b_.Emit(Op::kSload);
+        } else {
+          b_.EmitPush(static_cast<uint64_t>(ident.mem_offset));
+          b_.Emit(Op::kMload);
+        }
+        return Status::OK();
+      }
+      case ExprKind::kEnv: {
+        switch (static_cast<const EnvExpr&>(expr).env) {
+          case EnvKind::kMsgSender:
+            b_.Emit(Op::kCaller);
+            break;
+          case EnvKind::kMsgValue:
+            b_.Emit(Op::kCallvalue);
+            break;
+          case EnvKind::kBlockTimestamp:
+            b_.Emit(Op::kTimestamp);
+            break;
+          case EnvKind::kBlockNumber:
+            b_.Emit(Op::kNumber);
+            break;
+          case EnvKind::kTxOrigin:
+            b_.Emit(Op::kOrigin);
+            break;
+          case EnvKind::kThis:
+            b_.Emit(Op::kAddress);
+            break;
+        }
+        return Status::OK();
+      }
+      case ExprKind::kIndex: {
+        const auto& index = static_cast<const IndexExpr&>(expr);
+        MUFUZZ_RETURN_IF_ERROR(GenMappingSlot(index));
+        b_.Emit(Op::kSload);
+        return Status::OK();
+      }
+      case ExprKind::kBinary: {
+        const auto& bin = static_cast<const BinaryExpr&>(expr);
+        // Right-to-left so lhs ends on top ("x OP y" pops x first).
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*bin.rhs));
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*bin.lhs));
+        switch (bin.op) {
+          case BinOp::kAdd: b_.Emit(Op::kAdd); break;
+          case BinOp::kSub: b_.Emit(Op::kSub); break;
+          case BinOp::kMul: b_.Emit(Op::kMul); break;
+          case BinOp::kDiv: b_.Emit(Op::kDiv); break;
+          case BinOp::kMod: b_.Emit(Op::kMod); break;
+          case BinOp::kLt: b_.Emit(Op::kLt); break;
+          case BinOp::kGt: b_.Emit(Op::kGt); break;
+          case BinOp::kLe:
+            b_.Emit(Op::kGt);
+            b_.Emit(Op::kIszero);
+            break;
+          case BinOp::kGe:
+            b_.Emit(Op::kLt);
+            b_.Emit(Op::kIszero);
+            break;
+          case BinOp::kEq: b_.Emit(Op::kEq); break;
+          case BinOp::kNe:
+            b_.Emit(Op::kEq);
+            b_.Emit(Op::kIszero);
+            break;
+          case BinOp::kAnd: b_.Emit(Op::kAnd); break;
+          case BinOp::kOr: b_.Emit(Op::kOr); break;
+        }
+        return Status::OK();
+      }
+      case ExprKind::kUnary: {
+        const auto& un = static_cast<const UnaryExpr&>(expr);
+        if (un.op == UnOp::kNot) {
+          MUFUZZ_RETURN_IF_ERROR(GenExpr(*un.operand));
+          b_.Emit(Op::kIszero);
+        } else {
+          MUFUZZ_RETURN_IF_ERROR(GenExpr(*un.operand));
+          b_.EmitPush(uint64_t{0});
+          b_.Emit(Op::kSub);  // 0 - x
+        }
+        return Status::OK();
+      }
+      case ExprKind::kBalance: {
+        const auto& bal = static_cast<const BalanceExpr&>(expr);
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*bal.address));
+        b_.Emit(Op::kBalance);
+        return Status::OK();
+      }
+      case ExprKind::kKeccak: {
+        const auto& k = static_cast<const KeccakExpr&>(expr);
+        size_t n = k.args.size();
+        // Evaluate all args before touching scratch (arguments may
+        // themselves hash mapping slots through the same scratch).
+        for (const auto& arg : k.args) {
+          MUFUZZ_RETURN_IF_ERROR(GenExpr(*arg));
+        }
+        for (size_t i = n; i > 0; --i) {
+          b_.EmitPush(static_cast<uint64_t>(kScratchBase + 32 * (i - 1)));
+          b_.Emit(Op::kMstore);
+        }
+        b_.EmitPush(static_cast<uint64_t>(32 * n));
+        b_.EmitPush(uint64_t{kScratchBase});
+        b_.Emit(Op::kKeccak256);
+        return Status::OK();
+      }
+      case ExprKind::kTransfer: {
+        const auto& t = static_cast<const TransferExpr&>(expr);
+        // CALL(gas=0(+stipend), to, value, no data): push in reverse pop
+        // order — out_len, out_off, in_len, in_off, value, to, gas.
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*t.amount));
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*t.target));
+        b_.EmitPush(uint64_t{0});  // gas operand: stipend only
+        b_.Emit(Op::kCall);
+        if (!t.is_send) {
+          // transfer() reverts on failure.
+          b_.Emit(Op::kIszero);
+          RecordBranch(b_.EmitJumpI(revert_label_),
+                       BranchKind::kTransferCheck, t.line);
+        }
+        return Status::OK();
+      }
+      case ExprKind::kLowCall: {
+        const auto& c = static_cast<const LowCallExpr&>(expr);
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*c.amount));
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*c.target));
+        b_.Emit(Op::kGas);  // forward all remaining gas — the risky pattern
+        b_.Emit(Op::kCall);
+        return Status::OK();
+      }
+      case ExprKind::kDelegate: {
+        const auto& d = static_cast<const DelegateExpr&>(expr);
+        // Forward the full calldata: CALLDATACOPY(dst=0, src=0, len).
+        b_.Emit(Op::kCalldatasize);
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        b_.Emit(Op::kCalldatacopy);
+        // DELEGATECALL(gas, to, in_off=0, in_len, out_off=0, out_len=0).
+        b_.EmitPush(uint64_t{0});
+        b_.EmitPush(uint64_t{0});
+        b_.Emit(Op::kCalldatasize);
+        b_.EmitPush(uint64_t{0});
+        MUFUZZ_RETURN_IF_ERROR(GenExpr(*d.target));
+        b_.Emit(Op::kGas);
+        b_.Emit(Op::kDelegatecall);
+        return Status::OK();
+      }
+      case ExprKind::kCast: {
+        const auto& cast = static_cast<const CastExpr&>(expr);
+        // Scalar casts are word-level no-ops in MiniSol.
+        return GenExpr(*cast.operand);
+      }
+    }
+    return Status::Internal("unhandled expression in codegen");
+  }
+
+  void RecordBranch(uint32_t jumpi_pc, BranchKind kind, int line) {
+    if (branch_map_ != nullptr) {
+      branch_map_->push_back(
+          {jumpi_pc, kind, nesting_depth_, function_index_, line});
+    }
+  }
+
+  BytecodeBuilder& b_;
+  const ContractDecl* contract_;
+  std::vector<BranchMapEntry>* branch_map_;  ///< null for constructor code
+  int function_index_;
+  BytecodeBuilder::Label revert_label_;
+  int nesting_depth_ = 0;
+};
+
+}  // namespace
+
+Result<ContractArtifact> GenerateCode(std::shared_ptr<ContractDecl> contract) {
+  ContractArtifact artifact;
+  artifact.name = contract->name;
+  artifact.abi = BuildAbi(*contract);
+  artifact.ast = contract;
+
+  // ------------------------------------------------------ Constructor ----
+  {
+    BytecodeBuilder b;
+    auto revert_label = b.NewLabel();
+    FunctionCompiler fc(&b, contract.get(), nullptr, -1, revert_label);
+
+    // State variable initializers, in declaration order.
+    for (const auto& sv : contract->state_vars) {
+      if (sv.init == nullptr) continue;
+      MUFUZZ_RETURN_IF_ERROR(fc.GenStateVarInit(sv));
+    }
+    if (contract->constructor != nullptr) {
+      const FunctionDecl& ctor = *contract->constructor;
+      // Load ctor args: bare words at calldata offset 32*i.
+      for (size_t i = 0; i < ctor.params.size(); ++i) {
+        b.EmitPush(static_cast<uint64_t>(32 * i));
+        b.Emit(Op::kCalldataload);
+        b.EmitPush(static_cast<uint64_t>(ctor.params[i].mem_offset));
+        b.Emit(Op::kMstore);
+      }
+      MUFUZZ_RETURN_IF_ERROR(fc.CompileBody(*ctor.body));
+    }
+    b.Emit(Op::kStop);
+    b.Bind(revert_label);
+    b.EmitRevert();
+    MUFUZZ_ASSIGN_OR_RETURN(artifact.ctor_code, b.Assemble());
+  }
+
+  // ----------------------------------------------------------- Runtime ----
+  {
+    BytecodeBuilder b;
+    auto revert_label = b.NewLabel();
+    std::vector<BranchMapEntry>& branch_map = artifact.branch_map;
+
+    // Dispatcher. calldatasize < 4 -> revert (no fallback function).
+    {
+      FunctionCompiler dispatch_fc(&b, contract.get(), &branch_map, -1,
+                                   revert_label);
+      (void)dispatch_fc;
+      b.EmitPush(uint64_t{4});
+      b.Emit(Op::kCalldatasize);
+      b.Emit(Op::kLt);  // calldatasize < 4
+      uint32_t guard_pc = b.EmitJumpI(revert_label);
+      branch_map.push_back(
+          {guard_pc, BranchKind::kCalldataGuard, 0, -1, 0});
+      // selector = calldataload(0) >> 224, kept on the stack and DUPed.
+      b.EmitPush(uint64_t{0});
+      b.Emit(Op::kCalldataload);
+      b.EmitPush(uint64_t{224});
+      b.Emit(Op::kShr);
+      std::vector<BytecodeBuilder::Label> fn_labels;
+      for (size_t i = 0; i < contract->functions.size(); ++i) {
+        auto label = b.NewLabel();
+        fn_labels.push_back(label);
+        b.Emit(Op::kDup1);
+        b.EmitPush(uint64_t{artifact.abi.functions[i].selector});
+        b.Emit(Op::kEq);
+        uint32_t pc = b.EmitJumpI(label);
+        branch_map.push_back({pc, BranchKind::kDispatch, 0,
+                              static_cast<int>(i),
+                              contract->functions[i]->line});
+      }
+      b.EmitJump(revert_label);  // unknown selector
+
+      // Function bodies.
+      for (size_t i = 0; i < contract->functions.size(); ++i) {
+        const FunctionDecl& fn = *contract->functions[i];
+        b.Bind(fn_labels[i]);
+        b.Emit(Op::kPop);  // drop the DUPed selector
+        if (!fn.payable) {
+          // Non-payable guard: require(msg.value == 0).
+          auto ok = b.NewLabel();
+          b.Emit(Op::kCallvalue);
+          b.Emit(Op::kIszero);
+          uint32_t pc = b.EmitJumpI(ok);
+          branch_map.push_back({pc, BranchKind::kPayableGuard, 0,
+                                static_cast<int>(i), fn.line});
+          b.EmitJump(revert_label);
+          b.Bind(ok);
+        }
+        // ABI argument loading: words at 4 + 32*i.
+        for (size_t p = 0; p < fn.params.size(); ++p) {
+          b.EmitPush(static_cast<uint64_t>(4 + 32 * p));
+          b.Emit(Op::kCalldataload);
+          b.EmitPush(static_cast<uint64_t>(fn.params[p].mem_offset));
+          b.Emit(Op::kMstore);
+        }
+        FunctionCompiler fc(&b, contract.get(), &branch_map,
+                            static_cast<int>(i), revert_label);
+        MUFUZZ_RETURN_IF_ERROR(fc.CompileBody(*fn.body));
+        b.Emit(Op::kStop);  // implicit end of function
+      }
+
+      b.Bind(revert_label);
+      b.EmitRevert();
+    }
+    MUFUZZ_ASSIGN_OR_RETURN(artifact.runtime_code, b.Assemble());
+    artifact.total_jumpis = static_cast<int>(branch_map.size());
+  }
+
+  return artifact;
+}
+
+}  // namespace mufuzz::lang

@@ -1,0 +1,69 @@
+#ifndef MUFUZZ_LANG_CODEGEN_H_
+#define MUFUZZ_LANG_CODEGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lang/abi.h"
+#include "lang/ast.h"
+
+namespace mufuzz::lang {
+
+/// Why a JUMPI exists in the generated code. The fuzzer's energy scheduler
+/// treats user-level branches (if/while/for/require) differently from
+/// compiler-introduced guards.
+enum class BranchKind {
+  kDispatch,       ///< selector comparison in the dispatcher
+  kCalldataGuard,  ///< calldatasize < 4 check
+  kPayableGuard,   ///< non-payable msg.value check
+  kIf,
+  kWhile,
+  kFor,
+  kRequire,
+  kTransferCheck,  ///< transfer() failure -> revert
+};
+
+/// Maps one generated JUMPI back to its source construct — the bridge the
+/// dynamic-energy component (§IV-C) uses to get nesting scores without
+/// re-deriving them from bytecode.
+struct BranchMapEntry {
+  uint32_t jumpi_pc = 0;
+  BranchKind kind = BranchKind::kIf;
+  int nesting_depth = 0;   ///< enclosing conditional statements
+  int function_index = -1; ///< index into ContractDecl::functions; -1 = none
+  int line = 0;
+};
+
+/// Everything the compiler produces for one contract: the three artifacts of
+/// §IV-A (bytecode, ABI, AST) plus the branch map.
+struct ContractArtifact {
+  std::string name;
+  Bytes runtime_code;
+  Bytes ctor_code;
+  ContractAbi abi;
+  std::shared_ptr<ContractDecl> ast;
+  std::vector<BranchMapEntry> branch_map;  ///< runtime code only
+  /// Static JUMPI count in runtime code — the branch-coverage denominator
+  /// (2 * total_jumpis possible (pc, direction) pairs).
+  int total_jumpis = 0;
+
+  /// Entry for `jumpi_pc`, or nullptr.
+  const BranchMapEntry* FindBranch(uint32_t jumpi_pc) const {
+    for (const auto& entry : branch_map) {
+      if (entry.jumpi_pc == jumpi_pc) return &entry;
+    }
+    return nullptr;
+  }
+};
+
+/// Generates constructor and runtime bytecode from an analyzed AST.
+/// `contract` must have passed AnalyzeContract.
+Result<ContractArtifact> GenerateCode(std::shared_ptr<ContractDecl> contract);
+
+}  // namespace mufuzz::lang
+
+#endif  // MUFUZZ_LANG_CODEGEN_H_

@@ -1,0 +1,14 @@
+#include "lang/compiler.h"
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace mufuzz::lang {
+
+Result<ContractArtifact> CompileContract(std::string_view source) {
+  MUFUZZ_ASSIGN_OR_RETURN(auto contract, ParseContract(source));
+  MUFUZZ_RETURN_IF_ERROR(AnalyzeContract(contract.get()));
+  return GenerateCode(std::shared_ptr<ContractDecl>(std::move(contract)));
+}
+
+}  // namespace mufuzz::lang

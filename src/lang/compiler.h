@@ -1,0 +1,18 @@
+#ifndef MUFUZZ_LANG_COMPILER_H_
+#define MUFUZZ_LANG_COMPILER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::lang {
+
+/// One-call compilation pipeline: source → tokens → AST → sema → bytecode +
+/// ABI + annotated AST (the three artifacts MuFuzz's preprocessing stage
+/// consumes, §IV-A).
+Result<ContractArtifact> CompileContract(std::string_view source);
+
+}  // namespace mufuzz::lang
+
+#endif  // MUFUZZ_LANG_COMPILER_H_

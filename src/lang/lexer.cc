@@ -1,0 +1,280 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace mufuzz::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string_view,
+                                                    TokenKind>{
+      {"contract", TokenKind::kContract},
+      {"function", TokenKind::kFunction},
+      {"constructor", TokenKind::kConstructor},
+      {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile},
+      {"for", TokenKind::kFor},
+      {"return", TokenKind::kReturn},
+      {"returns", TokenKind::kReturns},
+      {"require", TokenKind::kRequire},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+      {"mapping", TokenKind::kMapping},
+      {"uint256", TokenKind::kUint256},
+      {"uint", TokenKind::kUint256},  // alias
+      {"bool", TokenKind::kBool},
+      {"address", TokenKind::kAddress},
+      {"public", TokenKind::kPublic},
+      {"payable", TokenKind::kPayable},
+      {"view", TokenKind::kView},
+      {"external", TokenKind::kExternal},
+      {"internal", TokenKind::kInternal},
+      {"private", TokenKind::kPrivate},
+      {"msg", TokenKind::kMsg},
+      {"block", TokenKind::kBlock},
+      {"tx", TokenKind::kTx},
+      {"this", TokenKind::kThis},
+      {"now", TokenKind::kNow},
+      {"selfdestruct", TokenKind::kSelfdestruct},
+      {"keccak256", TokenKind::kKeccak256},
+      {"abi", TokenKind::kAbi},
+      {"wei", TokenKind::kWei},
+      {"finney", TokenKind::kFinney},
+      {"ether", TokenKind::kEther},
+  };
+  return *table;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kContract: return "'contract'";
+    case TokenKind::kFunction: return "'function'";
+    case TokenKind::kConstructor: return "'constructor'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kReturns: return "'returns'";
+    case TokenKind::kRequire: return "'require'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kMapping: return "'mapping'";
+    case TokenKind::kUint256: return "'uint256'";
+    case TokenKind::kBool: return "'bool'";
+    case TokenKind::kAddress: return "'address'";
+    case TokenKind::kPublic: return "'public'";
+    case TokenKind::kPayable: return "'payable'";
+    case TokenKind::kView: return "'view'";
+    case TokenKind::kExternal: return "'external'";
+    case TokenKind::kInternal: return "'internal'";
+    case TokenKind::kPrivate: return "'private'";
+    case TokenKind::kMsg: return "'msg'";
+    case TokenKind::kBlock: return "'block'";
+    case TokenKind::kTx: return "'tx'";
+    case TokenKind::kThis: return "'this'";
+    case TokenKind::kNow: return "'now'";
+    case TokenKind::kSelfdestruct: return "'selfdestruct'";
+    case TokenKind::kKeccak256: return "'keccak256'";
+    case TokenKind::kAbi: return "'abi'";
+    case TokenKind::kWei: return "'wei'";
+    case TokenKind::kFinney: return "'finney'";
+    case TokenKind::kEther: return "'ether'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kArrow: return "'=>'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+  }
+  return "<unknown>";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t off = 0) -> char {
+    return (i + off < source.size()) ? source[i + off] : '\0';
+  };
+  auto push = [&](TokenKind kind, std::string text, int tok_line,
+                  int tok_col) {
+    tokens.push_back({kind, std::move(text), tok_line, tok_col});
+  };
+
+  while (i < source.size()) {
+    char c = peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance(2);
+      while (i < source.size() && !(peek() == '*' && peek(1) == '/')) {
+        advance();
+      }
+      if (i >= source.size()) {
+        return Status::ParseError("unterminated block comment at line " +
+                                  std::to_string(line));
+      }
+      advance(2);
+      continue;
+    }
+
+    int tok_line = line;
+    int tok_col = column;
+
+    // Identifiers & keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        advance();
+      }
+      std::string_view word = source.substr(start, i - start);
+      auto it = KeywordTable().find(word);
+      if (it != KeywordTable().end()) {
+        push(it->second, std::string(word), tok_line, tok_col);
+      } else {
+        push(TokenKind::kIdent, std::string(word), tok_line, tok_col);
+      }
+      continue;
+    }
+
+    // Numbers (decimal or 0x-hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance(2);
+        while (i < source.size() &&
+               std::isxdigit(static_cast<unsigned char>(peek()))) {
+          advance();
+        }
+      } else {
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          advance();
+        }
+      }
+      push(TokenKind::kNumber, std::string(source.substr(start, i - start)),
+           tok_line, tok_col);
+      continue;
+    }
+
+    // Strings (require messages — content kept but unused downstream).
+    if (c == '"') {
+      advance();
+      size_t start = i;
+      while (i < source.size() && peek() != '"' && peek() != '\n') advance();
+      if (peek() != '"') {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(tok_line));
+      }
+      push(TokenKind::kString, std::string(source.substr(start, i - start)),
+           tok_line, tok_col);
+      advance();
+      continue;
+    }
+
+    // Operators / punctuation.
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('=', '>')) { push(TokenKind::kArrow, "=>", tok_line, tok_col); advance(2); continue; }
+    if (two('=', '=')) { push(TokenKind::kEq, "==", tok_line, tok_col); advance(2); continue; }
+    if (two('!', '=')) { push(TokenKind::kNe, "!=", tok_line, tok_col); advance(2); continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, "<=", tok_line, tok_col); advance(2); continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, ">=", tok_line, tok_col); advance(2); continue; }
+    if (two('&', '&')) { push(TokenKind::kAndAnd, "&&", tok_line, tok_col); advance(2); continue; }
+    if (two('|', '|')) { push(TokenKind::kOrOr, "||", tok_line, tok_col); advance(2); continue; }
+    if (two('+', '=')) { push(TokenKind::kPlusAssign, "+=", tok_line, tok_col); advance(2); continue; }
+    if (two('-', '=')) { push(TokenKind::kMinusAssign, "-=", tok_line, tok_col); advance(2); continue; }
+    if (two('*', '=')) { push(TokenKind::kStarAssign, "*=", tok_line, tok_col); advance(2); continue; }
+    if (two('+', '+')) { push(TokenKind::kPlusPlus, "++", tok_line, tok_col); advance(2); continue; }
+    if (two('-', '-')) { push(TokenKind::kMinusMinus, "--", tok_line, tok_col); advance(2); continue; }
+
+    TokenKind kind;
+    switch (c) {
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '=': kind = TokenKind::kAssign; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case '<': kind = TokenKind::kLt; break;
+      case '>': kind = TokenKind::kGt; break;
+      case '!': kind = TokenKind::kBang; break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at line " +
+                                  std::to_string(tok_line));
+    }
+    push(kind, std::string(1, c), tok_line, tok_col);
+    advance();
+  }
+
+  push(TokenKind::kEof, "", line, column);
+  return tokens;
+}
+
+}  // namespace mufuzz::lang

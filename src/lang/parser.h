@@ -1,0 +1,17 @@
+#ifndef MUFUZZ_LANG_PARSER_H_
+#define MUFUZZ_LANG_PARSER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace mufuzz::lang {
+
+/// Parses a single MiniSol contract from source text.
+Result<std::unique_ptr<ContractDecl>> ParseContract(std::string_view source);
+
+}  // namespace mufuzz::lang
+
+#endif  // MUFUZZ_LANG_PARSER_H_

@@ -1,0 +1,408 @@
+#include "lang/sema.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mufuzz::lang {
+
+namespace {
+
+Status ErrAt(int line, const std::string& msg) {
+  return Status::TypeError(msg + " (line " + std::to_string(line) + ")");
+}
+
+/// Per-contract, per-function semantic analysis.
+class Sema {
+ public:
+  explicit Sema(ContractDecl* contract) : contract_(contract) {}
+
+  Status Run() {
+    // Storage slots in declaration order (the solc layout for our types:
+    // every state variable, including mappings, owns one slot).
+    int slot = 0;
+    for (auto& sv : contract_->state_vars) {
+      if (state_index_.contains(sv.name)) {
+        return ErrAt(sv.line, "duplicate state variable '" + sv.name + "'");
+      }
+      sv.slot = slot++;
+      state_index_[sv.name] = &sv;
+    }
+    // State var initializers are evaluated in constructor context where no
+    // locals exist yet.
+    locals_.clear();
+    for (auto& sv : contract_->state_vars) {
+      if (sv.init != nullptr) {
+        if (sv.type.kind == TypeKind::kMapping) {
+          return ErrAt(sv.line, "mappings cannot have initializers");
+        }
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(sv.init.get()));
+        MUFUZZ_RETURN_IF_ERROR(
+            RequireAssignable(sv.type, sv.init->type, sv.line));
+      }
+    }
+
+    if (contract_->constructor != nullptr) {
+      MUFUZZ_RETURN_IF_ERROR(CheckFunction(contract_->constructor.get()));
+    }
+    std::unordered_map<std::string, bool> fn_names;
+    for (auto& fn : contract_->functions) {
+      if (fn_names[fn->name]) {
+        return ErrAt(fn->line, "duplicate function '" + fn->name + "'");
+      }
+      fn_names[fn->name] = true;
+      MUFUZZ_RETURN_IF_ERROR(CheckFunction(fn.get()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status CheckFunction(FunctionDecl* fn) {
+    locals_.clear();
+    next_local_word_ = 0;
+    current_fn_ = fn;
+    for (auto& param : fn->params) {
+      if (locals_.contains(param.name)) {
+        return ErrAt(fn->line, "duplicate parameter '" + param.name + "'");
+      }
+      param.mem_offset = kLocalsBase + 32 * next_local_word_++;
+      locals_[param.name] = {param.type, param.mem_offset, true};
+    }
+    return CheckStmt(fn->body.get());
+  }
+
+  Status CheckStmt(Stmt* stmt) {
+    switch (stmt->kind) {
+      case StmtKind::kBlock: {
+        auto* block = static_cast<BlockStmt*>(stmt);
+        for (auto& s : block->stmts) {
+          MUFUZZ_RETURN_IF_ERROR(CheckStmt(s.get()));
+        }
+        return Status::OK();
+      }
+      case StmtKind::kVarDecl: {
+        auto* decl = static_cast<VarDeclStmt*>(stmt);
+        if (locals_.contains(decl->name) ||
+            state_index_.contains(decl->name)) {
+          // Shadowing is rejected — it would make the fuzzer's AST-level
+          // dataflow analysis ambiguous.
+          return ErrAt(decl->line,
+                       "redeclaration of '" + decl->name + "'");
+        }
+        if (decl->init != nullptr) {
+          MUFUZZ_RETURN_IF_ERROR(CheckExpr(decl->init.get()));
+          MUFUZZ_RETURN_IF_ERROR(
+              RequireAssignable(decl->type, decl->init->type, decl->line));
+        }
+        decl->mem_offset = kLocalsBase + 32 * next_local_word_++;
+        locals_[decl->name] = {decl->type, decl->mem_offset, false};
+        return Status::OK();
+      }
+      case StmtKind::kAssign: {
+        auto* assign = static_cast<AssignStmt*>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(CheckLValue(assign->target.get()));
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(assign->value.get()));
+        if (assign->op != AssignOp::kAssign &&
+            assign->target->type.kind != TypeKind::kUint256) {
+          return ErrAt(assign->line,
+                       "compound assignment requires uint256");
+        }
+        return RequireAssignable(assign->target->type, assign->value->type,
+                                 assign->line);
+      }
+      case StmtKind::kIf: {
+        auto* s = static_cast<IfStmt*>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(CheckCondition(s->cond.get()));
+        MUFUZZ_RETURN_IF_ERROR(CheckStmt(s->then_branch.get()));
+        if (s->else_branch != nullptr) {
+          MUFUZZ_RETURN_IF_ERROR(CheckStmt(s->else_branch.get()));
+        }
+        return Status::OK();
+      }
+      case StmtKind::kWhile: {
+        auto* s = static_cast<WhileStmt*>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(CheckCondition(s->cond.get()));
+        return CheckStmt(s->body.get());
+      }
+      case StmtKind::kFor: {
+        auto* s = static_cast<ForStmt*>(stmt);
+        if (s->init != nullptr) MUFUZZ_RETURN_IF_ERROR(CheckStmt(s->init.get()));
+        if (s->cond != nullptr) {
+          MUFUZZ_RETURN_IF_ERROR(CheckCondition(s->cond.get()));
+        }
+        if (s->post != nullptr) MUFUZZ_RETURN_IF_ERROR(CheckStmt(s->post.get()));
+        return CheckStmt(s->body.get());
+      }
+      case StmtKind::kReturn: {
+        auto* s = static_cast<ReturnStmt*>(stmt);
+        if (s->value != nullptr) {
+          MUFUZZ_RETURN_IF_ERROR(CheckExpr(s->value.get()));
+          if (!current_fn_->return_type.has_value()) {
+            return ErrAt(s->line, "return with value in void function");
+          }
+          return RequireAssignable(*current_fn_->return_type,
+                                   s->value->type, s->line);
+        }
+        return Status::OK();
+      }
+      case StmtKind::kRequire: {
+        auto* s = static_cast<RequireStmt*>(stmt);
+        return CheckCondition(s->cond.get());
+      }
+      case StmtKind::kExpr: {
+        auto* s = static_cast<ExprStmt*>(stmt);
+        return CheckExpr(s->expr.get());
+      }
+      case StmtKind::kSelfdestruct: {
+        auto* s = static_cast<SelfdestructStmt*>(stmt);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(s->beneficiary.get()));
+        if (s->beneficiary->type.kind != TypeKind::kAddress) {
+          return ErrAt(s->line, "selfdestruct expects an address");
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled statement kind");
+  }
+
+  Status CheckCondition(Expr* cond) {
+    MUFUZZ_RETURN_IF_ERROR(CheckExpr(cond));
+    if (cond->type.kind != TypeKind::kBool) {
+      return ErrAt(cond->line, "condition must be bool");
+    }
+    return Status::OK();
+  }
+
+  Status CheckLValue(Expr* expr) {
+    MUFUZZ_RETURN_IF_ERROR(CheckExpr(expr));
+    if (expr->kind == ExprKind::kIdent) {
+      auto* ident = static_cast<IdentExpr*>(expr);
+      if (expr->type.kind == TypeKind::kMapping) {
+        return ErrAt(expr->line, "cannot assign a whole mapping");
+      }
+      if (ident->ref == RefKind::kParam) {
+        // Parameters are mutable locals in MiniSol (like Solidity memory
+        // args) — allowed.
+      }
+      return Status::OK();
+    }
+    if (expr->kind == ExprKind::kIndex) return Status::OK();
+    return ErrAt(expr->line, "expression is not assignable");
+  }
+
+  Status CheckExpr(Expr* expr) {
+    switch (expr->kind) {
+      case ExprKind::kNumber:
+        expr->type = Type::Uint256();
+        return Status::OK();
+      case ExprKind::kBoolLit:
+        expr->type = Type::Bool();
+        return Status::OK();
+      case ExprKind::kIdent: {
+        auto* ident = static_cast<IdentExpr*>(expr);
+        auto local_it = locals_.find(ident->name);
+        if (local_it != locals_.end()) {
+          ident->ref = local_it->second.is_param ? RefKind::kParam
+                                                 : RefKind::kLocal;
+          ident->mem_offset = local_it->second.mem_offset;
+          ident->type = local_it->second.type;
+          return Status::OK();
+        }
+        auto state_it = state_index_.find(ident->name);
+        if (state_it != state_index_.end()) {
+          ident->ref = RefKind::kStateVar;
+          ident->slot = state_it->second->slot;
+          ident->type = state_it->second->type;
+          return Status::OK();
+        }
+        return ErrAt(expr->line, "unknown identifier '" + ident->name + "'");
+      }
+      case ExprKind::kEnv: {
+        auto* env = static_cast<EnvExpr*>(expr);
+        switch (env->env) {
+          case EnvKind::kMsgSender:
+          case EnvKind::kTxOrigin:
+          case EnvKind::kThis:
+            expr->type = Type::AddressT();
+            break;
+          case EnvKind::kMsgValue:
+          case EnvKind::kBlockTimestamp:
+          case EnvKind::kBlockNumber:
+            expr->type = Type::Uint256();
+            break;
+        }
+        return Status::OK();
+      }
+      case ExprKind::kIndex: {
+        auto* index = static_cast<IndexExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(index->base.get()));
+        if (index->base->type.kind != TypeKind::kMapping ||
+            index->base->kind != ExprKind::kIdent ||
+            static_cast<IdentExpr*>(index->base.get())->ref !=
+                RefKind::kStateVar) {
+          return ErrAt(expr->line, "indexing requires a state mapping");
+        }
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(index->index.get()));
+        TypeKind key = index->base->type.key;
+        if (index->index->type.kind != key) {
+          return ErrAt(expr->line, "mapping key type mismatch");
+        }
+        expr->type = Type{index->base->type.value, {}, {}};
+        return Status::OK();
+      }
+      case ExprKind::kBinary: {
+        auto* bin = static_cast<BinaryExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(bin->lhs.get()));
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(bin->rhs.get()));
+        const Type& lt = bin->lhs->type;
+        const Type& rt = bin->rhs->type;
+        switch (bin->op) {
+          case BinOp::kAdd:
+          case BinOp::kSub:
+          case BinOp::kMul:
+          case BinOp::kDiv:
+          case BinOp::kMod:
+            if (!lt.IsNumeric() || !rt.IsNumeric()) {
+              return ErrAt(expr->line, "arithmetic requires uint256");
+            }
+            expr->type = Type::Uint256();
+            return Status::OK();
+          case BinOp::kLt:
+          case BinOp::kGt:
+          case BinOp::kLe:
+          case BinOp::kGe:
+            if (!lt.IsNumeric() || !rt.IsNumeric()) {
+              return ErrAt(expr->line, "ordering requires uint256");
+            }
+            expr->type = Type::Bool();
+            return Status::OK();
+          case BinOp::kEq:
+          case BinOp::kNe:
+            if (!(lt == rt) || !lt.IsScalar()) {
+              return ErrAt(expr->line, "==/!= requires matching scalar types");
+            }
+            expr->type = Type::Bool();
+            return Status::OK();
+          case BinOp::kAnd:
+          case BinOp::kOr:
+            if (lt.kind != TypeKind::kBool || rt.kind != TypeKind::kBool) {
+              return ErrAt(expr->line, "&&/|| requires bool operands");
+            }
+            expr->type = Type::Bool();
+            return Status::OK();
+        }
+        return Status::Internal("unhandled binary op");
+      }
+      case ExprKind::kUnary: {
+        auto* un = static_cast<UnaryExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(un->operand.get()));
+        if (un->op == UnOp::kNot) {
+          if (un->operand->type.kind != TypeKind::kBool) {
+            return ErrAt(expr->line, "'!' requires bool");
+          }
+          expr->type = Type::Bool();
+        } else {
+          if (!un->operand->type.IsNumeric()) {
+            return ErrAt(expr->line, "unary '-' requires uint256");
+          }
+          expr->type = Type::Uint256();
+        }
+        return Status::OK();
+      }
+      case ExprKind::kBalance: {
+        auto* bal = static_cast<BalanceExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(bal->address.get()));
+        if (bal->address->type.kind != TypeKind::kAddress) {
+          return ErrAt(expr->line, ".balance requires an address");
+        }
+        expr->type = Type::Uint256();
+        return Status::OK();
+      }
+      case ExprKind::kKeccak: {
+        auto* k = static_cast<KeccakExpr*>(expr);
+        if (k->args.empty() ||
+            k->args.size() > static_cast<size_t>(kScratchWords)) {
+          return ErrAt(expr->line, "keccak256 takes 1..4 scalar arguments");
+        }
+        for (auto& arg : k->args) {
+          MUFUZZ_RETURN_IF_ERROR(CheckExpr(arg.get()));
+          if (!arg->type.IsScalar()) {
+            return ErrAt(expr->line, "keccak256 arguments must be scalar");
+          }
+        }
+        expr->type = Type::Uint256();
+        return Status::OK();
+      }
+      case ExprKind::kTransfer: {
+        auto* t = static_cast<TransferExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(t->target.get()));
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(t->amount.get()));
+        if (t->target->type.kind != TypeKind::kAddress) {
+          return ErrAt(expr->line, "transfer/send target must be an address");
+        }
+        if (!t->amount->type.IsNumeric()) {
+          return ErrAt(expr->line, "transfer/send amount must be uint256");
+        }
+        expr->type = t->is_send ? Type::Bool() : Type::Void();
+        return Status::OK();
+      }
+      case ExprKind::kLowCall: {
+        auto* c = static_cast<LowCallExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(c->target.get()));
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(c->amount.get()));
+        if (c->target->type.kind != TypeKind::kAddress) {
+          return ErrAt(expr->line, "call target must be an address");
+        }
+        expr->type = Type::Bool();
+        return Status::OK();
+      }
+      case ExprKind::kDelegate: {
+        auto* d = static_cast<DelegateExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(d->target.get()));
+        if (d->target->type.kind != TypeKind::kAddress) {
+          return ErrAt(expr->line, "delegatecall target must be an address");
+        }
+        expr->type = Type::Bool();
+        return Status::OK();
+      }
+      case ExprKind::kCast: {
+        auto* cast = static_cast<CastExpr*>(expr);
+        MUFUZZ_RETURN_IF_ERROR(CheckExpr(cast->operand.get()));
+        if (!cast->target_type.IsScalar() ||
+            !cast->operand->type.IsScalar()) {
+          return ErrAt(expr->line, "cast requires scalar types");
+        }
+        expr->type = cast->target_type;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  static Status RequireAssignable(const Type& target, const Type& value,
+                                  int line) {
+    if (target == value) return Status::OK();
+    return ErrAt(line, "type mismatch: cannot assign " + value.AbiName() +
+                           " to " + target.AbiName());
+  }
+
+  struct LocalInfo {
+    Type type;
+    int mem_offset;
+    bool is_param;
+  };
+
+  ContractDecl* contract_;
+  std::unordered_map<std::string, StateVarDecl*> state_index_;
+  std::unordered_map<std::string, LocalInfo> locals_;
+  int next_local_word_ = 0;
+  FunctionDecl* current_fn_ = nullptr;
+};
+
+}  // namespace
+
+Status AnalyzeContract(ContractDecl* contract) {
+  return Sema(contract).Run();
+}
+
+}  // namespace mufuzz::lang

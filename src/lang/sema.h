@@ -1,0 +1,24 @@
+#ifndef MUFUZZ_LANG_SEMA_H_
+#define MUFUZZ_LANG_SEMA_H_
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace mufuzz::lang {
+
+/// Memory layout constants shared by Sema and the code generator.
+/// [0x00, 0x80): scratch for keccak / mapping-slot hashing and return values;
+/// [0x80, ...): function parameters and locals, one 32-byte word each.
+inline constexpr int kScratchBase = 0x00;
+inline constexpr int kScratchWords = 4;
+inline constexpr int kLocalsBase = 0x80;
+
+/// Resolves names, assigns storage slots to state variables and memory
+/// offsets to params/locals, and type-checks every expression and statement.
+/// Annotates the AST in place (IdentExpr::ref/slot/mem_offset, Expr::type,
+/// VarDeclStmt::mem_offset, StateVarDecl::slot, Param::mem_offset).
+Status AnalyzeContract(ContractDecl* contract);
+
+}  // namespace mufuzz::lang
+
+#endif  // MUFUZZ_LANG_SEMA_H_

