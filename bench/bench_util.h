@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "corpus/datasets.h"
+#include "engine/parallel_runner.h"
 #include "fuzzer/campaign.h"
 #include "lang/compiler.h"
 
@@ -26,17 +27,40 @@ inline std::optional<lang::ContractArtifact> CompileEntry(
   return std::move(result).value();
 }
 
-/// Runs one fuzzing campaign over one corpus entry.
-inline fuzzer::CampaignResult RunOne(const corpus::CorpusEntry& entry,
-                                     const fuzzer::StrategyConfig& strategy,
-                                     int execs, uint64_t seed) {
+/// Runs one fuzzing campaign over one corpus entry — the single-contract
+/// counterpart of MakeDatasetJobs + RunBatch, for one-off explorations and
+/// bench prototyping. Empty on compile failure — callers must skip, never
+/// average in a zeroed row (JobOutcome carries the same contract).
+inline std::optional<fuzzer::CampaignResult> RunOne(
+    const corpus::CorpusEntry& entry, const fuzzer::StrategyConfig& strategy,
+    int execs, uint64_t seed) {
   auto artifact = CompileEntry(entry);
-  if (!artifact.has_value()) return {};
+  if (!artifact.has_value()) return std::nullopt;
   fuzzer::CampaignConfig config;
   config.strategy = strategy;
   config.seed = seed;
   config.max_executions = execs;
   return fuzzer::RunCampaign(*artifact, config);
+}
+
+/// One batch job per dataset entry, seeded `base_seed + index` — the seeds
+/// the serial benches always used, so batch and serial runs agree
+/// bit-for-bit.
+inline std::vector<engine::FuzzJob> MakeDatasetJobs(
+    const std::vector<corpus::CorpusEntry>& dataset,
+    const fuzzer::StrategyConfig& strategy, int execs, uint64_t base_seed) {
+  std::vector<engine::FuzzJob> jobs;
+  jobs.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    engine::FuzzJob job;
+    job.name = dataset[i].name;
+    job.source = dataset[i].source;
+    job.config.strategy = strategy;
+    job.config.seed = base_seed + i;
+    job.config.max_executions = execs;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 /// Mean final coverage of `strategy` across a dataset.
@@ -47,16 +71,28 @@ struct AggregateCoverage {
   std::vector<double> curve;
 };
 
+/// Fans the dataset across the parallel runner (`workers` <= 0 uses
+/// DefaultWorkerCount / $MUFUZZ_WORKERS) and merges in job order, so the
+/// aggregate is identical for any worker count.
 inline AggregateCoverage AggregateOverDataset(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
-    int points = 20) {
+    int points = 20, int workers = 0) {
   AggregateCoverage agg;
   agg.curve.assign(points, 0);
+  engine::RunnerOptions options;
+  options.workers = workers;
+  std::vector<engine::JobOutcome> outcomes =
+      engine::RunBatch(MakeDatasetJobs(dataset, strategy, execs, seed),
+                       options);
   int counted = 0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    fuzzer::CampaignResult result =
-        RunOne(dataset[i], strategy, execs, seed + i);
+  for (const engine::JobOutcome& outcome : outcomes) {
+    if (!outcome.result.has_value()) {
+      std::fprintf(stderr, "[bench] skipping %s: %s\n",
+                   outcome.name.c_str(), outcome.error.c_str());
+      continue;
+    }
+    const fuzzer::CampaignResult& result = *outcome.result;
     if (result.total_jumpis == 0) continue;
     ++counted;
     agg.mean_final += result.branch_coverage;

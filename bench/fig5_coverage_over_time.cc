@@ -19,7 +19,7 @@ using mufuzz::fuzzer::StrategyConfig;
 
 void RunPanel(const char* title,
               const std::vector<mufuzz::corpus::CorpusEntry>& dataset,
-              int execs, uint64_t seed) {
+              int execs, uint64_t seed, int workers) {
   const std::vector<StrategyConfig> tools = {
       StrategyConfig::MuFuzz(), StrategyConfig::IRFuzz(),
       StrategyConfig::ConFuzzius(), StrategyConfig::SFuzz()};
@@ -29,7 +29,7 @@ void RunPanel(const char* title,
   curves.reserve(tools.size());
   for (const auto& tool : tools) {
     curves.push_back(AggregateOverDataset(dataset, tool, execs, seed,
-                                          kPoints));
+                                          kPoints, workers));
   }
 
   std::printf("\n%s (n=%zu contracts, budget=%d executions, seed=%llu)\n",
@@ -61,14 +61,17 @@ int main(int argc, char** argv) {
   int small_n = argc > 1 ? std::atoi(argv[1]) : 12;
   int large_n = argc > 2 ? std::atoi(argv[2]) : 6;
   uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  int workers = argc > 4 ? std::atoi(argv[4]) : 0;
+  if (workers <= 0) workers = mufuzz::engine::DefaultWorkerCount();
 
   std::printf("== Fig. 5: branch coverage over time ==\n");
   std::printf("paper shape: MuFuzz above IR-Fuzz above ConFuzzius above "
               "sFuzz at every point;\nMuFuzz reaches most of its final "
               "coverage within the first tenth of the budget.\n");
 
-  RunPanel("(a) small contracts", BuildD1Small(small_n, seed), 400, seed);
+  RunPanel("(a) small contracts", BuildD1Small(small_n, seed), 400, seed,
+           workers);
   RunPanel("(b) large contracts", BuildD1Large(large_n, seed), 500,
-           seed + 777);
+           seed + 777, workers);
   return 0;
 }

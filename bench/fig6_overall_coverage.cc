@@ -4,6 +4,7 @@
 // The shape to reproduce: the strict ordering, and a visibly smaller
 // small→large slippage for MuFuzz than for the baselines.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,6 +18,9 @@ int main(int argc, char** argv) {
   int small_n = argc > 1 ? std::atoi(argv[1]) : 16;
   int large_n = argc > 2 ? std::atoi(argv[2]) : 8;
   uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  int workers = argc > 4 ? std::atoi(argv[4]) : 0;
+  if (workers <= 0) workers = mufuzz::engine::DefaultWorkerCount();
+  auto wall_start = std::chrono::steady_clock::now();
 
   auto small = mufuzz::corpus::BuildD1Small(small_n, seed);
   auto large = mufuzz::corpus::BuildD1Large(large_n, seed);
@@ -27,20 +31,26 @@ int main(int argc, char** argv) {
 
   std::printf("== Fig. 6: overall branch coverage ==\n");
   std::printf("paper: small 90/86/82/65%%, large 82/76/70/56%% "
-              "(MuFuzz/IR-Fuzz/ConFuzzius/sFuzz)\n\n");
+              "(MuFuzz/IR-Fuzz/ConFuzzius/sFuzz)\n");
+  std::printf("running with %d worker(s)\n\n", workers);
   PrintRule();
   std::printf("%-12s %16s %16s %10s\n", "tool", "small contracts",
               "large contracts", "slippage");
   PrintRule();
   for (const auto& tool : tools) {
-    double s =
-        AggregateOverDataset(small, tool, 400, seed).mean_final * 100.0;
-    double l =
-        AggregateOverDataset(large, tool, 500, seed + 777).mean_final *
-        100.0;
+    double s = AggregateOverDataset(small, tool, 400, seed, /*points=*/20,
+                                    workers)
+                   .mean_final *
+               100.0;
+    double l = AggregateOverDataset(large, tool, 500, seed + 777,
+                                    /*points=*/20, workers)
+                   .mean_final *
+               100.0;
     std::printf("%-12s %15.1f%% %15.1f%% %9.1f%%\n", tool.name.c_str(), s, l,
                 s - l);
   }
   PrintRule();
+  std::printf("wall clock: %.0f ms with %d worker(s)\n",
+              mufuzz::bench::MsSince(wall_start), workers);
   return 0;
 }

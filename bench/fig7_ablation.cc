@@ -14,7 +14,6 @@
 
 namespace {
 
-using mufuzz::bench::CompileEntry;
 using mufuzz::bench::PrintRule;
 using mufuzz::corpus::CorpusEntry;
 using mufuzz::corpus::GeneratorParams;
@@ -30,14 +29,15 @@ PanelResult RunConfig(const std::vector<CorpusEntry>& dataset,
                       uint64_t seed) {
   PanelResult out;
   int counted = 0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    auto artifact = CompileEntry(dataset[i]);
-    if (!artifact.has_value()) continue;
-    mufuzz::fuzzer::CampaignConfig config;
-    config.strategy = strategy;
-    config.seed = seed + i;
-    config.max_executions = execs;
-    auto result = mufuzz::fuzzer::RunCampaign(*artifact, config);
+  auto outcomes = mufuzz::engine::RunBatch(
+      mufuzz::bench::MakeDatasetJobs(dataset, strategy, execs, seed));
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].result.has_value()) {
+      std::fprintf(stderr, "[bench] skipping %s: %s\n",
+                   outcomes[i].name.c_str(), outcomes[i].error.c_str());
+      continue;
+    }
+    const mufuzz::fuzzer::CampaignResult& result = *outcomes[i].result;
     out.coverage += result.branch_coverage;
     // Count ground-truth bugs actually found (TP accounting).
     for (auto bug : dataset[i].ground_truth) {

@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "common/u256.h"
 #include "corpus/builtin.h"
+#include "corpus/generator.h"
+#include "engine/parallel_runner.h"
 #include "evm/executor.h"
 #include "fuzzer/campaign.h"
 #include "fuzzer/energy.h"
@@ -101,6 +103,29 @@ void BM_CampaignHundredExecs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignHundredExecs);
+
+/// A batch of campaigns through the engine layer at varying worker counts —
+/// the fan-out path every table/figure bench now rides on. Arg = workers.
+void BM_ParallelBatchCampaigns(benchmark::State& state) {
+  std::vector<engine::FuzzJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    engine::FuzzJob job;
+    auto entry = corpus::GenerateContract(
+        corpus::GeneratorParams::Small(), 1000 + 101 * i);
+    job.name = entry.name;
+    job.source = entry.source;
+    job.config.seed = 1 + i;
+    job.config.max_executions = 100;
+    jobs.push_back(std::move(job));
+  }
+  engine::RunnerOptions options;
+  options.workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::RunBatch(jobs, options));
+  }
+}
+BENCHMARK(BM_ParallelBatchCampaigns)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 /// Cost of the Algorithm-3 machinery alone: prefix inference construction
 /// plus branch weighting of a synthetic trace — the "pre-fuzz" overhead.

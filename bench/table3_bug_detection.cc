@@ -140,26 +140,48 @@ int main(int argc, char** argv) {
     scores.push_back(std::move(score));
   }
 
+  // Compile once up front (the static detectors consume the artifacts
+  // directly), then fan the (contract x fuzzer) campaign grid across the
+  // parallel runner in one batch.
+  std::vector<std::optional<mufuzz::lang::ContractArtifact>> artifacts;
+  artifacts.reserve(suite.size());
   for (const CorpusEntry& entry : suite) {
-    auto artifact = CompileEntry(entry);
-    if (!artifact.has_value()) continue;
+    artifacts.push_back(CompileEntry(entry));
+  }
 
+  for (size_t e = 0; e < suite.size(); ++e) {
+    if (!artifacts[e].has_value()) continue;
     for (size_t t = 0; t < static_tools.size(); ++t) {
       std::set<BugClass> reported;
       for (const auto& report :
-           RunStaticDetector(*artifact, static_tools[t].profile)) {
+           RunStaticDetector(*artifacts[e], static_tools[t].profile)) {
         reported.insert(report.bug);
       }
-      Account(&scores[t], entry, reported);
+      Account(&scores[t], suite[e], reported);
     }
-    for (size_t t = 0; t < fuzz_tools.size(); ++t) {
-      mufuzz::fuzzer::CampaignConfig config;
-      config.strategy = fuzz_tools[t];
-      config.seed = seed;
-      config.max_executions = execs;
-      auto result = mufuzz::fuzzer::RunCampaign(*artifact, config);
-      Account(&scores[static_tools.size() + t], entry, result.bug_classes);
+  }
+
+  std::vector<mufuzz::engine::FuzzJob> jobs;
+  std::vector<size_t> job_entry;  // job index -> suite index
+  for (size_t e = 0; e < suite.size(); ++e) {
+    if (!artifacts[e].has_value()) continue;
+    for (const auto& tool : fuzz_tools) {
+      mufuzz::engine::FuzzJob job;
+      job.name = suite[e].name + "/" + tool.name;
+      job.artifact = &*artifacts[e];
+      job.config.strategy = tool;
+      job.config.seed = seed;
+      job.config.max_executions = execs;
+      jobs.push_back(std::move(job));
+      job_entry.push_back(e);
     }
+  }
+  auto outcomes = mufuzz::engine::RunBatch(jobs);
+  for (size_t j = 0; j < outcomes.size(); ++j) {
+    size_t t = j % fuzz_tools.size();
+    Account(&scores[static_tools.size() + t], suite[job_entry[j]],
+            outcomes[j].result.has_value() ? outcomes[j].result->bug_classes
+                                           : std::set<BugClass>{});
   }
 
   PrintScores(scores);

@@ -15,7 +15,6 @@ int main(int argc, char** argv) {
   using mufuzz::analysis::AllBugClasses;
   using mufuzz::analysis::BugClass;
   using mufuzz::analysis::BugClassCode;
-  using mufuzz::bench::CompileEntry;
   using mufuzz::bench::PrintRule;
 
   int n = argc > 1 ? std::atoi(argv[1]) : 40;
@@ -29,14 +28,15 @@ int main(int argc, char** argv) {
   int flagged_contracts = 0;
   int counted = 0;
 
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    auto artifact = CompileEntry(dataset[i]);
-    if (!artifact.has_value()) continue;
-    mufuzz::fuzzer::CampaignConfig config;
-    config.strategy = mufuzz::fuzzer::StrategyConfig::MuFuzz();
-    config.seed = seed + i;
-    config.max_executions = execs;
-    auto result = mufuzz::fuzzer::RunCampaign(*artifact, config);
+  auto outcomes = mufuzz::engine::RunBatch(mufuzz::bench::MakeDatasetJobs(
+      dataset, mufuzz::fuzzer::StrategyConfig::MuFuzz(), execs, seed));
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].result.has_value()) {
+      std::fprintf(stderr, "[bench] skipping %s: %s\n",
+                   outcomes[i].name.c_str(), outcomes[i].error.c_str());
+      continue;
+    }
+    const mufuzz::fuzzer::CampaignResult& result = *outcomes[i].result;
     ++counted;
     coverage_sum += result.branch_coverage;
     if (!result.bug_classes.empty()) ++flagged_contracts;

@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "corpus/builtin.h"
+#include "engine/parallel_runner.h"
 #include "fuzzer/campaign.h"
 #include "lang/compiler.h"
 
@@ -66,5 +67,27 @@ int main(int argc, char** argv) {
   std::printf("\nthe deep bug behind phase==1 was %s\n",
               found_deep_bug ? "FOUND — sequence-aware mutation works"
                              : "not found (try more executions)");
+
+  // 4. Scale out: the same campaign across four seeds, fanned over the
+  //    engine layer's worker pool — how the bench suite runs whole datasets.
+  std::vector<mufuzz::engine::FuzzJob> jobs;
+  for (uint64_t s = 1; s <= 4; ++s) {
+    mufuzz::engine::FuzzJob job;
+    job.name = "crowdsale/seed=" + std::to_string(s);
+    job.artifact = &*artifact;
+    job.config.seed = s;
+    job.config.max_executions = execs;
+    jobs.push_back(std::move(job));
+  }
+  auto outcomes = mufuzz::engine::RunBatch(jobs);
+  std::printf("\nparallel sweep over 4 seeds (%d workers available):\n",
+              mufuzz::engine::DefaultWorkerCount());
+  for (const auto& outcome : outcomes) {
+    if (!outcome.result.has_value()) continue;  // compile failures are skips
+    std::printf("  %-20s coverage %5.1f%%  bugs %zu\n",
+                outcome.name.c_str(),
+                100.0 * outcome.result->branch_coverage,
+                outcome.result->bugs.size());
+  }
   return found_deep_bug ? 0 : 1;
 }

@@ -38,6 +38,8 @@ struct BugReport {
   int line = 0;             ///< source line when known
   std::string detail;       ///< human-readable note
   int function_index = -1;  ///< function it was found in, when known
+
+  bool operator==(const BugReport&) const = default;
 };
 
 }  // namespace mufuzz::analysis

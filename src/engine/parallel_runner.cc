@@ -1,0 +1,104 @@
+#include "engine/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "evm/execution_backend.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::engine {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Runs one job on the calling worker. `backend` may be null (no session
+/// reuse) — the campaign then owns a private session.
+JobOutcome RunJob(const FuzzJob& job, evm::SessionBackend* backend) {
+  JobOutcome outcome;
+  outcome.name = job.name;
+  auto start = std::chrono::steady_clock::now();
+
+  const lang::ContractArtifact* artifact = job.artifact;
+  std::optional<lang::ContractArtifact> compiled;
+  if (artifact == nullptr) {
+    auto result = lang::CompileContract(job.source);
+    if (!result.ok()) {
+      outcome.error = result.status().ToString();
+      outcome.elapsed_ms =
+          MsBetween(start, std::chrono::steady_clock::now());
+      return outcome;
+    }
+    compiled = std::move(result).value();
+    artifact = &*compiled;
+  }
+
+  outcome.result = fuzzer::RunCampaign(*artifact, job.config, backend);
+  outcome.elapsed_ms = MsBetween(start, std::chrono::steady_clock::now());
+  return outcome;
+}
+
+}  // namespace
+
+int DefaultWorkerCount() {
+  if (const char* env = std::getenv("MUFUZZ_WORKERS")) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelRunner::ParallelRunner(RunnerOptions options)
+    : options_(options) {}
+
+std::vector<JobOutcome> ParallelRunner::Run(const std::vector<FuzzJob>& jobs) {
+  std::vector<JobOutcome> outcomes(jobs.size());
+  if (jobs.empty()) return outcomes;
+
+  int workers = options_.workers > 0 ? options_.workers
+                                     : DefaultWorkerCount();
+  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+
+  std::atomic<size_t> next{0};
+
+  auto worker_fn = [&](int worker_id) {
+    // Independent per-worker stream, used only for worker-local choices
+    // (session leasing); job randomness comes from each job's config.seed.
+    Rng rng(options_.worker_seed +
+            0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(worker_id + 1));
+    std::unique_ptr<evm::SessionBackend> backend;
+    if (options_.reuse_sessions) backend = pool_.Acquire(&rng);
+
+    for (;;) {
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) break;
+      outcomes[index] = RunJob(jobs[index], backend.get());
+    }
+    if (backend != nullptr) pool_.Release(std::move(backend));
+  };
+
+  if (workers == 1) {
+    worker_fn(0);
+    return outcomes;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+  return outcomes;
+}
+
+std::vector<JobOutcome> RunBatch(const std::vector<FuzzJob>& jobs,
+                                 RunnerOptions options) {
+  return ParallelRunner(options).Run(jobs);
+}
+
+}  // namespace mufuzz::engine

@@ -1,0 +1,81 @@
+#ifndef MUFUZZ_ENGINE_PARALLEL_RUNNER_H_
+#define MUFUZZ_ENGINE_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "evm/execution_backend.h"
+#include "fuzzer/campaign.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::engine {
+
+/// One unit of batch work: fuzz one contract with one (strategy, seed)
+/// configuration. Either `artifact` is set (pre-compiled, caller keeps
+/// ownership and must outlive the batch) or `source` is compiled by the
+/// worker that picks the job up — which parallelizes compilation too.
+struct FuzzJob {
+  std::string name;    ///< label carried through to the outcome
+  std::string source;  ///< compiled when `artifact` is null
+  const lang::ContractArtifact* artifact = nullptr;
+  fuzzer::CampaignConfig config;
+};
+
+/// What came back for one job. `result` is empty exactly when compilation
+/// failed — a failed job can never be mistaken for a zero-coverage row.
+struct JobOutcome {
+  std::string name;
+  std::optional<fuzzer::CampaignResult> result;
+  std::string error;      ///< compile diagnostics when `result` is empty
+  double elapsed_ms = 0;  ///< wall-clock for this job on its worker
+};
+
+struct RunnerOptions {
+  /// Worker threads; <= 0 means DefaultWorkerCount().
+  int workers = 0;
+  /// Lease execution sessions from a shared pool and reuse them across the
+  /// worker's job stream instead of allocating per campaign.
+  bool reuse_sessions = true;
+  /// Base for the per-worker Rng streams. Worker-local randomness (e.g.
+  /// which pooled session to lease) never influences job results — those
+  /// are fully determined by each job's own config.seed.
+  uint64_t worker_seed = 0x5eed;
+};
+
+/// Worker threads to use by default: $MUFUZZ_WORKERS when set, otherwise
+/// the hardware concurrency (min 1).
+int DefaultWorkerCount();
+
+/// Fans a batch of jobs across a std::thread worker pool. Jobs are handed
+/// out in index order from a shared queue; each outcome is written to the
+/// slot matching its job index, so the merged result vector is deterministic
+/// and independent of scheduling, worker count, and completion order. Every
+/// campaign derives all randomness from its job's seed, which makes the
+/// batch bit-for-bit reproducible: N workers produce exactly what one
+/// worker — or a plain serial loop over RunCampaign — produces.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunnerOptions options = RunnerOptions());
+
+  std::vector<JobOutcome> Run(const std::vector<FuzzJob>& jobs);
+
+  /// Backends created so far (pool diagnostics; at most `workers` per Run,
+  /// fewer when a runner is kept across batches and sessions recycle).
+  size_t sessions_created() const { return pool_.created(); }
+
+ private:
+  RunnerOptions options_;
+  /// Lives as long as the runner: keeping one runner across batches lets
+  /// workers lease already-constructed backends instead of allocating.
+  evm::SessionPool pool_;
+};
+
+/// One-call convenience over ParallelRunner.
+std::vector<JobOutcome> RunBatch(const std::vector<FuzzJob>& jobs,
+                                 RunnerOptions options = RunnerOptions());
+
+}  // namespace mufuzz::engine
+
+#endif  // MUFUZZ_ENGINE_PARALLEL_RUNNER_H_

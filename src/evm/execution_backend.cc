@@ -1,0 +1,109 @@
+#include "evm/execution_backend.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace mufuzz::evm {
+
+SessionBackend::SessionBackend(Host* host, BlockContext block,
+                               EvmConfig config) {
+  Bind(host, block, config);
+}
+
+void SessionBackend::Bind(Host* host, BlockContext block, EvmConfig config) {
+  session_.emplace(host, block, config);
+  session_->interpreter().set_observer(&trace_);
+  trace_.Clear();
+  deployed_ = {};
+}
+
+void SessionBackend::Unbind() {
+  session_.reset();
+  trace_.Clear();
+  deployed_ = {};
+}
+
+void SessionBackend::CheckBound() const {
+  if (!session_.has_value()) {
+    std::fprintf(stderr,
+                 "fatal: SessionBackend used before Bind() / after Unbind()\n");
+    std::abort();
+  }
+}
+
+Result<Address> SessionBackend::DeployContract(const Bytes& runtime_code,
+                                               const Bytes& ctor_code,
+                                               const Bytes& ctor_args,
+                                               const Address& deployer,
+                                               const U256& value) {
+  CheckBound();
+  return session_->Deploy(runtime_code, ctor_code, ctor_args, deployer,
+                          value);
+}
+
+void SessionBackend::FundAccount(const Address& addr, const U256& balance) {
+  CheckBound();
+  session_->FundAccount(addr, balance);
+}
+
+void SessionBackend::MarkDeployed() {
+  CheckBound();
+  deployed_ = session_->Snapshot();
+}
+
+void SessionBackend::Rewind() {
+  CheckBound();
+  session_->Restore(deployed_);
+}
+
+ExecResult SessionBackend::Execute(const TransactionRequest& tx) {
+  CheckBound();
+  trace_.Clear();
+  return session_->Apply(tx);
+}
+
+const std::vector<CmpRecord>& SessionBackend::cmp_records() const {
+  CheckBound();
+  return session_->interpreter().cmp_records();
+}
+
+const WorldState& SessionBackend::state() const {
+  CheckBound();
+  return session_->state();
+}
+
+std::unique_ptr<SessionBackend> SessionPool::Acquire(Rng* rng) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    ++created_;
+    return std::make_unique<SessionBackend>();
+  }
+  size_t pick = rng != nullptr ? rng->NextBelow(free_.size())
+                               : free_.size() - 1;
+  std::unique_ptr<SessionBackend> backend = std::move(free_[pick]);
+  free_[pick] = std::move(free_.back());
+  free_.pop_back();
+  return backend;
+}
+
+void SessionPool::Release(std::unique_ptr<SessionBackend> backend) {
+  if (backend == nullptr) return;
+  // The host the session was bound to belongs to the last campaign and may
+  // already be gone; never keep a reachable reference to it in the pool.
+  backend->Unbind();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(backend));
+}
+
+size_t SessionPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t SessionPool::pooled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace mufuzz::evm

@@ -1,0 +1,137 @@
+#ifndef MUFUZZ_EVM_EXECUTION_BACKEND_H_
+#define MUFUZZ_EVM_EXECUTION_BACKEND_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "evm/executor.h"
+#include "evm/trace.h"
+
+namespace mufuzz::evm {
+
+/// The execution substrate a fuzzing campaign drives: deploy once, mark the
+/// deployed state, then rewind-and-execute arbitrarily many times. Pulling
+/// this behind an interface keeps the fuzzer layer ignorant of how state is
+/// hosted (an in-process ChainSession today; sharded or out-of-process
+/// backends later) and lets worker pools recycle sessions between jobs.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Rebinds the backend to `host` and discards all session state. A backend
+  /// must be bound before any other call; rebinding starts a fresh
+  /// deploy-once/rewind-many cycle (the pool-reuse path).
+  virtual void Bind(Host* host, BlockContext block = BlockContext(),
+                    EvmConfig config = EvmConfig()) = 0;
+
+  /// Drops the session and every reference to the host it was bound to.
+  /// Campaigns unbind non-owned backends on destruction (their host dies
+  /// with them), and the pool unbinds on Release, so a recycled backend can
+  /// never reach a dead host.
+  virtual void Unbind() = 0;
+
+  /// Deploys a contract (see ChainSession::Deploy).
+  virtual Result<Address> DeployContract(const Bytes& runtime_code,
+                                         const Bytes& ctor_code,
+                                         const Bytes& ctor_args,
+                                         const Address& deployer,
+                                         const U256& value) = 0;
+
+  virtual void FundAccount(const Address& addr, const U256& balance) = 0;
+
+  /// Marks the current session state (world state + block context) as the
+  /// point Rewind() returns to. Typically called right after deployment.
+  virtual void MarkDeployed() = 0;
+
+  /// Rewinds to the MarkDeployed() point. May be called any number of times.
+  virtual void Rewind() = 0;
+
+  /// Clears the per-transaction trace and applies one transaction.
+  virtual ExecResult Execute(const TransactionRequest& tx) = 0;
+
+  /// Trace of the most recent Execute() (and anything since).
+  virtual const TraceRecorder& trace() const = 0;
+
+  /// Comparison records backing the most recent transaction's branch events.
+  virtual const std::vector<CmpRecord>& cmp_records() const = 0;
+
+  virtual const WorldState& state() const = 0;
+};
+
+/// In-process backend: a ChainSession plus a TraceRecorder wired as its
+/// observer. Bind() reconstructs the session in place, so one SessionBackend
+/// can serve many campaigns back to back without reallocation churn at the
+/// call sites that hold it.
+class SessionBackend : public ExecutionBackend {
+ public:
+  /// Constructs an unbound backend (the pool path); call Bind() before use.
+  SessionBackend() = default;
+
+  /// Convenience: constructs and binds in one step.
+  explicit SessionBackend(Host* host, BlockContext block = BlockContext(),
+                          EvmConfig config = EvmConfig());
+
+  void Bind(Host* host, BlockContext block = BlockContext(),
+            EvmConfig config = EvmConfig()) override;
+  void Unbind() override;
+
+  Result<Address> DeployContract(const Bytes& runtime_code,
+                                 const Bytes& ctor_code,
+                                 const Bytes& ctor_args,
+                                 const Address& deployer,
+                                 const U256& value) override;
+
+  void FundAccount(const Address& addr, const U256& balance) override;
+  void MarkDeployed() override;
+  void Rewind() override;
+  ExecResult Execute(const TransactionRequest& tx) override;
+
+  const TraceRecorder& trace() const override { return trace_; }
+  const std::vector<CmpRecord>& cmp_records() const override;
+  const WorldState& state() const override;
+
+  bool bound() const { return session_.has_value(); }
+  /// Escape hatch for callers that need the raw session (tests, tooling).
+  ChainSession& session() { return *session_; }
+
+ private:
+  /// Aborts with a diagnostic when used before Bind() — a contract
+  /// violation that must not degrade to silent UB in release builds.
+  void CheckBound() const;
+
+  TraceRecorder trace_;
+  std::optional<ChainSession> session_;
+  ChainSession::SessionSnapshot deployed_{};
+};
+
+/// Thread-safe pool of reusable SessionBackends. Workers lease a backend for
+/// the lifetime of a job (or a whole job stream) and return it afterwards;
+/// leased backends come back unbound-in-spirit — the next campaign's Bind()
+/// wipes them — so recycling never leaks state across jobs.
+class SessionPool {
+ public:
+  SessionPool() = default;
+
+  /// Leases a backend: a recycled one when available, otherwise fresh.
+  /// `rng` (optional, worker-local) picks among free slots; it never
+  /// influences execution results.
+  std::unique_ptr<SessionBackend> Acquire(Rng* rng = nullptr);
+
+  /// Returns a leased backend to the pool.
+  void Release(std::unique_ptr<SessionBackend> backend);
+
+  size_t created() const;
+  size_t pooled() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SessionBackend>> free_;
+  size_t created_ = 0;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_EXECUTION_BACKEND_H_

@@ -47,6 +47,10 @@ class ChainSession {
   WorldState& state() { return state_; }
   const WorldState& state() const { return state_; }
   Interpreter& interpreter() { return interpreter_; }
+  const Interpreter& interpreter() const { return interpreter_; }
+
+  /// Block context the next Apply() executes under.
+  const BlockContext& block() const { return block_; }
 
   /// Snapshot/restore of the full session (world state + block context),
   /// used to rewind to the post-deployment state between fuzz runs.

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "fuzzer/oracles.h"
-
 namespace mufuzz::fuzzer {
 
 namespace {
@@ -22,7 +20,7 @@ std::vector<Address> MakeSenderPool() {
 }  // namespace
 
 Campaign::Campaign(const lang::ContractArtifact* artifact,
-                   CampaignConfig config)
+                   CampaignConfig config, evm::ExecutionBackend* backend)
     : artifact_(artifact),
       config_(config),
       rng_(config.seed),
@@ -31,13 +29,18 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
   host_ = std::make_unique<FuzzingHost>(rng_.NextU64(),
                                         config_.call_failure_probability,
                                         /*max_reentries=*/2);
-  chain_ = std::make_unique<evm::ChainSession>(host_.get());
-  chain_->interpreter().set_observer(&trace_);
+  if (backend != nullptr) {
+    backend_ = backend;
+  } else {
+    owned_backend_ = std::make_unique<evm::SessionBackend>();
+    backend_ = owned_backend_.get();
+  }
+  backend_->Bind(host_.get());
 
   std::vector<Address> senders = MakeSenderPool();
   codec_ = std::make_unique<AbiCodec>(&artifact_->abi, senders);
   for (const Address& sender : senders) {
-    chain_->FundAccount(sender, U256::PowerOfTen(24));
+    backend_->FundAccount(sender, U256::PowerOfTen(24));
   }
 
   // Deploy with typed random constructor arguments.
@@ -45,32 +48,40 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
   for (const auto& input : artifact_->abi.constructor_inputs) {
     codec_->RandomValueForType(input.type, &rng_).AppendBytesBE(&ctor_args);
   }
-  auto addr = chain_->Deploy(artifact_->runtime_code, artifact_->ctor_code,
-                             ctor_args, senders[0], U256(0));
+  auto addr = backend_->DeployContract(artifact_->runtime_code,
+                                       artifact_->ctor_code, ctor_args,
+                                       senders[0], U256(0));
   if (addr.ok()) {
     contract_ = addr.value();
-    chain_->FundAccount(contract_, config_.initial_contract_balance);
+    backend_->FundAccount(contract_, config_.initial_contract_balance);
   }
-  // Post-deploy snapshot: every sequence run starts here (fresh state per
-  // fuzz round, like the paper's re-execution model).
-  post_deploy_ = chain_->Snapshot();
+  // Post-deploy rewind point: every sequence run starts here (fresh state
+  // per fuzz round, like the paper's re-execution model).
+  backend_->MarkDeployed();
 
-  seq_builder_ = std::make_unique<SequenceBuilder>(codec_.get(), &dataflow_,
-                                                   &depgraph_);
-  energy_ = std::make_unique<EnergyScheduler>(
-      artifact_, config_.strategy.dynamic_energy);
-  coverage_ = std::make_unique<CoverageMap>(artifact_->total_jumpis);
+  mutation_ = std::make_unique<MutationPipeline>(
+      codec_.get(), &dataflow_, &depgraph_, config_.strategy,
+      config_.mask_stride_divisor);
+  feedback_ = std::make_unique<FeedbackEngine>(artifact_, config_.strategy,
+                                               mutation_->byte_mutator());
+  scheduler_ =
+      std::make_unique<SeedScheduler>(config_.strategy.distance_feedback);
 }
 
-Campaign::~Campaign() = default;
+Campaign::~Campaign() {
+  // A caller-supplied backend outlives this campaign, but the host it is
+  // bound to dies here — drop the binding so later use can't reach a dead
+  // host (the next campaign re-Binds anyway).
+  if (owned_backend_ == nullptr && backend_ != nullptr) backend_->Unbind();
+}
 
-Campaign::RunStats Campaign::ExecuteSequence(const Sequence& seq) {
-  RunStats stats;
+ExecSignals Campaign::ExecuteSequence(const Sequence& seq) {
+  ExecSignals stats;
   if (contract_.IsZero() || artifact_->abi.functions.empty()) return stats;
-  chain_->Restore(post_deploy_);
+  backend_->Rewind();
   result_.executions++;
+  feedback_->BeginSequence();
 
-  uint64_t best_flip_distance = UINT64_MAX;
   for (size_t i = 0; i < seq.size(); ++i) {
     const Tx& tx = seq[i];
     if (tx.fn_index < 0 ||
@@ -79,7 +90,6 @@ Campaign::RunStats Campaign::ExecuteSequence(const Sequence& seq) {
     }
     Bytes calldata = codec_->EncodeCalldata(tx);
     host_->BeginTransaction(calldata);
-    trace_.Clear();
 
     evm::TransactionRequest request;
     request.to = contract_;
@@ -87,57 +97,13 @@ Campaign::RunStats Campaign::ExecuteSequence(const Sequence& seq) {
                                        codec_->senders().size()];
     request.value = tx.value;
     request.data = std::move(calldata);
-    evm::ExecResult tx_result = chain_->Apply(request);
+    evm::ExecResult tx_result = backend_->Execute(request);
     result_.transactions++;
-    result_.instructions += trace_.instruction_count();
+    result_.instructions += backend_->trace().instruction_count();
 
-    // Feedback from this transaction's trace.
-    const auto& cmps = chain_->interpreter().cmp_records();
-    for (const evm::BranchEvent& ev : trace_.branches()) {
-      if (coverage_->AddBranch(ev.pc, ev.taken)) ++stats.new_branches;
-      stats.touched_pcs.push_back(ev.pc);
-
-      const lang::BranchMapEntry* entry = artifact_->FindBranch(ev.pc);
-      // "Nested branch": at least two enclosing conditional statements
-      // counting itself (nesting_depth >= 1 in the branch map).
-      if (entry != nullptr && entry->nesting_depth >= 1) {
-        stats.hits_nested = true;
-      }
-
-      if (ev.cmp_id >= 0 &&
-          ev.cmp_id < static_cast<int32_t>(cmps.size())) {
-        const evm::CmpRecord& cmp = cmps[ev.cmp_id];
-        // Distance to the *other* direction of this branch.
-        uint64_t flip = evm::BranchDistance(cmp, !ev.taken);
-        if (coverage_->OfferDistance(ev.pc, !ev.taken, flip)) {
-          stats.improved_distance = true;
-          if (flip < best_flip_distance) {
-            best_flip_distance = flip;
-            stats.best_tx = static_cast<int>(i);
-          }
-        }
-        // Harvest comparison constants at still-uncovered directions for
-        // the R ("replace with interesting values") operator — solver-class
-        // feedback only some strategies possess.
-        if (config_.strategy.constant_injection &&
-            !coverage_->IsCovered(ev.pc, !ev.taken)) {
-          byte_mutator_.AddInterestingConstant(cmp.a);
-          byte_mutator_.AddInterestingConstant(cmp.b);
-        }
-      }
-    }
-    energy_->ObserveTrace(trace_);
-    if (!trace_.overflows().empty()) stats.saw_overflow = true;
-
-    // Oracles fire only on transactions that actually went through: a wrap
-    // or call that a require() catches is reverted, not exploitable.
-    if (tx_result.Success()) {
-      OracleContext ctx{&trace_, &cmps, artifact_};
-      for (auto& report : RunTxOracles(ctx)) {
-        result_.bug_classes.insert(report.bug);
-        result_.bugs.push_back(std::move(report));
-      }
-    }
+    feedback_->ProcessTx(static_cast<int>(i), backend_->trace(),
+                         backend_->cmp_records(), tx_result.Success(),
+                         &result_, &stats);
   }
 
   // Coverage-over-time samples.
@@ -145,66 +111,23 @@ Campaign::RunStats Campaign::ExecuteSequence(const Sequence& seq) {
       std::max(1, config_.max_executions / std::max(1, config_.coverage_samples));
   if (result_.executions % static_cast<uint64_t>(interval) == 0) {
     result_.coverage_curve.emplace_back(
-        static_cast<int>(result_.executions), coverage_->Fraction());
+        static_cast<int>(result_.executions),
+        feedback_->coverage().Fraction());
   }
   return stats;
 }
 
-Campaign::FuzzSeed* Campaign::SelectSeed() {
-  if (queue_.empty()) return nullptr;
-  if (!config_.strategy.distance_feedback || rng_.Chance(0.3)) {
-    return &queue_[rng_.NextBelow(queue_.size())];
-  }
-  // Branch-distance feedback: prefer the highest-priority seed.
-  FuzzSeed* best = &queue_[0];
-  for (FuzzSeed& seed : queue_) {
-    if (seed.priority > best->priority) best = &seed;
-  }
-  // Mild decay avoids starving the rest of the queue.
-  best->priority *= 0.95;
-  return best;
-}
-
-void Campaign::AddSeedToQueue(FuzzSeed seed) {
-  if (queue_.size() >= kMaxQueue) {
-    // Evict the lowest-priority entry.
-    size_t worst = 0;
-    for (size_t i = 1; i < queue_.size(); ++i) {
-      if (queue_[i].priority < queue_[worst].priority) worst = i;
-    }
-    queue_.erase(queue_.begin() + worst);
-  }
-  queue_.push_back(std::move(seed));
-}
-
 void Campaign::MaybeComputeMask(FuzzSeed* seed) {
-  if (!config_.strategy.mask_guided || seed->mask_valid ||
-      seed->seq.empty()) {
-    return;
-  }
-  // Algorithm 1 line 17: only seeds that hit a nested branch or shrank a
-  // branch distance are worth the mask-computation budget.
-  if (!seed->hits_nested && !seed->improved_distance) return;
+  if (!mutation_->WantsMask(*seed)) return;
   // Mask probes are real executions; bound their share of the campaign so
   // masking never crowds out exploration (the paper's energy upper bound).
   uint64_t max_masks = static_cast<uint64_t>(config_.max_executions) / 250 + 2;
   if (result_.masks_computed >= max_masks) return;
 
-  size_t focus = std::min<size_t>(seed->focus_tx, seed->seq.size() - 1);
-  Bytes stream = codec_->ToByteStream(seed->seq[focus]);
-  if (stream.empty()) return;
-  size_t stride = std::max<size_t>(
-      1, stream.size() / std::max(1, config_.mask_stride_divisor));
-
-  auto probe = [&](const Bytes& mutated) {
-    Sequence tmp = seed->seq;
-    codec_->FromByteStream(mutated, &tmp[focus]);
-    RunStats stats = ExecuteSequence(tmp);
-    return stats.hits_nested || stats.improved_distance;
-  };
-  seed->mask = ComputeMask(stream, stride, byte_mutator_, &rng_, probe);
-  seed->mask_valid = true;
-  result_.masks_computed++;
+  bool computed = mutation_->ComputeSeedMask(
+      seed, &rng_,
+      [this](const Sequence& seq) { return ExecuteSequence(seq); });
+  if (computed) result_.masks_computed++;
 }
 
 CampaignResult Campaign::Run() {
@@ -215,28 +138,28 @@ CampaignResult Campaign::Run() {
   // ------------------------------------------------ Initial seed corpus --
   for (int k = 0; k < config_.initial_seeds; ++k) {
     FuzzSeed seed;
-    seed.seq = seq_builder_->InitialSequence(config_.strategy, &rng_);
-    RunStats stats = ExecuteSequence(seed.seq);
+    seed.seq = mutation_->InitialSequence(&rng_);
+    ExecSignals stats = ExecuteSequence(seed.seq);
     seed.hits_nested = stats.hits_nested;
     seed.improved_distance = stats.improved_distance;
     seed.touched_pcs = stats.touched_pcs;
     seed.focus_tx = stats.best_tx;
     seed.priority = 1.0 + 10.0 * stats.new_branches +
-                    energy_->VulnerabilityBonus(stats.touched_pcs);
-    AddSeedToQueue(std::move(seed));
+                    feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
+    scheduler_->Add(std::move(seed));
   }
 
   // ------------------------------------------------------- Fuzzing loop --
   while (result_.executions <
          static_cast<uint64_t>(config_.max_executions)) {
-    FuzzSeed* seed = SelectSeed();
+    FuzzSeed* seed = scheduler_->Select(&rng_);
     if (seed == nullptr) break;
 
     MaybeComputeMask(seed);
 
     int energy = config_.strategy.dynamic_energy
-                     ? energy_->AssignEnergy(seed->touched_pcs,
-                                             config_.base_energy)
+                     ? feedback_->energy().AssignEnergy(seed->touched_pcs,
+                                                        config_.base_energy)
                      : config_.base_energy;
 
     // Snapshot the parent's fields; mutating the queue may invalidate the
@@ -256,27 +179,10 @@ CampaignResult Campaign::Run() {
          ++e) {
       FuzzSeed child;
       child.seq = parent_seq;
+      mutation_->MutateChild(&child.seq, parent_mask, parent_mask_valid,
+                             parent_focus, &rng_);
 
-      bool sequence_level = rng_.Chance(0.3);
-      if (sequence_level || child.seq.empty()) {
-        seq_builder_->MutateSequence(&child.seq, config_.strategy, &rng_);
-      } else {
-        // Input-level mutation on the focus transaction (mask-guided when
-        // the mask is available for that tx).
-        size_t tx_index = rng_.Chance(0.7)
-                              ? static_cast<size_t>(parent_focus)
-                              : rng_.NextBelow(child.seq.size());
-        Bytes stream = codec_->ToByteStream(child.seq[tx_index]);
-        const MutationMask* mask =
-            (parent_mask_valid &&
-             tx_index == static_cast<size_t>(parent_focus))
-                ? &parent_mask
-                : nullptr;
-        byte_mutator_.MutateRandom(&stream, mask, &rng_);
-        codec_->FromByteStream(stream, &child.seq[tx_index]);
-      }
-
-      RunStats stats = ExecuteSequence(child.seq);
+      ExecSignals stats = ExecuteSequence(child.seq);
       // UPDATE_ENERGY (Algorithm 1 line 29): productive children extend the
       // round's budget.
       if (stats.new_branches > 0) {
@@ -293,49 +199,18 @@ CampaignResult Campaign::Run() {
         child.improved_distance = stats.improved_distance;
         child.touched_pcs = stats.touched_pcs;
         child.focus_tx = stats.best_tx;
-        child.priority = 1.0 + 10.0 * stats.new_branches +
-                         5.0 * (stats.improved_distance ? 1 : 0) +
-                         3.0 * (stats.hits_nested ? 1 : 0) +
-                         energy_->VulnerabilityBonus(stats.touched_pcs);
-        AddSeedToQueue(std::move(child));
+        child.priority =
+            1.0 + 10.0 * stats.new_branches +
+            5.0 * (stats.improved_distance ? 1 : 0) +
+            3.0 * (stats.hits_nested ? 1 : 0) +
+            feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
+        scheduler_->Add(std::move(child));
       }
     }
   }
 
   // ------------------------------------------------------ Finalization --
-  if (CheckEtherFreezing(*artifact_, chain_->state(), contract_)) {
-    result_.bugs.push_back({analysis::BugClass::kEtherFreezing, 0, 0,
-                            "payable contract without ether-out instruction",
-                            -1});
-    result_.bug_classes.insert(analysis::BugClass::kEtherFreezing);
-  }
-
-  result_.bugs = DeduplicateReports(std::move(result_.bugs));
-  result_.covered_branches = coverage_->covered_count();
-  result_.branch_coverage = coverage_->Fraction();
-
-  // User-level branch coverage (source branches only).
-  int user_jumpis = 0;
-  size_t user_covered = 0;
-  for (const auto& entry : artifact_->branch_map) {
-    switch (entry.kind) {
-      case lang::BranchKind::kIf:
-      case lang::BranchKind::kWhile:
-      case lang::BranchKind::kFor:
-      case lang::BranchKind::kRequire:
-      case lang::BranchKind::kTransferCheck:
-        ++user_jumpis;
-        if (coverage_->IsCovered(entry.jumpi_pc, true)) ++user_covered;
-        if (coverage_->IsCovered(entry.jumpi_pc, false)) ++user_covered;
-        break;
-      default:
-        break;
-    }
-  }
-  result_.user_branch_coverage =
-      user_jumpis == 0
-          ? 1.0
-          : static_cast<double>(user_covered) / (2.0 * user_jumpis);
+  feedback_->Finalize(backend_->state(), contract_, &result_);
 
   if (result_.coverage_curve.empty() ||
       result_.coverage_curve.back().first !=
@@ -347,8 +222,9 @@ CampaignResult Campaign::Run() {
 }
 
 CampaignResult RunCampaign(const lang::ContractArtifact& artifact,
-                           const CampaignConfig& config) {
-  Campaign campaign(&artifact, config);
+                           const CampaignConfig& config,
+                           evm::ExecutionBackend* backend) {
+  Campaign campaign(&artifact, config, backend);
   return campaign.Run();
 }
 

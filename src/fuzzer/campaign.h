@@ -2,20 +2,18 @@
 #define MUFUZZ_FUZZER_CAMPAIGN_H_
 
 #include <memory>
-#include <set>
 #include <vector>
 
-#include "analysis/bug_types.h"
 #include "analysis/dependency_graph.h"
 #include "analysis/statevar_analysis.h"
 #include "common/rng.h"
-#include "evm/executor.h"
+#include "evm/execution_backend.h"
 #include "fuzzer/abi_codec.h"
-#include "fuzzer/coverage.h"
-#include "fuzzer/energy.h"
+#include "fuzzer/campaign_result.h"
+#include "fuzzer/feedback_engine.h"
 #include "fuzzer/fuzzing_host.h"
-#include "fuzzer/mask.h"
-#include "fuzzer/sequence.h"
+#include "fuzzer/mutation_pipeline.h"
+#include "fuzzer/seed_scheduler.h"
 #include "fuzzer/strategy.h"
 #include "lang/codegen.h"
 
@@ -36,107 +34,65 @@ struct CampaignConfig {
   int mask_stride_divisor = 8;  ///< mask sampling density (len / divisor)
 };
 
-/// Everything a campaign produces — the raw material of every table/figure.
-struct CampaignResult {
-  /// Branch coverage over all JUMPI directions, in [0, 1].
-  double branch_coverage = 0;
-  /// Coverage restricted to user-level branches (if/while/for/require/
-  /// transfer-check) — the source-level view used in the §V-E case study.
-  double user_branch_coverage = 0;
-  size_t covered_branches = 0;
-  int total_jumpis = 0;
-  /// (executions, coverage fraction) samples over the run.
-  std::vector<std::pair<int, double>> coverage_curve;
-  /// Deduplicated findings.
-  std::vector<analysis::BugReport> bugs;
-  std::set<analysis::BugClass> bug_classes;
-  uint64_t executions = 0;
-  uint64_t transactions = 0;
-  uint64_t instructions = 0;
-  /// Number of mask computations / masked mutations performed (diagnostics).
-  uint64_t masks_computed = 0;
-
-  bool Found(analysis::BugClass bug) const {
-    return bug_classes.contains(bug);
-  }
-};
-
 /// One fuzzing campaign over one contract: deploy once, then iterate
 /// seed-selection → (sequence | masked-input) mutation → execution →
 /// feedback, per the architecture of Fig. 2.
+///
+/// The campaign is a thin composer over four modules, each swappable:
+///  - SeedScheduler  — queue, selection, eviction (fuzzer layer)
+///  - MutationPipeline — sequence ops + mask-guided byte ops (fuzzer layer)
+///  - FeedbackEngine — coverage / distance / energy / oracles (fuzzer layer)
+///  - ExecutionBackend — deploy-once/rewind-many substrate (evm layer)
+/// All randomness flows from one Rng seeded by the config, so results are
+/// identical wherever the campaign runs — serially or on a worker thread.
 class Campaign {
  public:
-  Campaign(const lang::ContractArtifact* artifact, CampaignConfig config);
+  /// When `backend` is null the campaign owns a private SessionBackend;
+  /// otherwise it Bind()s the provided one (the worker-pool reuse path) and
+  /// the caller keeps ownership.
+  Campaign(const lang::ContractArtifact* artifact, CampaignConfig config,
+           evm::ExecutionBackend* backend = nullptr);
   ~Campaign();
 
   /// Runs to budget exhaustion and returns the result.
   CampaignResult Run();
 
  private:
-  struct FuzzSeed {
-    Sequence seq;
-    double priority = 1.0;
-    bool hits_nested = false;
-    bool improved_distance = false;
-    std::vector<uint32_t> touched_pcs;   ///< branch pcs this seed executed
-    int focus_tx = 0;                    ///< tx index mutation concentrates on
-    MutationMask mask;                   ///< per focus_tx stream mask
-    bool mask_valid = false;
-  };
+  /// Executes a sequence from the post-deploy rewind point, updating
+  /// coverage, distances, oracles, energy observations, and interesting
+  /// constants.
+  ExecSignals ExecuteSequence(const Sequence& seq);
 
-  struct RunStats {
-    int new_branches = 0;
-    bool improved_distance = false;
-    bool hits_nested = false;
-    /// A wrapping arithmetic event occurred — oracle-adjacent behavior worth
-    /// keeping in the queue even without coverage gain.
-    bool saw_overflow = false;
-    std::vector<uint32_t> touched_pcs;
-    int best_tx = 0;  ///< tx index with the closest uncovered branch
-  };
-
-  /// Executes a sequence from the post-deploy snapshot, updating coverage,
-  /// distances, oracles, energy observations, and interesting constants.
-  RunStats ExecuteSequence(const Sequence& seq);
-
-  /// Applies per-transaction feedback from one tx's trace.
-  void ProcessTxTrace(int tx_index, RunStats* stats);
-
-  FuzzSeed* SelectSeed();
   void MaybeComputeMask(FuzzSeed* seed);
-  void AddSeedToQueue(FuzzSeed seed);
 
   const lang::ContractArtifact* artifact_;
   CampaignConfig config_;
   Rng rng_;
 
-  // Substrate.
+  // Substrate (evm layer).
   std::unique_ptr<FuzzingHost> host_;
-  std::unique_ptr<evm::ChainSession> chain_;
+  std::unique_ptr<evm::SessionBackend> owned_backend_;
+  evm::ExecutionBackend* backend_ = nullptr;
   Address contract_;
-  evm::ChainSession::SessionSnapshot post_deploy_;
 
   // Analyses.
   analysis::ContractDataflow dataflow_;
   analysis::DependencyGraph depgraph_;
   std::unique_ptr<AbiCodec> codec_;
-  std::unique_ptr<SequenceBuilder> seq_builder_;
-  std::unique_ptr<EnergyScheduler> energy_;
-  std::unique_ptr<CoverageMap> coverage_;
-  ByteMutator byte_mutator_;
 
-  // State.
-  std::vector<FuzzSeed> queue_;
-  evm::TraceRecorder trace_;
+  // Engine modules.
+  std::unique_ptr<SeedScheduler> scheduler_;
+  std::unique_ptr<MutationPipeline> mutation_;
+  std::unique_ptr<FeedbackEngine> feedback_;
+
   CampaignResult result_;
-  uint64_t min_distance_seen_ = UINT64_MAX;
-
-  static constexpr size_t kMaxQueue = 64;
 };
 
 /// Convenience: compile-free single call for already-compiled artifacts.
+/// Pass `backend` to run over a pooled session (see SessionPool).
 CampaignResult RunCampaign(const lang::ContractArtifact& artifact,
-                           const CampaignConfig& config);
+                           const CampaignConfig& config,
+                           evm::ExecutionBackend* backend = nullptr);
 
 }  // namespace mufuzz::fuzzer
 

@@ -1,0 +1,46 @@
+#ifndef MUFUZZ_FUZZER_CAMPAIGN_RESULT_H_
+#define MUFUZZ_FUZZER_CAMPAIGN_RESULT_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/bug_types.h"
+
+namespace mufuzz::fuzzer {
+
+/// Everything a campaign produces — the raw material of every table/figure.
+/// Lives in its own header so the feedback engine, the campaign, and the
+/// parallel runner can all speak it without include cycles.
+struct CampaignResult {
+  /// Branch coverage over all JUMPI directions, in [0, 1].
+  double branch_coverage = 0;
+  /// Coverage restricted to user-level branches (if/while/for/require/
+  /// transfer-check) — the source-level view used in the §V-E case study.
+  double user_branch_coverage = 0;
+  size_t covered_branches = 0;
+  int total_jumpis = 0;
+  /// (executions, coverage fraction) samples over the run.
+  std::vector<std::pair<int, double>> coverage_curve;
+  /// Deduplicated findings.
+  std::vector<analysis::BugReport> bugs;
+  std::set<analysis::BugClass> bug_classes;
+  uint64_t executions = 0;
+  uint64_t transactions = 0;
+  uint64_t instructions = 0;
+  /// Number of mask computations / masked mutations performed (diagnostics).
+  uint64_t masks_computed = 0;
+
+  bool Found(analysis::BugClass bug) const {
+    return bug_classes.contains(bug);
+  }
+
+  /// Field-for-field equality — what the determinism tests assert when they
+  /// compare the serial path against the parallel runner.
+  bool operator==(const CampaignResult&) const = default;
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_CAMPAIGN_RESULT_H_

@@ -1,0 +1,107 @@
+#include "fuzzer/feedback_engine.h"
+
+#include <utility>
+
+#include "fuzzer/oracles.h"
+
+namespace mufuzz::fuzzer {
+
+FeedbackEngine::FeedbackEngine(const lang::ContractArtifact* artifact,
+                               const StrategyConfig& strategy,
+                               ByteMutator* constants)
+    : artifact_(artifact),
+      constant_injection_(strategy.constant_injection),
+      constants_(constants),
+      energy_(artifact, strategy.dynamic_energy),
+      coverage_(artifact->total_jumpis) {}
+
+void FeedbackEngine::BeginSequence() { best_flip_distance_ = UINT64_MAX; }
+
+void FeedbackEngine::ProcessTx(int tx_index, const evm::TraceRecorder& trace,
+                               const std::vector<evm::CmpRecord>& cmps,
+                               bool tx_success, CampaignResult* result,
+                               ExecSignals* stats) {
+  for (const evm::BranchEvent& ev : trace.branches()) {
+    if (coverage_.AddBranch(ev.pc, ev.taken)) ++stats->new_branches;
+    stats->touched_pcs.push_back(ev.pc);
+
+    const lang::BranchMapEntry* entry = artifact_->FindBranch(ev.pc);
+    // "Nested branch": at least two enclosing conditional statements
+    // counting itself (nesting_depth >= 1 in the branch map).
+    if (entry != nullptr && entry->nesting_depth >= 1) {
+      stats->hits_nested = true;
+    }
+
+    if (ev.cmp_id >= 0 && ev.cmp_id < static_cast<int32_t>(cmps.size())) {
+      const evm::CmpRecord& cmp = cmps[ev.cmp_id];
+      // Distance to the *other* direction of this branch.
+      uint64_t flip = evm::BranchDistance(cmp, !ev.taken);
+      if (coverage_.OfferDistance(ev.pc, !ev.taken, flip)) {
+        stats->improved_distance = true;
+        if (flip < best_flip_distance_) {
+          best_flip_distance_ = flip;
+          stats->best_tx = tx_index;
+        }
+      }
+      // Harvest comparison constants at still-uncovered directions for
+      // the R ("replace with interesting values") operator — solver-class
+      // feedback only some strategies possess.
+      if (constant_injection_ && !coverage_.IsCovered(ev.pc, !ev.taken)) {
+        constants_->AddInterestingConstant(cmp.a);
+        constants_->AddInterestingConstant(cmp.b);
+      }
+    }
+  }
+  energy_.ObserveTrace(trace);
+  if (!trace.overflows().empty()) stats->saw_overflow = true;
+
+  // Oracles fire only on transactions that actually went through: a wrap
+  // or call that a require() catches is reverted, not exploitable.
+  if (tx_success) {
+    OracleContext ctx{&trace, &cmps, artifact_};
+    for (auto& report : RunTxOracles(ctx)) {
+      result->bug_classes.insert(report.bug);
+      result->bugs.push_back(std::move(report));
+    }
+  }
+}
+
+void FeedbackEngine::Finalize(const evm::WorldState& state,
+                              const Address& contract,
+                              CampaignResult* result) {
+  if (CheckEtherFreezing(*artifact_, state, contract)) {
+    result->bugs.push_back({analysis::BugClass::kEtherFreezing, 0, 0,
+                            "payable contract without ether-out instruction",
+                            -1});
+    result->bug_classes.insert(analysis::BugClass::kEtherFreezing);
+  }
+
+  result->bugs = DeduplicateReports(std::move(result->bugs));
+  result->covered_branches = coverage_.covered_count();
+  result->branch_coverage = coverage_.Fraction();
+
+  // User-level branch coverage (source branches only).
+  int user_jumpis = 0;
+  size_t user_covered = 0;
+  for (const auto& entry : artifact_->branch_map) {
+    switch (entry.kind) {
+      case lang::BranchKind::kIf:
+      case lang::BranchKind::kWhile:
+      case lang::BranchKind::kFor:
+      case lang::BranchKind::kRequire:
+      case lang::BranchKind::kTransferCheck:
+        ++user_jumpis;
+        if (coverage_.IsCovered(entry.jumpi_pc, true)) ++user_covered;
+        if (coverage_.IsCovered(entry.jumpi_pc, false)) ++user_covered;
+        break;
+      default:
+        break;
+    }
+  }
+  result->user_branch_coverage =
+      user_jumpis == 0
+          ? 1.0
+          : static_cast<double>(user_covered) / (2.0 * user_jumpis);
+}
+
+}  // namespace mufuzz::fuzzer

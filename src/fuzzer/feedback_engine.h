@@ -1,0 +1,79 @@
+#ifndef MUFUZZ_FUZZER_FEEDBACK_ENGINE_H_
+#define MUFUZZ_FUZZER_FEEDBACK_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/bug_types.h"
+#include "common/address.h"
+#include "evm/trace.h"
+#include "evm/world_state.h"
+#include "fuzzer/campaign_result.h"
+#include "fuzzer/coverage.h"
+#include "fuzzer/energy.h"
+#include "fuzzer/mask.h"
+#include "fuzzer/strategy.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::fuzzer {
+
+/// Aggregated signals from executing one sequence — what seed selection and
+/// mask eligibility feed on (the RunStats of the former Campaign monolith).
+struct ExecSignals {
+  int new_branches = 0;
+  bool improved_distance = false;
+  bool hits_nested = false;
+  /// A wrapping arithmetic event occurred — oracle-adjacent behavior worth
+  /// keeping in the queue even without coverage gain.
+  bool saw_overflow = false;
+  std::vector<uint32_t> touched_pcs;
+  int best_tx = 0;  ///< tx index with the closest uncovered branch
+};
+
+/// Consumes execution traces and turns them into coverage, branch-distance,
+/// energy, oracle, and interesting-constant feedback — the processing half
+/// of Fig. 2's feedback loop, factored out of the campaign so alternative
+/// engines (sharded coverage, async oracle pipelines) can slot in.
+class FeedbackEngine {
+ public:
+  /// `constants` receives comparison operands harvested at uncovered
+  /// branches when the strategy enables constant injection (may be nullptr
+  /// only if it doesn't).
+  FeedbackEngine(const lang::ContractArtifact* artifact,
+                 const StrategyConfig& strategy, ByteMutator* constants);
+  virtual ~FeedbackEngine() = default;
+
+  /// Resets per-sequence state (the best-flip-distance tracker).
+  virtual void BeginSequence();
+
+  /// Applies feedback from one transaction's trace: coverage and distance
+  /// bookkeeping, energy observation, constant harvesting, and — for
+  /// transactions that actually went through — the bug oracles, appended to
+  /// `result`.
+  virtual void ProcessTx(int tx_index, const evm::TraceRecorder& trace,
+                         const std::vector<evm::CmpRecord>& cmps,
+                         bool tx_success, CampaignResult* result,
+                         ExecSignals* stats);
+
+  /// Contract-lifetime wrap-up: the ether-freezing oracle, report
+  /// deduplication, and the final coverage figures.
+  virtual void Finalize(const evm::WorldState& state, const Address& contract,
+                        CampaignResult* result);
+
+  CoverageMap& coverage() { return coverage_; }
+  const CoverageMap& coverage() const { return coverage_; }
+  EnergyScheduler& energy() { return energy_; }
+
+ private:
+  const lang::ContractArtifact* artifact_;
+  bool constant_injection_;
+  ByteMutator* constants_;
+  EnergyScheduler energy_;
+  CoverageMap coverage_;
+  /// Smallest flip distance seen in the current sequence (per-sequence).
+  uint64_t best_flip_distance_ = UINT64_MAX;
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_FEEDBACK_ENGINE_H_

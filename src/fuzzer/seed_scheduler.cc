@@ -1,0 +1,37 @@
+#include "fuzzer/seed_scheduler.h"
+
+#include <utility>
+
+namespace mufuzz::fuzzer {
+
+SeedScheduler::SeedScheduler(bool distance_feedback, size_t max_queue)
+    : distance_feedback_(distance_feedback), max_queue_(max_queue) {}
+
+FuzzSeed* SeedScheduler::Select(Rng* rng) {
+  if (queue_.empty()) return nullptr;
+  if (!distance_feedback_ || rng->Chance(0.3)) {
+    return &queue_[rng->NextBelow(queue_.size())];
+  }
+  // Branch-distance feedback: prefer the highest-priority seed.
+  FuzzSeed* best = &queue_[0];
+  for (FuzzSeed& seed : queue_) {
+    if (seed.priority > best->priority) best = &seed;
+  }
+  // Mild decay avoids starving the rest of the queue.
+  best->priority *= 0.95;
+  return best;
+}
+
+void SeedScheduler::Add(FuzzSeed seed) {
+  if (queue_.size() >= max_queue_) {
+    // Evict the lowest-priority entry.
+    size_t worst = 0;
+    for (size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].priority < queue_[worst].priority) worst = i;
+    }
+    queue_.erase(queue_.begin() + worst);
+  }
+  queue_.push_back(std::move(seed));
+}
+
+}  // namespace mufuzz::fuzzer

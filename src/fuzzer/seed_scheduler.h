@@ -1,0 +1,57 @@
+#ifndef MUFUZZ_FUZZER_SEED_SCHEDULER_H_
+#define MUFUZZ_FUZZER_SEED_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzzer/mask.h"
+#include "fuzzer/tx.h"
+
+namespace mufuzz::fuzzer {
+
+/// One entry in the fuzzer's seed queue: a transaction sequence plus the
+/// feedback the campaign attached to it.
+struct FuzzSeed {
+  Sequence seq;
+  double priority = 1.0;
+  bool hits_nested = false;
+  bool improved_distance = false;
+  std::vector<uint32_t> touched_pcs;   ///< branch pcs this seed executed
+  int focus_tx = 0;                    ///< tx index mutation concentrates on
+  MutationMask mask;                   ///< per focus_tx stream mask
+  bool mask_valid = false;
+};
+
+/// The seed queue plus its selection and eviction policy (Algorithm 1,
+/// lines 5–13): branch-distance-feedback strategies prefer the
+/// highest-priority seed (with decay so the rest of the queue is not
+/// starved), others select uniformly. Ablations configure the policy at
+/// construction; alternative schedulers override Select/Add.
+class SeedScheduler {
+ public:
+  explicit SeedScheduler(bool distance_feedback,
+                         size_t max_queue = kDefaultMaxQueue);
+  virtual ~SeedScheduler() = default;
+
+  /// Selects the next seed to mutate, or nullptr when the queue is empty.
+  /// The returned pointer is invalidated by the next Add().
+  virtual FuzzSeed* Select(Rng* rng);
+
+  /// Enqueues a seed, evicting the lowest-priority entry when full.
+  virtual void Add(FuzzSeed seed);
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  static constexpr size_t kDefaultMaxQueue = 64;
+
+ protected:
+  std::vector<FuzzSeed> queue_;
+  bool distance_feedback_;
+  size_t max_queue_;
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_SEED_SCHEDULER_H_

@@ -1,0 +1,162 @@
+#include "engine/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/builtin.h"
+#include "corpus/datasets.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::engine {
+namespace {
+
+using corpus::CorpusEntry;
+using fuzzer::CampaignConfig;
+using fuzzer::CampaignResult;
+using fuzzer::StrategyConfig;
+
+/// A mixed batch: the two paper examples plus generated contracts, across
+/// two strategies and distinct seeds — enough variety that any scheduling
+/// or state-bleed bug between workers would show up as a result mismatch.
+std::vector<FuzzJob> MixedBatch(int execs = 150) {
+  std::vector<FuzzJob> jobs;
+  std::vector<CorpusEntry> entries = {corpus::CrowdsaleExample(),
+                                      corpus::GameExample()};
+  for (const CorpusEntry& entry : corpus::BuildD1Small(4, /*seed=*/42)) {
+    entries.push_back(entry);
+  }
+  const StrategyConfig strategies[] = {StrategyConfig::MuFuzz(),
+                                       StrategyConfig::SFuzz()};
+  uint64_t seed = 1;
+  for (const auto& strategy : strategies) {
+    for (const CorpusEntry& entry : entries) {
+      FuzzJob job;
+      job.name = entry.name + "/" + strategy.name;
+      job.source = entry.source;
+      job.config.strategy = strategy;
+      job.config.seed = seed++;
+      job.config.max_executions = execs;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+TEST(ParallelRunnerTest, FourWorkersReproduceSerialBitForBit) {
+  std::vector<FuzzJob> jobs = MixedBatch();
+
+  RunnerOptions serial;
+  serial.workers = 1;
+  RunnerOptions parallel;
+  parallel.workers = 4;
+
+  std::vector<JobOutcome> a = RunBatch(jobs, serial);
+  std::vector<JobOutcome> b = RunBatch(jobs, parallel);
+
+  ASSERT_EQ(a.size(), jobs.size());
+  ASSERT_EQ(b.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a[i].result.has_value()) << a[i].name << ": " << a[i].error;
+    ASSERT_TRUE(b[i].result.has_value()) << b[i].name << ": " << b[i].error;
+    // CampaignResult::operator== is field-for-field: coverage, curve, bug
+    // reports, bug classes, execution/transaction/instruction counts.
+    EXPECT_EQ(*a[i].result, *b[i].result) << "job " << a[i].name;
+  }
+}
+
+TEST(ParallelRunnerTest, BatchMatchesDirectRunCampaign) {
+  // The runner is a fan-out, not a different engine: each outcome must be
+  // exactly what a plain RunCampaign call produces for the same job.
+  std::vector<FuzzJob> jobs = MixedBatch(/*execs=*/100);
+  RunnerOptions options;
+  options.workers = 4;
+  std::vector<JobOutcome> outcomes = RunBatch(jobs, options);
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto artifact = lang::CompileContract(jobs[i].source);
+    ASSERT_TRUE(artifact.ok()) << jobs[i].name;
+    CampaignResult direct = fuzzer::RunCampaign(*artifact, jobs[i].config);
+    ASSERT_TRUE(outcomes[i].result.has_value());
+    EXPECT_EQ(direct, *outcomes[i].result) << "job " << jobs[i].name;
+  }
+}
+
+TEST(ParallelRunnerTest, SessionReuseDoesNotLeakStateAcrossJobs) {
+  // Same batch with and without pooled-session reuse: identical results
+  // prove Bind() fully resets a recycled session.
+  std::vector<FuzzJob> jobs = MixedBatch(/*execs=*/100);
+  RunnerOptions with_reuse;
+  with_reuse.workers = 2;
+  with_reuse.reuse_sessions = true;
+  RunnerOptions without_reuse;
+  without_reuse.workers = 2;
+  without_reuse.reuse_sessions = false;
+
+  std::vector<JobOutcome> a = RunBatch(jobs, with_reuse);
+  std::vector<JobOutcome> b = RunBatch(jobs, without_reuse);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a[i].result.has_value());
+    ASSERT_TRUE(b[i].result.has_value());
+    EXPECT_EQ(*a[i].result, *b[i].result) << "job " << a[i].name;
+  }
+}
+
+TEST(ParallelRunnerTest, CompileFailureIsASkipMarkerNotAZeroRow) {
+  FuzzJob good;
+  good.name = "good";
+  good.source = corpus::CrowdsaleExample().source;
+  good.config.max_executions = 50;
+  FuzzJob bad;
+  bad.name = "bad";
+  bad.source = "contract Broken { function f( public {} }";
+  bad.config.max_executions = 50;
+
+  std::vector<JobOutcome> outcomes = RunBatch({bad, good});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].result.has_value());
+  EXPECT_FALSE(outcomes[0].error.empty());
+  EXPECT_EQ(outcomes[0].name, "bad");
+  ASSERT_TRUE(outcomes[1].result.has_value());
+  EXPECT_GT(outcomes[1].result->branch_coverage, 0.0);
+}
+
+TEST(ParallelRunnerTest, OutcomesStayInJobOrderRegardlessOfWorkers) {
+  std::vector<FuzzJob> jobs = MixedBatch(/*execs=*/60);
+  RunnerOptions options;
+  options.workers = 4;
+  std::vector<JobOutcome> outcomes = RunBatch(jobs, options);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(outcomes[i].name, jobs[i].name);
+  }
+}
+
+TEST(ParallelRunnerTest, PrecompiledArtifactJobsSkipCompilation) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  ASSERT_TRUE(artifact.ok());
+  FuzzJob job;
+  job.name = "precompiled";
+  job.artifact = &*artifact;
+  job.config.seed = 9;
+  job.config.max_executions = 80;
+
+  std::vector<JobOutcome> outcomes = RunBatch({job, job});
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_TRUE(outcomes[0].result.has_value());
+  // Two identical jobs are identical campaigns.
+  EXPECT_EQ(*outcomes[0].result, *outcomes[1].result);
+}
+
+TEST(ParallelRunnerTest, EmptyBatchIsFine) {
+  EXPECT_TRUE(RunBatch({}).empty());
+}
+
+TEST(ParallelRunnerTest, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(DefaultWorkerCount(), 1);
+}
+
+}  // namespace
+}  // namespace mufuzz::engine

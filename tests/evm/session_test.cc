@@ -1,0 +1,211 @@
+#include "evm/execution_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/builtin.h"
+#include "evm/executor.h"
+#include "fuzzer/abi_codec.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::evm {
+namespace {
+
+/// ChainSession::Snapshot/Restore is the mechanism the whole deploy-once/
+/// rewind-many substrate (and therefore the session pool) leans on; these
+/// tests pin its semantics for storage, balances, and block context.
+
+TEST(ChainSessionSnapshotTest, RestoresBalances) {
+  AcceptingHost host;
+  ChainSession session(&host);
+  Address alice = Address::FromUint(0xa);
+  Address bob = Address::FromUint(0xb);
+  session.FundAccount(alice, U256(1000));
+  session.FundAccount(bob, U256(5));
+
+  ChainSession::SessionSnapshot snap = session.Snapshot();
+  session.state().Transfer(alice, bob, U256(600));
+  ASSERT_EQ(session.state().GetBalance(alice), U256(400));
+
+  session.Restore(snap);
+  EXPECT_EQ(session.state().GetBalance(alice), U256(1000));
+  EXPECT_EQ(session.state().GetBalance(bob), U256(5));
+}
+
+TEST(ChainSessionSnapshotTest, RestoresStorage) {
+  AcceptingHost host;
+  ChainSession session(&host);
+  Address contract = Address::FromUint(0xc);
+  session.state().GetOrCreate(contract).storage.Store(U256(1), U256(7));
+
+  ChainSession::SessionSnapshot snap = session.Snapshot();
+  session.state().GetOrCreate(contract).storage.Store(U256(1), U256(99));
+  session.state().GetOrCreate(contract).storage.Store(U256(2), U256(123));
+
+  session.Restore(snap);
+  const Account* account = session.state().Find(contract);
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->storage.Load(U256(1)), U256(7));
+  EXPECT_EQ(account->storage.Load(U256(2)), U256::Zero());
+}
+
+TEST(ChainSessionSnapshotTest, RestoresBlockContext) {
+  AcceptingHost host;
+  BlockContext block;
+  block.number = 100;
+  block.timestamp = 5000;
+  ChainSession session(&host, block);
+
+  ChainSession::SessionSnapshot snap = session.Snapshot();
+  // Apply advances the block (number +1, timestamp +13) even when the
+  // target has no code.
+  TransactionRequest tx;
+  tx.to = Address::FromUint(0x1);
+  tx.sender = Address::FromUint(0x2);
+  session.Apply(tx);
+  session.Apply(tx);
+  ASSERT_EQ(session.block().number, 102u);
+  ASSERT_EQ(session.block().timestamp, 5000u + 26u);
+
+  session.Restore(snap);
+  EXPECT_EQ(session.block().number, 100u);
+  EXPECT_EQ(session.block().timestamp, 5000u);
+}
+
+TEST(ChainSessionSnapshotTest, RestoreKeepSupportsRepeatedRewinds) {
+  AcceptingHost host;
+  ChainSession session(&host);
+  Address alice = Address::FromUint(0xa);
+  session.FundAccount(alice, U256(50));
+  ChainSession::SessionSnapshot snap = session.Snapshot();
+
+  for (int round = 0; round < 3; ++round) {
+    session.FundAccount(alice, U256(round));
+    session.Restore(snap);
+    EXPECT_EQ(session.state().GetBalance(alice), U256(50)) << round;
+  }
+}
+
+/// End-to-end over a real contract: deploy through the backend, execute a
+/// state-changing transaction, rewind, and check the slate is clean.
+class SessionBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto compiled =
+        lang::CompileContract(corpus::CrowdsaleExample().source);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    artifact_ = std::move(compiled).value();
+  }
+
+  /// Calldata for invest(amount) via the fuzzer's codec.
+  Bytes InvestCalldata(uint64_t amount) {
+    fuzzer::AbiCodec codec(&artifact_.abi, {Address::FromUint(0xd0)});
+    fuzzer::Tx tx;
+    tx.fn_index = 0;  // invest(uint256)
+    tx.args = {U256(amount)};
+    return codec.EncodeCalldata(tx);
+  }
+
+  lang::ContractArtifact artifact_;
+};
+
+TEST_F(SessionBackendTest, DeployOnceRewindMany) {
+  AcceptingHost host;
+  SessionBackend backend(&host);
+  Address deployer = Address::FromUint(0xd0);
+  backend.FundAccount(deployer, U256::PowerOfTen(24));
+  auto addr = backend.DeployContract(artifact_.runtime_code,
+                                     artifact_.ctor_code, {}, deployer,
+                                     U256(0));
+  ASSERT_TRUE(addr.ok());
+  backend.MarkDeployed();
+
+  const Account* account = backend.state().Find(addr.value());
+  ASSERT_NE(account, nullptr);
+  size_t baseline_slots = account->storage.size();
+
+  TransactionRequest tx;
+  tx.to = addr.value();
+  tx.sender = deployer;
+  tx.value = U256(40);
+  tx.data = InvestCalldata(40);
+  for (int round = 0; round < 3; ++round) {
+    ExecResult result = backend.Execute(tx);
+    ASSERT_TRUE(result.Success()) << "round " << round;
+    // invest() writes raised/deposits storage.
+    EXPECT_GT(backend.state().Find(addr.value())->storage.size(),
+              baseline_slots);
+    backend.Rewind();
+    EXPECT_EQ(backend.state().Find(addr.value())->storage.size(),
+              baseline_slots);
+  }
+}
+
+TEST_F(SessionBackendTest, ExecuteRecordsATrace) {
+  AcceptingHost host;
+  SessionBackend backend(&host);
+  Address deployer = Address::FromUint(0xd0);
+  backend.FundAccount(deployer, U256::PowerOfTen(24));
+  auto addr = backend.DeployContract(artifact_.runtime_code,
+                                     artifact_.ctor_code, {}, deployer,
+                                     U256(0));
+  ASSERT_TRUE(addr.ok());
+  backend.MarkDeployed();
+
+  TransactionRequest tx;
+  tx.to = addr.value();
+  tx.sender = deployer;
+  tx.value = U256(1);
+  tx.data = InvestCalldata(1);
+  backend.Execute(tx);
+  EXPECT_GT(backend.trace().instruction_count(), 0u);
+  EXPECT_FALSE(backend.trace().branches().empty());
+}
+
+TEST_F(SessionBackendTest, BindResetsAllSessionState) {
+  AcceptingHost host;
+  SessionBackend backend(&host);
+  backend.FundAccount(Address::FromUint(0xa), U256(123));
+  ASSERT_EQ(backend.state().GetBalance(Address::FromUint(0xa)), U256(123));
+
+  backend.Bind(&host);
+  EXPECT_EQ(backend.state().GetBalance(Address::FromUint(0xa)),
+            U256::Zero());
+  EXPECT_EQ(backend.state().account_count(), 0u);
+}
+
+TEST_F(SessionBackendTest, CampaignUnbindsExternalBackendOnDestruction) {
+  // The campaign's host dies with it; a caller-supplied backend must come
+  // back unbound rather than pointing at the dead host.
+  SessionBackend backend;
+  fuzzer::CampaignConfig config;
+  config.max_executions = 30;
+  fuzzer::RunCampaign(artifact_, config, &backend);
+  EXPECT_FALSE(backend.bound());
+}
+
+TEST(SessionPoolTest, RecyclesReleasedBackends) {
+  SessionPool pool;
+  EXPECT_EQ(pool.created(), 0u);
+
+  std::unique_ptr<SessionBackend> a = pool.Acquire();
+  std::unique_ptr<SessionBackend> b = pool.Acquire();
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  SessionBackend* raw = a.get();
+  pool.Release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  std::unique_ptr<SessionBackend> c = pool.Acquire();
+  EXPECT_EQ(c.get(), raw);  // recycled, not freshly created
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.pooled(), 0u);
+
+  pool.Release(std::move(b));
+  pool.Release(std::move(c));
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+}  // namespace
+}  // namespace mufuzz::evm
