@@ -9,6 +9,7 @@
 #include "common/keccak.h"
 #include "common/rng.h"
 #include "common/u256.h"
+#include "copy_state_backstop.h"
 #include "corpus/builtin.h"
 #include "corpus/generator.h"
 #include "engine/parallel_runner.h"
@@ -126,6 +127,45 @@ void BM_ParallelBatchCampaigns(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelBatchCampaigns)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+/// Per-sequence rewind cost: populate a state with Arg0 accounts, mark it,
+/// then repeatedly touch Arg1 slots and rewind. The claim under test: the
+/// journaled WorldState scales with slots touched, not with state size
+/// (compare rows with equal Arg1 across Arg0 = 10 / 1k / 100k), while the
+/// retired copy-based semantics (kept in tests/evm/copy_state_backstop.h as
+/// the differential oracle) are linear in state size. One templated body so
+/// both sides of the before/after comparison run the identical workload.
+template <class StateT>
+void BM_SnapshotRewind(benchmark::State& state) {
+  const int64_t accounts = state.range(0);
+  const int64_t touched = state.range(1);
+  StateT world;
+  for (int64_t i = 0; i < accounts; ++i) {
+    Address addr = Address::FromUint(0x10000 + i);
+    world.SetBalance(addr, U256(1));
+    world.SetStorage(addr, U256(0), U256(i + 1));
+  }
+  size_t snap = world.Snapshot();
+  Address target = Address::FromUint(0x10000);
+  for (auto _ : state) {
+    for (int64_t k = 0; k < touched; ++k) {
+      world.SetStorage(target, U256(k + 1), U256(k + 7));
+    }
+    world.RestoreKeep(snap);
+  }
+  state.SetItemsProcessed(state.iterations() * touched);
+}
+BENCHMARK_TEMPLATE(BM_SnapshotRewind, evm::WorldState)
+    ->ArgPair(10, 16)
+    ->ArgPair(1000, 16)
+    ->ArgPair(100000, 16)
+    ->ArgPair(10, 256)
+    ->ArgPair(1000, 256)
+    ->ArgPair(100000, 256);
+BENCHMARK_TEMPLATE(BM_SnapshotRewind, evm::CopyStateBackstop)
+    ->ArgPair(10, 16)
+    ->ArgPair(1000, 16)
+    ->ArgPair(100000, 16);
 
 /// Cost of the Algorithm-3 machinery alone: prefix inference construction
 /// plus branch weighting of a synthetic trace — the "pre-fuzz" overhead.

@@ -44,9 +44,12 @@ class ExecutionBackend {
 
   /// Marks the current session state (world state + block context) as the
   /// point Rewind() returns to. Typically called right after deployment.
+  /// O(1) in the in-process backend (a journal mark, not a state copy).
   virtual void MarkDeployed() = 0;
 
   /// Rewinds to the MarkDeployed() point. May be called any number of times.
+  /// Cost is proportional to the state the transactions since the mark
+  /// touched (journal unwind), not to total state size.
   virtual void Rewind() = 0;
 
   /// Clears the per-transaction trace and applies one transaction.

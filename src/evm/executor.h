@@ -54,6 +54,9 @@ class ChainSession {
 
   /// Snapshot/restore of the full session (world state + block context),
   /// used to rewind to the post-deployment state between fuzz runs.
+  /// Snapshot() is O(1) (a journal mark); Restore() unwinds the world
+  /// state's write journal, so its cost scales with the slots the run
+  /// touched, not with total state size.
   struct SessionSnapshot {
     size_t state_snapshot;
     BlockContext block;

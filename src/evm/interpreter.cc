@@ -177,8 +177,8 @@ ExecResult Interpreter::RunFrame(const MessageCall& call) {
     return t;
   };
 
-  Account& self = state_->GetOrCreate(call.to);
-  (void)self;
+  // Executing a frame brings the callee account into existence (journaled).
+  state_->Touch(call.to);
 
   while (pc < code.size()) {
     if (++steps_ > config_.max_steps) {
@@ -617,9 +617,11 @@ ExecResult Interpreter::RunFrame(const MessageCall& call) {
       case Op::kSload: {
         Word key;
         stack.Pop(&key);
-        Account& acct = state_->GetOrCreate(call.to);
-        U256 v = acct.storage.Load(key.value);
-        uint32_t t = kTaintStorage | acct.storage.LoadTaint(key.value);
+        // One account probe for value + taint (Touch pinned the account).
+        const Account* acct = state_->Find(call.to);
+        U256 v = acct ? acct->storage.Load(key.value) : U256::Zero();
+        uint32_t t =
+            kTaintStorage | (acct ? acct->storage.LoadTaint(key.value) : 0);
         if (!stack.Push(Word(v, t))) return stack_err();
         break;
       }
@@ -630,8 +632,7 @@ ExecResult Interpreter::RunFrame(const MessageCall& call) {
         Word key, val;
         stack.Pop(&key);
         stack.Pop(&val);
-        Account& acct = state_->GetOrCreate(call.to);
-        acct.storage.Store(key.value, val.value, val.taint);
+        state_->SetStorage(call.to, key.value, val.value, val.taint);
         if (observer_ != nullptr) {
           observer_->OnStore(
               {insn_pc, key.value, val.value, val.taint, call.depth});
@@ -719,12 +720,11 @@ ExecResult Interpreter::RunFrame(const MessageCall& call) {
         Word beneficiary;
         stack.Pop(&beneficiary);
         Address to = Address::FromWord(beneficiary.value);
-        Account& acct = state_->GetOrCreate(call.to);
-        U256 balance = acct.balance;
-        acct.balance = U256::Zero();
-        acct.self_destructed = true;
-        state_->GetOrCreate(to).balance =
-            state_->GetBalance(to) + balance;
+        U256 balance = state_->GetBalance(call.to);
+        state_->SetBalance(call.to, U256::Zero());
+        state_->MarkSelfDestructed(call.to);
+        // Read `to` after zeroing the self balance so to == self nets right.
+        state_->SetBalance(to, state_->GetBalance(to) + balance);
         if (observer_ != nullptr) {
           observer_->OnSelfdestruct(
               {insn_pc, to, caller_guard_seen, call.depth});

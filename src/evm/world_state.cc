@@ -1,37 +1,140 @@
 #include "evm/world_state.h"
 
+#include <utility>
+
 namespace mufuzz::evm {
+
+Account& WorldState::Ensure(const Address& addr) {
+  auto it = accounts_.find(addr);
+  if (it != accounts_.end()) return it->second;
+  if (journaling()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kCreateAccount;
+    e.addr = addr;
+    journal_.push_back(std::move(e));
+  }
+  return accounts_.try_emplace(addr).first->second;
+}
+
+void WorldState::SetBalance(const Address& addr, const U256& value) {
+  Account& a = Ensure(addr);
+  if (a.balance == value) return;
+  if (journaling()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kBalance;
+    e.addr = addr;
+    e.prev_word = a.balance;
+    journal_.push_back(std::move(e));
+  }
+  a.balance = value;
+}
 
 bool WorldState::Transfer(const Address& from, const Address& to,
                           const U256& value) {
   if (value.IsZero()) return true;
-  Account& src = GetOrCreate(from);
-  if (src.balance < value) return false;
-  src.balance = src.balance - value;
-  GetOrCreate(to).balance = GetOrCreate(to).balance + value;
+  // Even a failed transfer brings `from` into existence (seed semantics,
+  // pinned by the differential oracle). Copy the balance out; the reference
+  // must not outlive the SetBalance inserts below.
+  U256 src = Ensure(from).balance;
+  if (src < value) return false;
+  SetBalance(from, src - value);
+  // Read `to` only after debiting `from` so a self-transfer nets to zero.
+  SetBalance(to, GetBalance(to) + value);
   return true;
 }
 
+void WorldState::SetCode(const Address& addr, Bytes code) {
+  Account& a = Ensure(addr);
+  if (a.code == code) return;
+  if (journaling()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kCode;
+    e.addr = addr;
+    e.prev_code = std::move(a.code);
+    journal_.push_back(std::move(e));
+  }
+  a.code = std::move(code);
+}
+
+void WorldState::SetStorage(const Address& addr, const U256& key,
+                            const U256& value, uint32_t taint) {
+  Account& a = Ensure(addr);
+  auto [prev, prev_taint] = a.storage.Exchange(key, value, taint);
+  if (prev == value && prev_taint == taint) return;  // no-op: nothing to undo
+  if (journaling()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kStorage;
+    e.addr = addr;
+    e.key = key;
+    e.prev_word = prev;
+    e.prev_taint = prev_taint;
+    journal_.push_back(std::move(e));
+  }
+}
+
+void WorldState::MarkSelfDestructed(const Address& addr) {
+  Account& a = Ensure(addr);
+  if (a.self_destructed) return;
+  if (journaling()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kSelfDestructed;
+    e.addr = addr;
+    e.prev_flag = false;
+    journal_.push_back(std::move(e));
+  }
+  a.self_destructed = true;
+}
+
 size_t WorldState::Snapshot() {
-  snapshots_.push_back(accounts_);
-  return snapshots_.size() - 1;
+  marks_.push_back(journal_.size());
+  return marks_.size() - 1;
+}
+
+void WorldState::UnwindTo(size_t mark) {
+  while (journal_.size() > mark) {
+    JournalEntry& e = journal_.back();
+    auto it = accounts_.find(e.addr);
+    switch (e.kind) {
+      case JournalEntry::Kind::kCreateAccount:
+        if (it != accounts_.end()) accounts_.erase(it);
+        break;
+      case JournalEntry::Kind::kBalance:
+        if (it != accounts_.end()) it->second.balance = e.prev_word;
+        break;
+      case JournalEntry::Kind::kStorage:
+        if (it != accounts_.end()) {
+          it->second.storage.Store(e.key, e.prev_word, e.prev_taint);
+        }
+        break;
+      case JournalEntry::Kind::kCode:
+        if (it != accounts_.end()) it->second.code = std::move(e.prev_code);
+        break;
+      case JournalEntry::Kind::kSelfDestructed:
+        if (it != accounts_.end()) it->second.self_destructed = e.prev_flag;
+        break;
+    }
+    journal_.pop_back();
+  }
 }
 
 void WorldState::RevertTo(size_t id) {
-  if (id >= snapshots_.size()) return;
-  accounts_ = std::move(snapshots_[id]);
-  snapshots_.resize(id);
+  if (id >= marks_.size()) return;
+  UnwindTo(marks_[id]);
+  marks_.resize(id);
 }
 
 void WorldState::Commit(size_t id) {
-  if (id >= snapshots_.size()) return;
-  snapshots_.resize(id);
+  if (id >= marks_.size()) return;
+  marks_.resize(id);
+  // With no live snapshot nothing can ever unwind these entries; drop them
+  // so sessions that commit at top level don't grow the journal unboundedly.
+  if (marks_.empty()) journal_.clear();
 }
 
 void WorldState::RestoreKeep(size_t id) {
-  if (id >= snapshots_.size()) return;
-  accounts_ = snapshots_[id];
-  snapshots_.resize(id + 1);
+  if (id >= marks_.size()) return;
+  UnwindTo(marks_[id]);
+  marks_.resize(id + 1);
 }
 
 }  // namespace mufuzz::evm

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/address.h"
@@ -13,7 +14,7 @@ namespace mufuzz::evm {
 
 /// Persistent key-value storage of one account (the contract Storage of
 /// §II-A). Missing keys read as zero; writing zero erases the key so that
-/// snapshots stay compact.
+/// the map stays compact.
 ///
 /// Alongside each slot a taint mask is kept so that flows like "block
 /// timestamp written by tx1, branched on by tx2" survive across transactions
@@ -32,16 +33,44 @@ class Storage {
   }
 
   void Store(const U256& key, const U256& value, uint32_t taint = 0) {
+    (void)Exchange(key, value, taint);
+  }
+
+  /// Store that also returns the previous (value, taint) — one probe per
+  /// map instead of the Load + LoadTaint + Store double-probing the
+  /// journaled SSTORE path would otherwise pay. Writing zero erases the
+  /// slot (and zero taint erases the mask) so the maps stay compact.
+  std::pair<U256, uint32_t> Exchange(const U256& key, const U256& value,
+                                     uint32_t taint) {
+    U256 prev;
     if (value.IsZero()) {
-      slots_.erase(key);
+      auto it = slots_.find(key);
+      if (it != slots_.end()) {
+        prev = it->second;
+        slots_.erase(it);
+      }
     } else {
-      slots_[key] = value;
+      auto res = slots_.try_emplace(key, value);
+      if (!res.second) {
+        prev = res.first->second;
+        res.first->second = value;
+      }
     }
+    uint32_t prev_taint = 0;
     if (taint == 0) {
-      taints_.erase(key);
+      auto it = taints_.find(key);
+      if (it != taints_.end()) {
+        prev_taint = it->second;
+        taints_.erase(it);
+      }
     } else {
-      taints_[key] = taint;
+      auto res = taints_.try_emplace(key, taint);
+      if (!res.second) {
+        prev_taint = res.first->second;
+        res.first->second = taint;
+      }
     }
+    return {prev, prev_taint};
   }
 
   size_t size() const { return slots_.size(); }
@@ -53,6 +82,15 @@ class Storage {
 
   const std::unordered_map<U256, U256, U256::Hasher>& slots() const {
     return slots_;
+  }
+  /// Per-slot taint masks — exposed so tests can assert that taint survives
+  /// snapshot/revert, not just slot values.
+  const std::unordered_map<U256, uint32_t, U256::Hasher>& taints() const {
+    return taints_;
+  }
+
+  friend bool operator==(const Storage& a, const Storage& b) {
+    return a.slots_ == b.slots_ && a.taints_ == b.taints_;
   }
 
  private:
@@ -68,49 +106,78 @@ struct Account {
   bool self_destructed = false;
 
   bool HasCode() const { return !code.empty(); }
+
+  friend bool operator==(const Account& a, const Account& b) {
+    return a.balance == b.balance && a.code == b.code &&
+           a.storage == b.storage && a.self_destructed == b.self_destructed;
+  }
 };
 
 /// The mutable world the fuzzer executes against: a map of accounts with
-/// whole-state snapshot/restore. Snapshots are plain copies — contract state
-/// at fuzzing scale is tiny, and copying keeps revert semantics trivially
-/// correct (failed transactions must leave no trace, §IV's fresh-state runs).
+/// journaled copy-on-write snapshot/restore.
+///
+/// Every mutation goes through a setter that appends an undo entry to a
+/// write journal, so `Snapshot()` is "record the journal length" (O(1)) and
+/// `RevertTo`/`RestoreKeep` are "unwind the journal to the mark" — cost
+/// proportional to the mutations performed since the snapshot, not to total
+/// state size. This is what makes the fuzzer's per-sequence rewind to the
+/// post-deployment state (§IV's fresh-state runs) cheap: a sequence that
+/// touches k slots rewinds in O(k) regardless of how many accounts exist.
+///
+/// Invariants:
+///  - Mutations are only possible through the journaled setters; no mutable
+///    `Account&` escapes this class, so no write can bypass the journal.
+///  - While no snapshot is live the journal is empty and setters skip
+///    journaling entirely (nothing could ever unwind past that point).
+///  - Snapshot ids form a stack: reverting or committing id `i` invalidates
+///    every id >= i, and `RestoreKeep(i)` keeps exactly ids 0..i alive.
 class WorldState {
  public:
-  /// Returns the account, creating an empty one on first touch.
-  Account& GetOrCreate(const Address& addr) { return accounts_[addr]; }
-
-  /// Returns the account or nullptr if it was never created.
+  /// Returns the account or nullptr if it was never created. The returned
+  /// pointer is read-only and valid only until the next mutation (the
+  /// accounts map may rehash).
   const Account* Find(const Address& addr) const {
     auto it = accounts_.find(addr);
     return it == accounts_.end() ? nullptr : &it->second;
   }
-  Account* FindMutable(const Address& addr) {
-    auto it = accounts_.find(addr);
-    return it == accounts_.end() ? nullptr : &it->second;
-  }
+
+  /// Creates an empty account if `addr` was never touched (journaled).
+  void Touch(const Address& addr) { Ensure(addr); }
 
   U256 GetBalance(const Address& addr) const {
     const Account* a = Find(addr);
     return a ? a->balance : U256::Zero();
   }
-
-  void SetBalance(const Address& addr, const U256& value) {
-    GetOrCreate(addr).balance = value;
-  }
+  void SetBalance(const Address& addr, const U256& value);
 
   /// Moves `value` from `from` to `to`; false if `from` lacks funds.
   bool Transfer(const Address& from, const Address& to, const U256& value);
 
   /// Installs code at an address (deployment).
-  void SetCode(const Address& addr, Bytes code) {
-    GetOrCreate(addr).code = std::move(code);
-  }
+  void SetCode(const Address& addr, Bytes code);
 
-  /// Snapshot id for later revert. Snapshots nest (stack discipline).
+  U256 GetStorage(const Address& addr, const U256& key) const {
+    const Account* a = Find(addr);
+    return a ? a->storage.Load(key) : U256::Zero();
+  }
+  uint32_t GetStorageTaint(const Address& addr, const U256& key) const {
+    const Account* a = Find(addr);
+    return a ? a->storage.LoadTaint(key) : 0;
+  }
+  void SetStorage(const Address& addr, const U256& key, const U256& value,
+                  uint32_t taint = 0);
+
+  /// Flags the account as self-destructed (SELFDESTRUCT executed against it).
+  void MarkSelfDestructed(const Address& addr);
+
+  /// Snapshot id for later revert. Snapshots nest (stack discipline). O(1):
+  /// records the current journal length.
   size_t Snapshot();
-  /// Reverts to (and discards) snapshot `id` and all later snapshots.
+  /// Reverts to (and discards) snapshot `id` and all later snapshots by
+  /// unwinding the journal.
   void RevertTo(size_t id);
-  /// Discards snapshot `id` and later ones without reverting.
+  /// Discards snapshot `id` and later ones without reverting. The journal
+  /// entries survive so an *earlier* snapshot can still unwind them.
   void Commit(size_t id);
   /// Restores the state captured by snapshot `id` but keeps the snapshot
   /// alive, so it can be restored again — the fuzzer rewinds to the
@@ -118,11 +185,50 @@ class WorldState {
   void RestoreKeep(size_t id);
 
   size_t account_count() const { return accounts_.size(); }
+  /// Undo entries currently recorded (tests/benches observe journal growth).
+  size_t journal_size() const { return journal_.size(); }
+  /// Live snapshot marks (tests observe stack discipline).
+  size_t snapshot_depth() const { return marks_.size(); }
+
+  /// Whole-state read access for oracles, dumps, and the differential tests.
+  const std::unordered_map<Address, Account, Address::Hasher>& accounts()
+      const {
+    return accounts_;
+  }
 
  private:
+  /// One undo record: enough to restore the single field a setter changed.
+  struct JournalEntry {
+    enum class Kind : uint8_t {
+      kCreateAccount,   ///< undo: erase the account
+      kBalance,         ///< undo: restore prev_word as balance
+      kStorage,         ///< undo: restore (prev_word, prev_taint) at key
+      kCode,            ///< undo: restore prev_code
+      kSelfDestructed,  ///< undo: restore prev_flag
+    };
+    Kind kind;
+    Address addr;
+    U256 key;
+    U256 prev_word;
+    uint32_t prev_taint = 0;
+    bool prev_flag = false;
+    Bytes prev_code;
+  };
+
+  /// Returns the account, creating (and journaling) an empty one on first
+  /// touch. Private on purpose: the reference is short-lived scratch inside
+  /// one setter — handing it out would let callers mutate past the journal,
+  /// and a later insert could rehash the map out from under it.
+  Account& Ensure(const Address& addr);
+
+  bool journaling() const { return !marks_.empty(); }
+  /// Undoes journal entries until only `mark` remain.
+  void UnwindTo(size_t mark);
+
   std::unordered_map<Address, Account, Address::Hasher> accounts_;
-  std::vector<std::unordered_map<Address, Account, Address::Hasher>>
-      snapshots_;
+  std::vector<JournalEntry> journal_;
+  /// marks_[i] = journal length when snapshot id i was taken.
+  std::vector<size_t> marks_;
 };
 
 }  // namespace mufuzz::evm

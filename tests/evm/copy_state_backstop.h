@@ -1,0 +1,109 @@
+#ifndef MUFUZZ_TESTS_EVM_COPY_STATE_BACKSTOP_H_
+#define MUFUZZ_TESTS_EVM_COPY_STATE_BACKSTOP_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "evm/world_state.h"
+
+namespace mufuzz::evm {
+
+/// The pre-journal WorldState semantics, kept alive verbatim as a
+/// differential oracle: every snapshot deep-copies the whole account map and
+/// every revert/restore swaps the copy back in. Trivially correct (failed
+/// transactions can't possibly leave a trace) but O(state size) per
+/// snapshot/rewind — which is exactly what the journaled WorldState replaces.
+/// The randomized differential test drives both through the same op stream
+/// and asserts identical observable state after every step.
+class CopyStateBackstop {
+ public:
+  const Account* Find(const Address& addr) const {
+    auto it = accounts_.find(addr);
+    return it == accounts_.end() ? nullptr : &it->second;
+  }
+
+  void Touch(const Address& addr) { accounts_[addr]; }
+
+  U256 GetBalance(const Address& addr) const {
+    const Account* a = Find(addr);
+    return a ? a->balance : U256::Zero();
+  }
+  void SetBalance(const Address& addr, const U256& value) {
+    accounts_[addr].balance = value;
+  }
+
+  bool Transfer(const Address& from, const Address& to, const U256& value) {
+    if (value.IsZero()) return true;
+    Account& src = accounts_[from];
+    if (src.balance < value) return false;
+    src.balance = src.balance - value;
+    // Second lookup on purpose: `src` may dangle after this insert rehashes.
+    accounts_[to].balance = accounts_[to].balance + value;
+    return true;
+  }
+
+  void SetCode(const Address& addr, Bytes code) {
+    accounts_[addr].code = std::move(code);
+  }
+
+  U256 GetStorage(const Address& addr, const U256& key) const {
+    const Account* a = Find(addr);
+    return a ? a->storage.Load(key) : U256::Zero();
+  }
+  uint32_t GetStorageTaint(const Address& addr, const U256& key) const {
+    const Account* a = Find(addr);
+    return a ? a->storage.LoadTaint(key) : 0;
+  }
+  void SetStorage(const Address& addr, const U256& key, const U256& value,
+                  uint32_t taint = 0) {
+    accounts_[addr].storage.Store(key, value, taint);
+  }
+
+  void MarkSelfDestructed(const Address& addr) {
+    accounts_[addr].self_destructed = true;
+  }
+
+  size_t Snapshot() {
+    snapshots_.push_back(accounts_);
+    return snapshots_.size() - 1;
+  }
+  void RevertTo(size_t id) {
+    if (id >= snapshots_.size()) return;
+    accounts_ = std::move(snapshots_[id]);
+    snapshots_.resize(id);
+  }
+  void Commit(size_t id) {
+    if (id >= snapshots_.size()) return;
+    snapshots_.resize(id);
+  }
+  void RestoreKeep(size_t id) {
+    if (id >= snapshots_.size()) return;
+    accounts_ = snapshots_[id];
+    snapshots_.resize(id + 1);
+  }
+
+  size_t account_count() const { return accounts_.size(); }
+  size_t snapshot_depth() const { return snapshots_.size(); }
+
+  const std::unordered_map<Address, Account, Address::Hasher>& accounts()
+      const {
+    return accounts_;
+  }
+
+ private:
+  std::unordered_map<Address, Account, Address::Hasher> accounts_;
+  std::vector<std::unordered_map<Address, Account, Address::Hasher>>
+      snapshots_;
+};
+
+/// Observable-state equality between the journaled WorldState and the
+/// copy-based oracle (account maps compare element-wise; order-independent).
+inline bool SameObservableState(const WorldState& ws,
+                                const CopyStateBackstop& oracle) {
+  return ws.accounts() == oracle.accounts();
+}
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_TESTS_EVM_COPY_STATE_BACKSTOP_H_

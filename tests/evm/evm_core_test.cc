@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "copy_state_backstop.h"
 #include "evm/bytecode_builder.h"
 #include "evm/memory.h"
 #include "evm/opcodes.h"
@@ -241,11 +243,11 @@ TEST(WorldStateTest, SnapshotRevertRestoresEverything) {
   WorldState w;
   Address a = Address::FromUint(1);
   w.SetBalance(a, U256(100));
-  w.GetOrCreate(a).storage.Store(U256(0), U256(7));
+  w.SetStorage(a, U256(0), U256(7));
 
   size_t snap = w.Snapshot();
   w.SetBalance(a, U256(1));
-  w.GetOrCreate(a).storage.Store(U256(0), U256(99));
+  w.SetStorage(a, U256(0), U256(99));
   w.SetCode(a, Bytes{0x00});
 
   w.RevertTo(snap);
@@ -275,6 +277,269 @@ TEST(WorldStateTest, CommitDiscardsSnapshotKeepingChanges) {
   w.SetBalance(a, U256(5));
   w.Commit(s1);
   EXPECT_EQ(w.GetBalance(a), U256(5));
+}
+
+TEST(WorldStateTest, FailedTransferStillCreatesSender) {
+  WorldState w;
+  CopyStateBackstop oracle;
+  Address a = Address::FromUint(1), b = Address::FromUint(2);
+  size_t snap = w.Snapshot();
+  ASSERT_EQ(oracle.Snapshot(), snap);
+  EXPECT_FALSE(w.Transfer(a, b, U256(5)));
+  EXPECT_FALSE(oracle.Transfer(a, b, U256(5)));
+  // Seed semantics: the funds check touches `from` but never `to`.
+  EXPECT_NE(w.Find(a), nullptr);
+  EXPECT_EQ(w.Find(b), nullptr);
+  EXPECT_TRUE(SameObservableState(w, oracle));
+  w.RevertTo(snap);
+  oracle.RevertTo(snap);
+  EXPECT_EQ(w.Find(a), nullptr);
+  EXPECT_TRUE(SameObservableState(w, oracle));
+}
+
+TEST(WorldStateTest, SelfTransferIsObservableNoOp) {
+  WorldState w;
+  Address a = Address::FromUint(1);
+  w.SetBalance(a, U256(10));
+  EXPECT_TRUE(w.Transfer(a, a, U256(4)));
+  EXPECT_EQ(w.GetBalance(a), U256(10));
+  EXPECT_FALSE(w.Transfer(a, a, U256(11)));  // still funds-checked
+}
+
+TEST(WorldStateTest, TaintSurvivesSnapshotRevert) {
+  WorldState w;
+  Address a = Address::FromUint(1);
+  w.SetStorage(a, U256(0), U256(7), kTaintBlock);
+
+  size_t snap = w.Snapshot();
+  w.SetStorage(a, U256(0), U256(8), kTaintCaller);
+  ASSERT_EQ(w.GetStorageTaint(a, U256(0)), kTaintCaller);
+
+  w.RevertTo(snap);
+  EXPECT_EQ(w.GetStorage(a, U256(0)), U256(7));
+  EXPECT_EQ(w.GetStorageTaint(a, U256(0)), kTaintBlock);
+  // The taints() accessor exposes the raw per-slot masks.
+  EXPECT_EQ(w.Find(a)->storage.taints().at(U256(0)), kTaintBlock);
+}
+
+TEST(WorldStateTest, RevertErasesAccountsCreatedSinceSnapshot) {
+  WorldState w;
+  Address a = Address::FromUint(1), b = Address::FromUint(2);
+  w.SetBalance(a, U256(1));
+  size_t snap = w.Snapshot();
+  w.Touch(b);
+  w.SetBalance(b, U256(9));
+  ASSERT_EQ(w.account_count(), 2u);
+  w.RevertTo(snap);
+  EXPECT_EQ(w.account_count(), 1u);
+  EXPECT_EQ(w.Find(b), nullptr);
+}
+
+/// The CALL-frame pattern: an inner frame reverts, execution continues, and
+/// then the *outer* frame reverts too — the outer revert must also undo
+/// whatever happened between the two inner marks.
+TEST(WorldStateTest, InnerRevertInsideRevertedOuterFrame) {
+  WorldState w;
+  CopyStateBackstop oracle;
+  Address a = Address::FromUint(1);
+  auto set = [&](const U256& v) {
+    w.SetBalance(a, v);
+    oracle.SetBalance(a, v);
+  };
+  set(U256(1));
+  size_t outer = w.Snapshot();
+  ASSERT_EQ(oracle.Snapshot(), outer);
+  set(U256(2));
+  size_t inner = w.Snapshot();
+  ASSERT_EQ(oracle.Snapshot(), inner);
+  set(U256(3));
+  w.RevertTo(inner);
+  oracle.RevertTo(inner);
+  EXPECT_EQ(w.GetBalance(a), U256(2));
+  set(U256(4));  // post-inner-revert progress, also doomed
+  w.RevertTo(outer);
+  oracle.RevertTo(outer);
+  EXPECT_EQ(w.GetBalance(a), U256(1));
+  EXPECT_TRUE(SameObservableState(w, oracle));
+}
+
+/// Commit of a mid-stack id keeps the changes but an *earlier* snapshot must
+/// still be able to unwind them (the successful-CALL-inside-reverted-tx
+/// pattern).
+TEST(WorldStateTest, CommitMidStackKeepsChangesRevertibleByOuter) {
+  WorldState w;
+  CopyStateBackstop oracle;
+  Address a = Address::FromUint(1);
+  auto set = [&](const U256& v) {
+    w.SetBalance(a, v);
+    oracle.SetBalance(a, v);
+  };
+  set(U256(1));
+  size_t s0 = w.Snapshot();
+  ASSERT_EQ(oracle.Snapshot(), s0);
+  set(U256(2));
+  size_t s1 = w.Snapshot();
+  ASSERT_EQ(oracle.Snapshot(), s1);
+  set(U256(3));
+  w.Snapshot();
+  oracle.Snapshot();
+  set(U256(4));
+  w.Commit(s1);  // drops s1 and s2, keeps balance == 4
+  oracle.Commit(s1);
+  EXPECT_EQ(w.GetBalance(a), U256(4));
+  EXPECT_TRUE(SameObservableState(w, oracle));
+  w.RevertTo(s0);
+  oracle.RevertTo(s0);
+  EXPECT_EQ(w.GetBalance(a), U256(1));
+  EXPECT_TRUE(SameObservableState(w, oracle));
+}
+
+TEST(WorldStateTest, RestoreKeepTwiceInARow) {
+  WorldState w;
+  CopyStateBackstop oracle;
+  Address a = Address::FromUint(1);
+  w.SetBalance(a, U256(5));
+  oracle.SetBalance(a, U256(5));
+  size_t snap = w.Snapshot();
+  ASSERT_EQ(oracle.Snapshot(), snap);
+
+  w.SetBalance(a, U256(6));
+  oracle.SetBalance(a, U256(6));
+  w.RestoreKeep(snap);
+  oracle.RestoreKeep(snap);
+  EXPECT_EQ(w.GetBalance(a), U256(5));
+
+  // Immediately again, with no mutation in between.
+  w.RestoreKeep(snap);
+  oracle.RestoreKeep(snap);
+  EXPECT_EQ(w.GetBalance(a), U256(5));
+  EXPECT_EQ(w.snapshot_depth(), 1u);
+  EXPECT_TRUE(SameObservableState(w, oracle));
+
+  w.SetBalance(a, U256(7));
+  oracle.SetBalance(a, U256(7));
+  w.RestoreKeep(snap);
+  oracle.RestoreKeep(snap);
+  EXPECT_EQ(w.GetBalance(a), U256(5));
+  EXPECT_TRUE(SameObservableState(w, oracle));
+}
+
+TEST(WorldStateTest, JournalScalesWithTouchesNotStateSize) {
+  WorldState w;
+  for (uint64_t i = 0; i < 100; ++i) {
+    w.SetStorage(Address::FromUint(i), U256(i), U256(i + 1));
+  }
+  size_t snap = w.Snapshot();
+  EXPECT_EQ(w.journal_size(), 0u);  // O(1) snapshot: nothing copied
+  w.SetStorage(Address::FromUint(0), U256(0), U256(42));
+  w.SetBalance(Address::FromUint(1), U256(7));
+  EXPECT_EQ(w.journal_size(), 2u);  // one undo entry per touched field
+  w.RestoreKeep(snap);
+  EXPECT_EQ(w.journal_size(), 0u);
+  EXPECT_EQ(w.GetStorage(Address::FromUint(0), U256(0)), U256(1));
+}
+
+TEST(WorldStateTest, CommittingLastSnapshotDropsJournal) {
+  WorldState w;
+  Address a = Address::FromUint(1);
+  size_t snap = w.Snapshot();
+  w.SetBalance(a, U256(5));
+  EXPECT_GT(w.journal_size(), 0u);
+  w.Commit(snap);
+  EXPECT_EQ(w.snapshot_depth(), 0u);
+  EXPECT_EQ(w.journal_size(), 0u);  // nothing can unwind past this point
+  EXPECT_EQ(w.GetBalance(a), U256(5));
+}
+
+/// The differential oracle test the whole refactor leans on: drive the
+/// journaled WorldState and the old copy-based semantics through thousands
+/// of interleaved mutate/snapshot/revert/commit/restore ops and assert the
+/// observable state never diverges.
+TEST(WorldStateDifferentialTest, JournalMatchesCopyOracleUnderRandomOps) {
+  Rng rng(0xd1ff0421);
+  WorldState w;
+  CopyStateBackstop oracle;
+  std::vector<size_t> live;  // live snapshot ids (stack discipline)
+  constexpr int kOps = 5000;
+  for (int i = 0; i < kOps; ++i) {
+    Address addr = Address::FromUint(rng.NextBelow(6));
+    switch (rng.NextBelow(10)) {
+      case 0: {
+        U256 v(rng.NextBelow(5));
+        w.SetBalance(addr, v);
+        oracle.SetBalance(addr, v);
+        break;
+      }
+      case 1: {
+        U256 key(rng.NextBelow(4));
+        U256 v(rng.NextBelow(3));  // zeros exercise the slot-erase path
+        uint32_t taint = static_cast<uint32_t>(rng.NextBelow(4));
+        w.SetStorage(addr, key, v, taint);
+        oracle.SetStorage(addr, key, v, taint);
+        break;
+      }
+      case 2: {
+        Bytes code;
+        if (rng.NextBelow(2) == 1) {
+          code.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+        }
+        w.SetCode(addr, code);
+        oracle.SetCode(addr, code);
+        break;
+      }
+      case 3:
+        w.MarkSelfDestructed(addr);
+        oracle.MarkSelfDestructed(addr);
+        break;
+      case 4: {
+        Address to = Address::FromUint(rng.NextBelow(6));
+        U256 v(rng.NextBelow(8));
+        ASSERT_EQ(w.Transfer(addr, to, v), oracle.Transfer(addr, to, v));
+        break;
+      }
+      case 5:
+        w.Touch(addr);
+        oracle.Touch(addr);
+        break;
+      case 6:
+        ASSERT_EQ(oracle.Snapshot(), w.Snapshot());
+        live.push_back(w.snapshot_depth() - 1);
+        break;
+      case 7: {
+        if (live.empty()) break;
+        size_t idx = rng.NextBelow(live.size());
+        w.RevertTo(live[idx]);
+        oracle.RevertTo(live[idx]);
+        live.resize(idx);
+        break;
+      }
+      case 8: {
+        if (live.empty()) break;
+        size_t idx = rng.NextBelow(live.size());
+        w.Commit(live[idx]);
+        oracle.Commit(live[idx]);
+        live.resize(idx);
+        break;
+      }
+      case 9: {
+        if (live.empty()) break;
+        size_t idx = rng.NextBelow(live.size());
+        w.RestoreKeep(live[idx]);
+        oracle.RestoreKeep(live[idx]);
+        live.resize(idx + 1);
+        break;
+      }
+    }
+    ASSERT_TRUE(SameObservableState(w, oracle)) << "diverged at op " << i;
+    ASSERT_EQ(w.snapshot_depth(), oracle.snapshot_depth()) << "op " << i;
+  }
+  // End with a full unwind: reverting the oldest live snapshot discards
+  // every later one in the same call.
+  if (!live.empty()) {
+    w.RevertTo(live.front());
+    oracle.RevertTo(live.front());
+  }
+  EXPECT_TRUE(SameObservableState(w, oracle));
 }
 
 // -------------------------------------------------------- BytecodeBuilder --

@@ -4,6 +4,7 @@
 
 #include "corpus/builtin.h"
 #include "evm/executor.h"
+#include "evm/taint.h"
 #include "fuzzer/abi_codec.h"
 #include "fuzzer/campaign.h"
 #include "lang/compiler.h"
@@ -36,17 +37,55 @@ TEST(ChainSessionSnapshotTest, RestoresStorage) {
   AcceptingHost host;
   ChainSession session(&host);
   Address contract = Address::FromUint(0xc);
-  session.state().GetOrCreate(contract).storage.Store(U256(1), U256(7));
+  session.state().SetStorage(contract, U256(1), U256(7));
 
   ChainSession::SessionSnapshot snap = session.Snapshot();
-  session.state().GetOrCreate(contract).storage.Store(U256(1), U256(99));
-  session.state().GetOrCreate(contract).storage.Store(U256(2), U256(123));
+  session.state().SetStorage(contract, U256(1), U256(99));
+  session.state().SetStorage(contract, U256(2), U256(123));
 
   session.Restore(snap);
   const Account* account = session.state().Find(contract);
   ASSERT_NE(account, nullptr);
   EXPECT_EQ(account->storage.Load(U256(1)), U256(7));
   EXPECT_EQ(account->storage.Load(U256(2)), U256::Zero());
+}
+
+TEST(ChainSessionSnapshotTest, RestoresStorageTaint) {
+  AcceptingHost host;
+  ChainSession session(&host);
+  Address contract = Address::FromUint(0xc);
+  session.state().SetStorage(contract, U256(1), U256(7), kTaintBlock);
+
+  ChainSession::SessionSnapshot snap = session.Snapshot();
+  session.state().SetStorage(contract, U256(1), U256(9), kTaintCaller);
+
+  session.Restore(snap);
+  EXPECT_EQ(session.state().GetStorageTaint(contract, U256(1)), kTaintBlock);
+  const Account* account = session.state().Find(contract);
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->storage.taints().at(U256(1)), kTaintBlock);
+}
+
+/// Nested session snapshots behave like a stack: restoring the inner one
+/// leaves the outer restorable, and restoring the outer discards the inner.
+TEST(ChainSessionSnapshotTest, NestedSessionSnapshots) {
+  AcceptingHost host;
+  ChainSession session(&host);
+  Address alice = Address::FromUint(0xa);
+  session.FundAccount(alice, U256(1));
+  ChainSession::SessionSnapshot outer = session.Snapshot();
+  session.FundAccount(alice, U256(2));
+  ChainSession::SessionSnapshot inner = session.Snapshot();
+  session.FundAccount(alice, U256(3));
+
+  session.Restore(inner);
+  EXPECT_EQ(session.state().GetBalance(alice), U256(2));
+  session.FundAccount(alice, U256(4));
+  session.Restore(inner);
+  EXPECT_EQ(session.state().GetBalance(alice), U256(2));
+
+  session.Restore(outer);
+  EXPECT_EQ(session.state().GetBalance(alice), U256(1));
 }
 
 TEST(ChainSessionSnapshotTest, RestoresBlockContext) {
