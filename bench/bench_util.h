@@ -63,6 +63,33 @@ inline std::vector<engine::FuzzJob> MakeDatasetJobs(
   return jobs;
 }
 
+/// One archipelago per dataset entry: `islands` jobs fuzz the same contract
+/// under distinct seeds and, when the runner enables migration, exchange
+/// their top seeds every round. The entry index doubles as the island group
+/// id; seeds are `base_seed + entry_index * islands + island` so any
+/// (entry, island) pair is reproducible in isolation.
+inline std::vector<engine::FuzzJob> MakeIslandJobs(
+    const std::vector<corpus::CorpusEntry>& dataset,
+    const fuzzer::StrategyConfig& strategy, int execs, uint64_t base_seed,
+    int islands) {
+  std::vector<engine::FuzzJob> jobs;
+  jobs.reserve(dataset.size() * static_cast<size_t>(islands));
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (int k = 0; k < islands; ++k) {
+      engine::FuzzJob job;
+      job.name = dataset[i].name + "#" + std::to_string(k);
+      job.source = dataset[i].source;
+      job.config.strategy = strategy;
+      job.config.seed = base_seed + i * static_cast<uint64_t>(islands) +
+                        static_cast<uint64_t>(k);
+      job.config.max_executions = execs;
+      job.island_group = static_cast<int>(i);
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
 /// Mean final coverage of `strategy` across a dataset.
 struct AggregateCoverage {
   double mean_final = 0;
@@ -73,18 +100,26 @@ struct AggregateCoverage {
 
 /// Fans the dataset across the parallel runner (`workers` <= 0 uses
 /// DefaultWorkerCount / $MUFUZZ_WORKERS) and merges in job order, so the
-/// aggregate is identical for any worker count.
+/// aggregate is identical for any worker count. With `islands` > 1 and
+/// `exchange_interval` > 0 each entry becomes an island group (every island
+/// is one aggregate row) — still worker-count independent, which is what the
+/// CI bench-smoke migration diff checks.
 inline AggregateCoverage AggregateOverDataset(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
-    int points = 20, int workers = 0) {
+    int points = 20, int workers = 0, int islands = 1,
+    int exchange_interval = 0, int migration_top_k = 2) {
   AggregateCoverage agg;
   agg.curve.assign(points, 0);
   engine::RunnerOptions options;
   options.workers = workers;
+  options.exchange_interval = exchange_interval;
+  options.migration_top_k = migration_top_k;
+  std::vector<engine::FuzzJob> jobs =
+      islands > 1 ? MakeIslandJobs(dataset, strategy, execs, seed, islands)
+                  : MakeDatasetJobs(dataset, strategy, execs, seed);
   std::vector<engine::JobOutcome> outcomes =
-      engine::RunBatch(MakeDatasetJobs(dataset, strategy, execs, seed),
-                       options);
+      engine::RunBatch(jobs, options);
   int counted = 0;
   for (const engine::JobOutcome& outcome : outcomes) {
     if (!outcome.result.has_value()) {

@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
   uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
   int workers = argc > 4 ? std::atoi(argv[4]) : 0;
   if (workers <= 0) workers = mufuzz::engine::DefaultWorkerCount();
+  // Optional island-model configuration: a positive exchange interval runs
+  // every contract as a 2-island group with cross-island seed migration.
+  int exchange_interval = argc > 5 ? std::atoi(argv[5]) : 0;
+  int islands = exchange_interval > 0 ? 2 : 1;
   auto wall_start = std::chrono::steady_clock::now();
 
   auto small = mufuzz::corpus::BuildD1Small(small_n, seed);
@@ -32,18 +36,25 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 6: overall branch coverage ==\n");
   std::printf("paper: small 90/86/82/65%%, large 82/76/70/56%% "
               "(MuFuzz/IR-Fuzz/ConFuzzius/sFuzz)\n");
-  std::printf("running with %d worker(s)\n\n", workers);
+  std::printf("running with %d worker(s)\n", workers);
+  if (exchange_interval > 0) {
+    std::printf("island migration: %d islands/contract, exchange every %d "
+                "executions\n",
+                islands, exchange_interval);
+  }
+  std::printf("\n");
   PrintRule();
   std::printf("%-12s %16s %16s %10s\n", "tool", "small contracts",
               "large contracts", "slippage");
   PrintRule();
   for (const auto& tool : tools) {
     double s = AggregateOverDataset(small, tool, 400, seed, /*points=*/20,
-                                    workers)
+                                    workers, islands, exchange_interval)
                    .mean_final *
                100.0;
     double l = AggregateOverDataset(large, tool, 500, seed + 777,
-                                    /*points=*/20, workers)
+                                    /*points=*/20, workers, islands,
+                                    exchange_interval)
                    .mean_final *
                100.0;
     std::printf("%-12s %15.1f%% %15.1f%% %9.1f%%\n", tool.name.c_str(), s, l,

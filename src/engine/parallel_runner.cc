@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "evm/execution_backend.h"
+#include "fuzzer/sharded_seed_scheduler.h"
 #include "lang/compiler.h"
 
 namespace mufuzz::engine {
@@ -45,12 +51,62 @@ JobOutcome RunJob(const FuzzJob& job, evm::SessionBackend* backend) {
   return outcome;
 }
 
+/// Fans fn(0..count) across up to `workers` threads pulling from a shared
+/// atomic counter, and joins before returning — the barrier the island
+/// rounds rely on. Single-worker (or single-item) calls stay on the calling
+/// thread.
+void ForEachParallel(int workers, size_t count,
+                     const std::function<void(size_t)>& fn) {
+  workers = std::min<int>(workers, static_cast<int>(count));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto body = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) threads.emplace_back(body);
+  for (std::thread& t : threads) t.join();
+}
+
+/// One island of a migration group: one job's campaign plus the scaffolding
+/// the round loop needs.
+struct IslandState {
+  size_t job_index = 0;
+  int island_id = -1;
+  const lang::ContractArtifact* artifact = nullptr;
+  std::optional<lang::ContractArtifact> compiled;  ///< when source-compiled
+  fuzzer::SeedScheduler* queue = nullptr;  ///< owned by the group's sharder
+  std::unique_ptr<fuzzer::Campaign> campaign;
+  double elapsed_ms = 0;  ///< execution time summed across phases/rounds
+};
+
 }  // namespace
 
 int DefaultWorkerCount() {
   if (const char* env = std::getenv("MUFUZZ_WORKERS")) {
-    int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
+    char* end = nullptr;
+    errno = 0;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno != ERANGE && parsed > 0 &&
+        parsed <= INT_MAX) {
+      return static_cast<int>(parsed);
+    }
+    static const bool warned = [env] {
+      std::fprintf(stderr,
+                   "[mufuzz] ignoring MUFUZZ_WORKERS=\"%s\" (not a positive "
+                   "integer); using hardware concurrency\n",
+                   env);
+      return true;
+    }();
+    (void)warned;
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -65,35 +121,174 @@ std::vector<JobOutcome> ParallelRunner::Run(const std::vector<FuzzJob>& jobs) {
 
   int workers = options_.workers > 0 ? options_.workers
                                      : DefaultWorkerCount();
-  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
 
-  std::atomic<size_t> next{0};
-
-  auto worker_fn = [&](int worker_id) {
-    // Independent per-worker stream, used only for worker-local choices
-    // (session leasing); job randomness comes from each job's config.seed.
-    Rng rng(options_.worker_seed +
-            0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(worker_id + 1));
-    std::unique_ptr<evm::SessionBackend> backend;
-    if (options_.reuse_sessions) backend = pool_.Acquire(&rng);
-
-    for (;;) {
-      size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= jobs.size()) break;
-      outcomes[index] = RunJob(jobs[index], backend.get());
+  // Partition: island-group members (with migration on) take the stepped
+  // path; everything else streams through the classic job queue.
+  const bool migration = options_.exchange_interval > 0;
+  std::vector<size_t> standalone;
+  std::map<int, std::vector<size_t>> groups;  // ordered → deterministic
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (migration && jobs[i].island_group >= 0) {
+      groups[jobs[i].island_group].push_back(i);
+    } else {
+      standalone.push_back(i);
     }
-    if (backend != nullptr) pool_.Release(std::move(backend));
-  };
-
-  if (workers == 1) {
-    worker_fn(0);
-    return outcomes;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
-  for (std::thread& t : threads) t.join();
+
+  if (!standalone.empty()) {
+    int pool_workers =
+        std::min<int>(workers, static_cast<int>(standalone.size()));
+    std::atomic<size_t> next{0};
+
+    auto worker_fn = [&](int worker_id) {
+      // Independent per-worker stream, used only for worker-local choices
+      // (session leasing); job randomness comes from each job's config.seed.
+      Rng rng(options_.worker_seed +
+              0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(worker_id + 1));
+      std::unique_ptr<evm::SessionBackend> backend;
+      if (options_.reuse_sessions) backend = pool_.Acquire(&rng);
+
+      for (;;) {
+        size_t pos = next.fetch_add(1, std::memory_order_relaxed);
+        if (pos >= standalone.size()) break;
+        size_t index = standalone[pos];
+        outcomes[index] = RunJob(jobs[index], backend.get());
+      }
+      if (backend != nullptr) pool_.Release(std::move(backend));
+    };
+
+    if (pool_workers == 1) {
+      worker_fn(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(pool_workers);
+      for (int w = 0; w < pool_workers; ++w) threads.emplace_back(worker_fn, w);
+      for (std::thread& t : threads) t.join();
+    }
+  }
+
+  if (!groups.empty()) RunIslandGroups(jobs, groups, workers, &outcomes);
   return outcomes;
+}
+
+void ParallelRunner::RunIslandGroups(
+    const std::vector<FuzzJob>& jobs,
+    const std::map<int, std::vector<size_t>>& groups, int workers,
+    std::vector<JobOutcome>* outcomes) {
+  using Clock = std::chrono::steady_clock;
+
+  std::vector<IslandState> islands;
+  for (const auto& [group_id, indices] : groups) {
+    for (size_t index : indices) {
+      IslandState state;
+      state.job_index = index;
+      islands.push_back(std::move(state));
+    }
+  }
+
+  // Phase A (parallel): compile. A failed compile becomes the usual skip
+  // marker and the island drops out of its group before ids are assigned.
+  ForEachParallel(workers, islands.size(), [&](size_t i) {
+    auto start = Clock::now();
+    IslandState& state = islands[i];
+    const FuzzJob& job = jobs[state.job_index];
+    (*outcomes)[state.job_index].name = job.name;
+    if (job.artifact != nullptr) {
+      state.artifact = job.artifact;
+    } else {
+      auto result = lang::CompileContract(job.source);
+      if (result.ok()) {
+        state.compiled = std::move(result).value();
+        state.artifact = &*state.compiled;
+      } else {
+        (*outcomes)[state.job_index].error = result.status().ToString();
+      }
+    }
+    state.elapsed_ms += MsBetween(start, Clock::now());
+    if (state.artifact == nullptr) {
+      (*outcomes)[state.job_index].elapsed_ms = state.elapsed_ms;
+    }
+  });
+
+  // Serial: build one ShardedSeedScheduler per group over the islands that
+  // compiled, assigning island ids in job order (what keeps migration
+  // independent of which worker runs what).
+  struct GroupRun {
+    std::unique_ptr<fuzzer::ShardedSeedScheduler> sharder;
+  };
+  std::vector<GroupRun> group_runs;
+  {
+    size_t cursor = 0;
+    for (const auto& [group_id, indices] : groups) {
+      std::vector<std::unique_ptr<fuzzer::SeedScheduler>> queues;
+      std::vector<IslandState*> members;
+      for (size_t k = 0; k < indices.size(); ++k, ++cursor) {
+        IslandState& state = islands[cursor];
+        if (state.artifact == nullptr) continue;  // compile failed
+        state.island_id = static_cast<int>(members.size());
+        queues.push_back(std::make_unique<fuzzer::SeedScheduler>(
+            jobs[state.job_index].config.strategy.distance_feedback));
+        state.queue = queues.back().get();
+        members.push_back(&state);
+      }
+      GroupRun run;
+      run.sharder =
+          std::make_unique<fuzzer::ShardedSeedScheduler>(std::move(queues));
+      group_runs.push_back(std::move(run));
+    }
+  }
+
+  std::vector<IslandState*> live;
+  for (IslandState& state : islands) {
+    if (state.artifact != nullptr) live.push_back(&state);
+  }
+
+  // Phase B (parallel): deploy + initial corpus. Each campaign owns a
+  // private backend — it must survive across rounds, so pooled leasing
+  // would pin the session anyway.
+  ForEachParallel(workers, live.size(), [&](size_t i) {
+    auto start = Clock::now();
+    IslandState& state = *live[i];
+    state.campaign = std::make_unique<fuzzer::Campaign>(
+        state.artifact, jobs[state.job_index].config, nullptr, state.queue,
+        state.island_id);
+    state.campaign->SeedCorpus();
+    state.elapsed_ms += MsBetween(start, Clock::now());
+  });
+
+  // Round loop: step every unfinished island for exchange_interval
+  // executions (parallel), then — behind the join barrier — run one serial
+  // migration per group. Finished islands stop executing but keep
+  // exporting/importing, so the exchange schedule is a pure function of the
+  // job list.
+  const uint64_t interval =
+      static_cast<uint64_t>(std::max(1, options_.exchange_interval));
+  for (;;) {
+    std::vector<IslandState*> active;
+    for (IslandState* state : live) {
+      if (!state->campaign->Done()) active.push_back(state);
+    }
+    if (active.empty()) break;
+    ForEachParallel(workers, active.size(), [&](size_t i) {
+      auto start = Clock::now();
+      active[i]->campaign->StepRound(interval);
+      active[i]->elapsed_ms += MsBetween(start, Clock::now());
+    });
+    for (GroupRun& run : group_runs) {
+      run.sharder->RunMigrationRound(options_.migration_top_k);
+    }
+  }
+
+  // Phase C (parallel): finalize into the job-indexed outcome slots, then
+  // drop each campaign before its externally owned queue goes away.
+  ForEachParallel(workers, live.size(), [&](size_t i) {
+    auto start = Clock::now();
+    IslandState& state = *live[i];
+    (*outcomes)[state.job_index].result = state.campaign->Finalize();
+    state.campaign.reset();
+    state.elapsed_ms += MsBetween(start, Clock::now());
+    (*outcomes)[state.job_index].elapsed_ms = state.elapsed_ms;
+  });
 }
 
 std::vector<JobOutcome> RunBatch(const std::vector<FuzzJob>& jobs,

@@ -1,7 +1,9 @@
 #ifndef MUFUZZ_ENGINE_PARALLEL_RUNNER_H_
 #define MUFUZZ_ENGINE_PARALLEL_RUNNER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +23,12 @@ struct FuzzJob {
   std::string source;  ///< compiled when `artifact` is null
   const lang::ContractArtifact* artifact = nullptr;
   fuzzer::CampaignConfig config;
+  /// Jobs sharing a non-negative group id form an island archipelago: when
+  /// `RunnerOptions::exchange_interval` > 0 their campaigns run in lockstep
+  /// rounds and exchange top seeds between rounds (see ShardedSeedScheduler).
+  /// Group members should fuzz the same contract — migrated sequences index
+  /// into the destination's ABI. -1 (default) = standalone job.
+  int island_group = -1;
 };
 
 /// What came back for one job. `result` is empty exactly when compilation
@@ -42,10 +50,18 @@ struct RunnerOptions {
   /// which pooled session to lease) never influences job results — those
   /// are fully determined by each job's own config.seed.
   uint64_t worker_seed = 0x5eed;
+  /// Sequence executions each island runs between migration rounds for jobs
+  /// with a non-negative `island_group`. 0 (default) disables migration —
+  /// grouped jobs then run as standalone.
+  int exchange_interval = 0;
+  /// Seeds each island exports per migration round.
+  int migration_top_k = 2;
 };
 
-/// Worker threads to use by default: $MUFUZZ_WORKERS when set, otherwise
-/// the hardware concurrency (min 1).
+/// Worker threads to use by default: $MUFUZZ_WORKERS when set to a positive
+/// integer, otherwise the hardware concurrency (min 1). A malformed value
+/// (non-numeric, trailing garbage, zero/negative, out of range) is reported
+/// once on stderr and ignored instead of silently falling through.
 int DefaultWorkerCount();
 
 /// Fans a batch of jobs across a std::thread worker pool. Jobs are handed
@@ -55,6 +71,14 @@ int DefaultWorkerCount();
 /// campaign derives all randomness from its job's seed, which makes the
 /// batch bit-for-bit reproducible: N workers produce exactly what one
 /// worker — or a plain serial loop over RunCampaign — produces.
+///
+/// Island mode: jobs with a non-negative `island_group` (and
+/// `exchange_interval` > 0) run as a sharded corpus instead — each job is
+/// one island with a private seed queue, stepped in barrier-synchronized
+/// rounds of `exchange_interval` executions. Between rounds the coordinator
+/// thread runs one deterministic migration per group (top-k exports merged
+/// in (island id, rank) order; island ids come from job order, never thread
+/// ids), so island results are also bit-for-bit worker-count independent.
 class ParallelRunner {
  public:
   explicit ParallelRunner(RunnerOptions options = RunnerOptions());
@@ -66,6 +90,13 @@ class ParallelRunner {
   size_t sessions_created() const { return pool_.created(); }
 
  private:
+  /// Drives the island-mode jobs: per-group ShardedSeedScheduler, parallel
+  /// construction, barrier rounds with serial migration, parallel finalize.
+  /// `groups` maps group id → member job indices in job order.
+  void RunIslandGroups(const std::vector<FuzzJob>& jobs,
+                       const std::map<int, std::vector<size_t>>& groups,
+                       int workers, std::vector<JobOutcome>* outcomes);
+
   RunnerOptions options_;
   /// Lives as long as the runner: keeping one runner across batches lets
   /// workers lease already-constructed backends instead of allocating.

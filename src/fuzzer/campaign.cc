@@ -20,9 +20,11 @@ std::vector<Address> MakeSenderPool() {
 }  // namespace
 
 Campaign::Campaign(const lang::ContractArtifact* artifact,
-                   CampaignConfig config, evm::ExecutionBackend* backend)
+                   CampaignConfig config, evm::ExecutionBackend* backend,
+                   SeedScheduler* scheduler, int island_id)
     : artifact_(artifact),
       config_(config),
+      island_id_(island_id),
       rng_(config.seed),
       dataflow_(analysis::AnalyzeDataflow(*artifact->ast)),
       depgraph_(analysis::DependencyGraph::Build(dataflow_)) {
@@ -64,8 +66,13 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
       config_.mask_stride_divisor);
   feedback_ = std::make_unique<FeedbackEngine>(artifact_, config_.strategy,
                                                mutation_->byte_mutator());
-  scheduler_ =
-      std::make_unique<SeedScheduler>(config_.strategy.distance_feedback);
+  if (scheduler != nullptr) {
+    scheduler_ = scheduler;
+  } else {
+    owned_scheduler_ =
+        std::make_unique<SeedScheduler>(config_.strategy.distance_feedback);
+    scheduler_ = owned_scheduler_.get();
+  }
 }
 
 Campaign::~Campaign() {
@@ -130,12 +137,12 @@ void Campaign::MaybeComputeMask(FuzzSeed* seed) {
   if (computed) result_.masks_computed++;
 }
 
-CampaignResult Campaign::Run() {
+void Campaign::SeedCorpus() {
   result_ = CampaignResult();
   result_.total_jumpis = artifact_->total_jumpis;
-  if (contract_.IsZero()) return result_;
+  result_.island_id = island_id_;
+  if (contract_.IsZero()) return;
 
-  // ------------------------------------------------ Initial seed corpus --
   for (int k = 0; k < config_.initial_seeds; ++k) {
     FuzzSeed seed;
     seed.seq = mutation_->InitialSequence(&rng_);
@@ -148,12 +155,24 @@ CampaignResult Campaign::Run() {
                     feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
     scheduler_->Add(std::move(seed));
   }
+}
 
-  // ------------------------------------------------------- Fuzzing loop --
-  while (result_.executions <
-         static_cast<uint64_t>(config_.max_executions)) {
-    FuzzSeed* seed = scheduler_->Select(&rng_);
-    if (seed == nullptr) break;
+bool Campaign::Done() const {
+  return contract_.IsZero() ||
+         result_.executions >= static_cast<uint64_t>(config_.max_executions) ||
+         scheduler_->empty();
+}
+
+void Campaign::StepRound(uint64_t round_executions) {
+  if (contract_.IsZero()) return;
+  const uint64_t budget = static_cast<uint64_t>(config_.max_executions);
+  const uint64_t target =
+      std::min(budget, result_.executions + round_executions);
+
+  while (result_.executions < target) {
+    SeedId id = scheduler_->Select(&rng_);
+    if (id == kInvalidSeedId) break;
+    FuzzSeed* seed = scheduler_->Get(id);
 
     MaybeComputeMask(seed);
 
@@ -162,8 +181,9 @@ CampaignResult Campaign::Run() {
                                                         config_.base_energy)
                      : config_.base_energy;
 
-    // Snapshot the parent's fields; mutating the queue may invalidate the
-    // pointer once children are added.
+    // Snapshot the parent's fields — stable-handle discipline: `seed` came
+    // from Get(id) and the Add() below invalidates it, so nothing may touch
+    // the pointer past the first Add.
     Sequence parent_seq = seed->seq;
     MutationMask parent_mask = seed->mask;
     bool parent_mask_valid = seed->mask_valid;
@@ -172,11 +192,9 @@ CampaignResult Campaign::Run() {
             ? 0
             : std::min<int>(seed->focus_tx,
                             static_cast<int>(parent_seq.size()) - 1);
+    seed = nullptr;
 
-    for (int e = 0; e < energy && result_.executions <
-                                      static_cast<uint64_t>(
-                                          config_.max_executions);
-         ++e) {
+    for (int e = 0; e < energy && result_.executions < target; ++e) {
       FuzzSeed child;
       child.seq = parent_seq;
       mutation_->MutateChild(&child.seq, parent_mask, parent_mask_valid,
@@ -208,9 +226,13 @@ CampaignResult Campaign::Run() {
       }
     }
   }
+}
 
-  // ------------------------------------------------------ Finalization --
-  feedback_->Finalize(backend_->state(), contract_, &result_);
+CampaignResult Campaign::Finalize() {
+  if (contract_.IsZero()) return result_;
+
+  feedback_->Finalize(backend_->state(), contract_, scheduler_->stats(),
+                      &result_);
 
   if (result_.coverage_curve.empty() ||
       result_.coverage_curve.back().first !=
@@ -219,6 +241,12 @@ CampaignResult Campaign::Run() {
         static_cast<int>(result_.executions), result_.branch_coverage);
   }
   return result_;
+}
+
+CampaignResult Campaign::Run() {
+  SeedCorpus();
+  StepRound(static_cast<uint64_t>(config_.max_executions));
+  return Finalize();
 }
 
 CampaignResult RunCampaign(const lang::ContractArtifact& artifact,

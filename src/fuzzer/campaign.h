@@ -50,12 +50,41 @@ class Campaign {
   /// When `backend` is null the campaign owns a private SessionBackend;
   /// otherwise it Bind()s the provided one (the worker-pool reuse path) and
   /// the caller keeps ownership.
+  ///
+  /// When `scheduler` is null the campaign owns a private SeedScheduler;
+  /// otherwise it fuzzes out of the provided queue (the island-model path —
+  /// typically one island of a ShardedSeedScheduler) and the caller keeps
+  /// ownership; the scheduler must outlive the campaign. `island_id` is
+  /// recorded in the result (-1 = standalone).
   Campaign(const lang::ContractArtifact* artifact, CampaignConfig config,
-           evm::ExecutionBackend* backend = nullptr);
+           evm::ExecutionBackend* backend = nullptr,
+           SeedScheduler* scheduler = nullptr, int island_id = -1);
   ~Campaign();
 
-  /// Runs to budget exhaustion and returns the result.
+  /// Runs to budget exhaustion and returns the result. Equivalent to
+  /// SeedCorpus() + StepRound(max_executions) + Finalize().
   CampaignResult Run();
+
+  // ------------------------------------------------------------------------
+  // Stepped interface — the island coordinator's view. Call SeedCorpus()
+  // once, StepRound() until Done() (migrating seeds between rounds), then
+  // Finalize() once.
+  // ------------------------------------------------------------------------
+
+  /// Resets the result and executes the initial seed corpus.
+  void SeedCorpus();
+
+  /// True when the execution budget is exhausted (or the contract failed to
+  /// deploy, or the queue drained).
+  bool Done() const;
+
+  /// Runs up to `round_executions` more sequence executions (never past the
+  /// campaign budget; energy loops and mask probes may overshoot a round
+  /// boundary by a bounded amount, exactly as they overshoot the budget).
+  void StepRound(uint64_t round_executions);
+
+  /// Contract-lifetime wrap-up; returns the final result.
+  CampaignResult Finalize();
 
  private:
   /// Executes a sequence from the post-deploy rewind point, updating
@@ -67,6 +96,7 @@ class Campaign {
 
   const lang::ContractArtifact* artifact_;
   CampaignConfig config_;
+  int island_id_;
   Rng rng_;
 
   // Substrate (evm layer).
@@ -80,8 +110,10 @@ class Campaign {
   analysis::DependencyGraph depgraph_;
   std::unique_ptr<AbiCodec> codec_;
 
-  // Engine modules.
-  std::unique_ptr<SeedScheduler> scheduler_;
+  // Engine modules. The scheduler is either owned (standalone) or an
+  // externally owned island queue (see ctor).
+  std::unique_ptr<SeedScheduler> owned_scheduler_;
+  SeedScheduler* scheduler_ = nullptr;
   std::unique_ptr<MutationPipeline> mutation_;
   std::unique_ptr<FeedbackEngine> feedback_;
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/bug_types.h"
+#include "fuzzer/seed_scheduler.h"
 
 namespace mufuzz::fuzzer {
 
@@ -31,6 +32,12 @@ struct CampaignResult {
   uint64_t instructions = 0;
   /// Number of mask computations / masked mutations performed (diagnostics).
   uint64_t masks_computed = 0;
+  /// Seed-queue lifetime counters for this campaign's island (admissions,
+  /// rejections, evictions, migration traffic) — filled at finalization.
+  SeedQueueStats queue_stats;
+  /// Position within a migration group (assigned in job order by the island
+  /// coordinator), or -1 when the campaign ran standalone.
+  int island_id = -1;
 
   bool Found(analysis::BugClass bug) const {
     return bug_classes.contains(bug);

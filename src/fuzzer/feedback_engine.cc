@@ -68,7 +68,9 @@ void FeedbackEngine::ProcessTx(int tx_index, const evm::TraceRecorder& trace,
 
 void FeedbackEngine::Finalize(const evm::WorldState& state,
                               const Address& contract,
+                              const SeedQueueStats& queue_stats,
                               CampaignResult* result) {
+  result->queue_stats = queue_stats;
   if (CheckEtherFreezing(*artifact_, state, contract)) {
     result->bugs.push_back({analysis::BugClass::kEtherFreezing, 0, 0,
                             "payable contract without ether-out instruction",

@@ -56,8 +56,10 @@ class FeedbackEngine {
                          ExecSignals* stats);
 
   /// Contract-lifetime wrap-up: the ether-freezing oracle, report
-  /// deduplication, and the final coverage figures.
+  /// deduplication, the final coverage figures, and the seed-queue
+  /// diagnostics (`queue_stats` is the campaign's island counters).
   virtual void Finalize(const evm::WorldState& state, const Address& contract,
+                        const SeedQueueStats& queue_stats,
                         CampaignResult* result);
 
   CoverageMap& coverage() { return coverage_; }

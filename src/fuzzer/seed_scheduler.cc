@@ -1,5 +1,7 @@
 #include "fuzzer/seed_scheduler.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace mufuzz::fuzzer {
@@ -7,31 +9,106 @@ namespace mufuzz::fuzzer {
 SeedScheduler::SeedScheduler(bool distance_feedback, size_t max_queue)
     : distance_feedback_(distance_feedback), max_queue_(max_queue) {}
 
-FuzzSeed* SeedScheduler::Select(Rng* rng) {
-  if (queue_.empty()) return nullptr;
+SeedId SeedScheduler::Select(Rng* rng) {
+  if (queue_.empty()) return kInvalidSeedId;
   if (!distance_feedback_ || rng->Chance(0.3)) {
-    return &queue_[rng->NextBelow(queue_.size())];
+    return queue_[rng->NextBelow(queue_.size())].id;
   }
-  // Branch-distance feedback: prefer the highest-priority seed.
-  FuzzSeed* best = &queue_[0];
-  for (FuzzSeed& seed : queue_) {
-    if (seed.priority > best->priority) best = &seed;
+  // Branch-distance feedback: prefer the highest-priority seed. Scan in
+  // admission order, strict '>' keeps the oldest on ties (stable iteration).
+  Entry* best = &queue_[0];
+  for (Entry& entry : queue_) {
+    if (entry.seed.priority > best->seed.priority) best = &entry;
   }
-  // Mild decay avoids starving the rest of the queue.
-  best->priority *= 0.95;
-  return best;
+  // Mild decay avoids starving the rest of the queue: a repeatedly chosen
+  // seed sinks below its rivals, and the 30% uniform arm above guarantees
+  // every resident keeps a floor probability of selection.
+  best->seed.priority *= 0.95;
+  return best->id;
 }
 
-void SeedScheduler::Add(FuzzSeed seed) {
+FuzzSeed* SeedScheduler::Get(SeedId id) {
+  for (Entry& entry : queue_) {
+    if (entry.id == id) return &entry.seed;
+  }
+  return nullptr;
+}
+
+size_t SeedScheduler::WorstIndex() const {
+  assert(!queue_.empty());
+  size_t worst = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].seed.priority < queue_[worst].seed.priority) worst = i;
+  }
+  return worst;
+}
+
+bool SeedScheduler::Add(FuzzSeed seed) {
   if (queue_.size() >= max_queue_) {
-    // Evict the lowest-priority entry.
-    size_t worst = 0;
-    for (size_t i = 1; i < queue_.size(); ++i) {
-      if (queue_[i].priority < queue_[worst].priority) worst = i;
+    size_t worst = WorstIndex();
+    // Eviction-inversion guard: a full queue never trades a better resident
+    // for a strictly worse newcomer.
+    if (seed.priority < queue_[worst].seed.priority) {
+      stats_.rejected++;
+      return false;
     }
     queue_.erase(queue_.begin() + worst);
+    stats_.evicted++;
   }
-  queue_.push_back(std::move(seed));
+  queue_.push_back(Entry{next_id_++, std::move(seed)});
+  stats_.admitted++;
+  return true;
+}
+
+std::vector<FuzzSeed> SeedScheduler::ExportTop(size_t k) {
+  // Rank by (priority desc, id asc) over a copy of the index set so the
+  // queue's admission order is untouched.
+  std::vector<size_t> order(queue_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (queue_[a].seed.priority != queue_[b].seed.priority) {
+      return queue_[a].seed.priority > queue_[b].seed.priority;
+    }
+    return queue_[a].id < queue_[b].id;
+  });
+  std::vector<FuzzSeed> top;
+  size_t n = std::min(k, order.size());
+  top.reserve(n);
+  for (size_t i = 0; i < n; ++i) top.push_back(queue_[order[i]].seed);
+  stats_.exported += n;
+  return top;
+}
+
+bool SeedScheduler::Import(FuzzSeed seed) {
+  if (!Add(std::move(seed))) return false;
+  stats_.imported++;
+  return true;
+}
+
+bool SeedScheduler::ContainsSequence(const Sequence& seq) const {
+  for (const Entry& entry : queue_) {
+    if (entry.seed.seq == seq) return true;
+  }
+  return false;
+}
+
+double SeedScheduler::MinPriority() const {
+  assert(!queue_.empty());
+  double min = queue_[0].seed.priority;
+  for (const Entry& entry : queue_) min = std::min(min, entry.seed.priority);
+  return min;
+}
+
+double SeedScheduler::MaxPriority() const {
+  assert(!queue_.empty());
+  double max = queue_[0].seed.priority;
+  for (const Entry& entry : queue_) max = std::max(max, entry.seed.priority);
+  return max;
+}
+
+const SeedQueueStats& SeedScheduler::stats() {
+  stats_.final_queue = queue_.size();
+  return stats_;
 }
 
 }  // namespace mufuzz::fuzzer

@@ -2,6 +2,7 @@
 #define MUFUZZ_FUZZER_SEED_SCHEDULER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -23,33 +24,105 @@ struct FuzzSeed {
   bool mask_valid = false;
 };
 
+/// Stable handle to a resident seed. Unlike a `FuzzSeed*`, a SeedId survives
+/// queue growth and eviction of *other* entries; it only stops resolving
+/// when its own seed is evicted. `kInvalidSeedId` is never assigned.
+using SeedId = uint64_t;
+inline constexpr SeedId kInvalidSeedId = 0;
+
+/// Lifetime counters for one seed queue — per-island diagnostics that the
+/// campaign copies into `CampaignResult::queue_stats`. All counters are
+/// driven only by the queue's own deterministic operation stream, so they
+/// are as reproducible as the campaign itself.
+struct SeedQueueStats {
+  uint64_t admitted = 0;   ///< seeds accepted into the queue
+  uint64_t rejected = 0;   ///< full-queue offers worse than the resident min
+  uint64_t evicted = 0;    ///< residents displaced by better newcomers
+  uint64_t imported = 0;   ///< admissions that came from island migration
+  uint64_t exported = 0;   ///< seeds cloned into a migration exchange buffer
+  uint64_t final_queue = 0;  ///< queue size when the campaign finalized
+
+  bool operator==(const SeedQueueStats&) const = default;
+};
+
 /// The seed queue plus its selection and eviction policy (Algorithm 1,
 /// lines 5–13): branch-distance-feedback strategies prefer the
 /// highest-priority seed (with decay so the rest of the queue is not
 /// starved), others select uniformly. Ablations configure the policy at
 /// construction; alternative schedulers override Select/Add.
+///
+/// Determinism contracts (what the island model builds on):
+///  - *Stable iteration*: Select scans residents in admission (id) order and
+///    breaks priority ties toward the lowest id, so the outcome depends only
+///    on queue content, never on internal storage layout.
+///  - *Eviction*: a full queue evicts the lowest-priority resident (ties:
+///    oldest id) — but only for a newcomer at least as good. An incoming
+///    seed strictly worse than the resident minimum is rejected, so a full
+///    queue can never trade a better seed for a worse one.
+///  - *Pointer lifetime*: the `FuzzSeed*` from Get() is invalidated by the
+///    next Add/Import; re-resolve the SeedId instead of holding the pointer.
 class SeedScheduler {
  public:
   explicit SeedScheduler(bool distance_feedback,
                          size_t max_queue = kDefaultMaxQueue);
   virtual ~SeedScheduler() = default;
 
-  /// Selects the next seed to mutate, or nullptr when the queue is empty.
-  /// The returned pointer is invalidated by the next Add().
-  virtual FuzzSeed* Select(Rng* rng);
+  /// Selects the next seed to mutate and returns its stable id, or
+  /// kInvalidSeedId when the queue is empty.
+  virtual SeedId Select(Rng* rng);
 
-  /// Enqueues a seed, evicting the lowest-priority entry when full.
-  virtual void Add(FuzzSeed seed);
+  /// Resolves a stable id to the resident seed, or nullptr once it has been
+  /// evicted. The pointer is invalidated by the next Add/Import — callers
+  /// that mutate the queue must re-resolve, not hold.
+  FuzzSeed* Get(SeedId id);
+
+  /// Offers a seed to the queue. Returns true when admitted. When the queue
+  /// is full the offer is rejected if its priority is strictly below the
+  /// resident minimum; otherwise the lowest-priority resident (oldest on
+  /// tie) is evicted to make room.
+  virtual bool Add(FuzzSeed seed);
+
+  /// Clones the top `k` residents ranked by (priority desc, id asc) — the
+  /// island's contribution to a migration exchange buffer.
+  std::vector<FuzzSeed> ExportTop(size_t k);
+
+  /// Add() with import accounting — how migrated seeds enter an island.
+  /// The admission policy is identical to Add (a migrant must beat the
+  /// resident minimum to displace anyone).
+  bool Import(FuzzSeed seed);
+
+  /// True when a resident already carries this exact transaction sequence —
+  /// migration's duplicate check, so clones never recirculate.
+  bool ContainsSequence(const Sequence& seq) const;
 
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
 
+  /// Lowest / highest resident priority; queue must be non-empty.
+  double MinPriority() const;
+  double MaxPriority() const;
+
+  /// Lifetime counters; `final_queue` is refreshed on every call.
+  const SeedQueueStats& stats();
+
   static constexpr size_t kDefaultMaxQueue = 64;
 
  protected:
-  std::vector<FuzzSeed> queue_;
+  struct Entry {
+    SeedId id;
+    FuzzSeed seed;
+  };
+
+  /// Index of the eviction victim: lowest priority, oldest id on ties.
+  size_t WorstIndex() const;
+
+  /// Admission order == vector order: entries are appended and erased in
+  /// place, so scanning queue_ front-to-back is the stable-iteration order.
+  std::vector<Entry> queue_;
   bool distance_feedback_;
   size_t max_queue_;
+  SeedId next_id_ = 1;  // 0 is kInvalidSeedId
+  SeedQueueStats stats_;
 };
 
 }  // namespace mufuzz::fuzzer

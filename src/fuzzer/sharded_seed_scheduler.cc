@@ -1,0 +1,52 @@
+#include "fuzzer/sharded_seed_scheduler.h"
+
+#include <utility>
+
+namespace mufuzz::fuzzer {
+
+ShardedSeedScheduler::ShardedSeedScheduler(
+    std::vector<std::unique_ptr<SeedScheduler>> islands)
+    : islands_(std::move(islands)) {}
+
+ShardedSeedScheduler::ShardedSeedScheduler(int num_islands,
+                                           bool distance_feedback,
+                                           size_t max_queue) {
+  islands_.reserve(num_islands);
+  for (int i = 0; i < num_islands; ++i) {
+    islands_.push_back(
+        std::make_unique<SeedScheduler>(distance_feedback, max_queue));
+  }
+}
+
+uint64_t ShardedSeedScheduler::RunMigrationRound(int top_k) {
+  if (islands_.size() < 2 || top_k <= 0) return 0;
+
+  // Export phase: snapshot every island's top-k before any import, so the
+  // buffer reflects all islands at the same round regardless of the import
+  // order below.
+  exchange_buffer_.assign(islands_.size(), {});
+  for (size_t s = 0; s < islands_.size(); ++s) {
+    exchange_buffer_[s] = islands_[s]->ExportTop(static_cast<size_t>(top_k));
+  }
+
+  // Import phase: merge into each destination in (source island id, rank)
+  // order — the total order that makes the round worker-count independent.
+  // A migrant whose exact sequence already lives in the destination is
+  // skipped, so a top seed exported round after round (including an
+  // island's own seed bouncing back via a neighbor) can never pile up as
+  // clones that evict genuinely distinct residents.
+  uint64_t admitted = 0;
+  for (size_t d = 0; d < islands_.size(); ++d) {
+    for (size_t s = 0; s < islands_.size(); ++s) {
+      if (s == d) continue;
+      for (const FuzzSeed& seed : exchange_buffer_[s]) {
+        if (islands_[d]->ContainsSequence(seed.seq)) continue;
+        if (islands_[d]->Import(seed)) ++admitted;
+      }
+    }
+  }
+  ++rounds_completed_;
+  return admitted;
+}
+
+}  // namespace mufuzz::fuzzer

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/builtin.h"
+#include "engine/parallel_runner.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::engine {
+namespace {
+
+using fuzzer::CampaignResult;
+using fuzzer::StrategyConfig;
+
+/// An archipelago batch: two groups fuzzing the two paper examples (each
+/// island = same contract, different seed) plus one standalone job riding
+/// in the same batch.
+std::vector<FuzzJob> IslandBatch(int execs = 200) {
+  std::vector<FuzzJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    FuzzJob job;
+    job.name = "crowdsale#" + std::to_string(i);
+    job.source = corpus::CrowdsaleExample().source;
+    job.config.strategy = StrategyConfig::MuFuzz();
+    job.config.seed = 1 + i;
+    job.config.max_executions = execs;
+    job.island_group = 0;
+    jobs.push_back(std::move(job));
+  }
+  for (int i = 0; i < 3; ++i) {
+    FuzzJob job;
+    job.name = "game#" + std::to_string(i);
+    job.source = corpus::GameExample().source;
+    job.config.strategy = StrategyConfig::MuFuzz();
+    job.config.seed = 10 + i;
+    job.config.max_executions = execs;
+    job.island_group = 1;
+    jobs.push_back(std::move(job));
+  }
+  FuzzJob standalone;
+  standalone.name = "standalone";
+  standalone.source = corpus::CrowdsaleExample().source;
+  standalone.config.strategy = StrategyConfig::SFuzz();
+  standalone.config.seed = 42;
+  standalone.config.max_executions = execs;
+  jobs.push_back(std::move(standalone));
+  return jobs;
+}
+
+RunnerOptions MigrationOptions(int workers) {
+  RunnerOptions options;
+  options.workers = workers;
+  options.exchange_interval = 40;
+  options.migration_top_k = 2;
+  return options;
+}
+
+// The PR's acceptance criterion: with migration enabled, the merged batch
+// output is bit-for-bit identical at 1, 2, and 4 workers — island ids come
+// from job order and migration runs behind a round barrier, so thread
+// scheduling can never leak into results.
+TEST(IslandRunnerTest, MigrationOutputIsWorkerCountIndependent) {
+  std::vector<FuzzJob> jobs = IslandBatch();
+
+  std::vector<JobOutcome> w1 = RunBatch(jobs, MigrationOptions(1));
+  std::vector<JobOutcome> w2 = RunBatch(jobs, MigrationOptions(2));
+  std::vector<JobOutcome> w4 = RunBatch(jobs, MigrationOptions(4));
+
+  ASSERT_EQ(w1.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(w1[i].result.has_value()) << w1[i].name << ": " << w1[i].error;
+    ASSERT_TRUE(w2[i].result.has_value()) << w2[i].name;
+    ASSERT_TRUE(w4[i].result.has_value()) << w4[i].name;
+    // Field-for-field: coverage, curves, bugs, counts, queue stats,
+    // island ids.
+    EXPECT_EQ(*w1[i].result, *w2[i].result) << "job " << w1[i].name;
+    EXPECT_EQ(*w1[i].result, *w4[i].result) << "job " << w1[i].name;
+  }
+}
+
+TEST(IslandRunnerTest, MigrationActuallyExchangesSeeds) {
+  std::vector<JobOutcome> outcomes =
+      RunBatch(IslandBatch(), MigrationOptions(2));
+
+  uint64_t imported = 0, exported = 0;
+  for (size_t i = 0; i < 4; ++i) {  // the crowdsale group
+    const CampaignResult& result = *outcomes[i].result;
+    EXPECT_EQ(result.island_id, static_cast<int>(i)) << outcomes[i].name;
+    EXPECT_GT(result.queue_stats.admitted, 0u);
+    EXPECT_GT(result.queue_stats.final_queue, 0u);
+    imported += result.queue_stats.imported;
+    exported += result.queue_stats.exported;
+  }
+  EXPECT_GT(exported, 0u) << "no island ever exported";
+  EXPECT_GT(imported, 0u) << "no migrant was ever admitted";
+
+  // The standalone rider is not part of any archipelago.
+  const CampaignResult& standalone = *outcomes.back().result;
+  EXPECT_EQ(standalone.island_id, -1);
+  EXPECT_EQ(standalone.queue_stats.imported, 0u);
+  EXPECT_EQ(standalone.queue_stats.exported, 0u);
+}
+
+TEST(IslandRunnerTest, GroupedJobsWithoutMigrationRunStandalone) {
+  // exchange_interval == 0 turns the group tag into a no-op: each job must
+  // produce exactly what a direct RunCampaign produces.
+  std::vector<FuzzJob> jobs = IslandBatch(/*execs=*/120);
+  RunnerOptions options;
+  options.workers = 2;  // migration off (default exchange_interval = 0)
+  std::vector<JobOutcome> outcomes = RunBatch(jobs, options);
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto artifact = lang::CompileContract(jobs[i].source);
+    ASSERT_TRUE(artifact.ok());
+    CampaignResult direct = fuzzer::RunCampaign(*artifact, jobs[i].config);
+    ASSERT_TRUE(outcomes[i].result.has_value());
+    EXPECT_EQ(direct, *outcomes[i].result) << "job " << jobs[i].name;
+    EXPECT_EQ(outcomes[i].result->island_id, -1);
+  }
+}
+
+TEST(IslandRunnerTest, CompileFailureDropsIslandNotGroup) {
+  std::vector<FuzzJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    FuzzJob job;
+    job.name = "island#" + std::to_string(i);
+    job.source = corpus::CrowdsaleExample().source;
+    job.config.seed = 1 + i;
+    job.config.max_executions = 80;
+    job.island_group = 0;
+    jobs.push_back(std::move(job));
+  }
+  jobs[1].name = "broken";
+  jobs[1].source = "contract Broken { function f( public {} }";
+
+  std::vector<JobOutcome> outcomes = RunBatch(jobs, MigrationOptions(2));
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[1].result.has_value());
+  EXPECT_FALSE(outcomes[1].error.empty());
+  EXPECT_EQ(outcomes[1].name, "broken");
+  // The surviving islands renumber densely and still exchange.
+  ASSERT_TRUE(outcomes[0].result.has_value());
+  ASSERT_TRUE(outcomes[2].result.has_value());
+  EXPECT_EQ(outcomes[0].result->island_id, 0);
+  EXPECT_EQ(outcomes[2].result->island_id, 1);
+  EXPECT_GT(outcomes[0].result->queue_stats.exported +
+                outcomes[2].result->queue_stats.exported,
+            0u);
+}
+
+TEST(IslandRunnerTest, SingleIslandGroupStillCompletes) {
+  FuzzJob job;
+  job.name = "lonely";
+  job.source = corpus::CrowdsaleExample().source;
+  job.config.seed = 3;
+  job.config.max_executions = 100;
+  job.island_group = 7;
+
+  std::vector<JobOutcome> outcomes = RunBatch({job}, MigrationOptions(2));
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].result.has_value());
+  EXPECT_GT(outcomes[0].result->executions, 0u);
+  EXPECT_EQ(outcomes[0].result->island_id, 0);
+  // Nobody to exchange with.
+  EXPECT_EQ(outcomes[0].result->queue_stats.imported, 0u);
+  EXPECT_EQ(outcomes[0].result->queue_stats.exported, 0u);
+}
+
+}  // namespace
+}  // namespace mufuzz::engine
