@@ -108,13 +108,16 @@ inline AggregateCoverage AggregateOverDataset(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
     int points = 20, int workers = 0, int islands = 1,
-    int exchange_interval = 0, int migration_top_k = 2) {
+    int exchange_interval = 0, int migration_top_k = 2, int wave_size = 0,
+    int backend_workers = 0) {
   AggregateCoverage agg;
   agg.curve.assign(points, 0);
   engine::RunnerOptions options;
   options.workers = workers;
   options.exchange_interval = exchange_interval;
   options.migration_top_k = migration_top_k;
+  options.wave_size = wave_size;
+  options.backend_workers = backend_workers;
   std::vector<engine::FuzzJob> jobs =
       islands > 1 ? MakeIslandJobs(dataset, strategy, execs, seed, islands)
                   : MakeDatasetJobs(dataset, strategy, execs, seed);

@@ -13,9 +13,13 @@
 #include "corpus/builtin.h"
 #include "corpus/generator.h"
 #include "engine/parallel_runner.h"
+#include "evm/async_backend.h"
+#include "evm/execution_backend.h"
 #include "evm/executor.h"
+#include "fuzzer/abi_codec.h"
 #include "fuzzer/campaign.h"
 #include "fuzzer/energy.h"
+#include "fuzzer/fuzzing_host.h"
 #include "lang/compiler.h"
 
 namespace {
@@ -93,6 +97,61 @@ void BM_TransactionExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_TransactionExecution);
 
+/// The execution layer's hot path from the wave-pipeline PR onward: a batch
+/// of 16 sequence plans through ExecuteSequenceBatch. Arg = backend workers
+/// (0 = in-process SessionBackend, the serial reference; N = async adapter
+/// draining the batch on N workers). On multi-core hardware the async rows
+/// divide by the worker count; outcomes are identical either way.
+void BM_ExecuteSequenceBatch(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  fuzzer::FuzzingHost host(/*seed=*/1, /*failure_probability=*/0.25,
+                           /*max_reentries=*/2);
+  const int backend_workers = static_cast<int>(state.range(0));
+  std::unique_ptr<evm::ExecutionBackend> backend;
+  if (backend_workers == 0) {
+    backend = std::make_unique<evm::SessionBackend>();
+  } else {
+    evm::AsyncBackendAdapter::Options options;
+    options.workers = backend_workers;
+    backend = std::make_unique<evm::AsyncBackendAdapter>(options);
+  }
+  backend->Bind(&host);
+  Address deployer = Address::FromUint(0xd0);
+  backend->FundAccount(deployer, U256::PowerOfTen(24));
+  auto addr = backend->DeployContract(artifact->runtime_code,
+                                      artifact->ctor_code, {}, deployer,
+                                      U256(0));
+  backend->MarkDeployed();
+
+  fuzzer::AbiCodec codec(&artifact->abi, {deployer});
+  std::vector<evm::SequencePlan> plans;
+  for (uint64_t k = 0; k < 16; ++k) {
+    evm::SequencePlan plan;
+    plan.host_seed = 0x9000 + k;
+    for (uint64_t t = 0; t < 3; ++t) {
+      fuzzer::Tx tx;
+      tx.fn_index = 0;  // invest(uint256)
+      tx.args = {U256(5 + k + t)};
+      evm::PreparedTx prepared;
+      prepared.tag = static_cast<int>(t);
+      prepared.request.to = addr.value();
+      prepared.request.sender = deployer;
+      prepared.request.value = U256(5 + k + t);
+      prepared.request.data = codec.EncodeCalldata(tx);
+      plan.txs.push_back(std::move(prepared));
+    }
+    plans.push_back(std::move(plan));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->ExecuteSequenceBatch(
+        std::span<const evm::SequencePlan>(plans.data(), plans.size())));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_ExecuteSequenceBatch)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
 /// A complete fuzzing campaign (the unit of every table/figure run).
 void BM_CampaignHundredExecs(benchmark::State& state) {
   auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
@@ -104,6 +163,25 @@ void BM_CampaignHundredExecs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignHundredExecs);
+
+/// The staged campaign loop against BM_CampaignHundredExecs: wave size 8,
+/// Arg = async backend workers (0 = synchronous SessionBackend — measures
+/// pure pipeline overhead; N > 0 overlaps mutation with execution on N
+/// workers). Identical results at every Arg; the wall-clock difference is
+/// the point.
+void BM_PipelinedCampaign(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  for (auto _ : state) {
+    fuzzer::CampaignConfig config;
+    config.seed = 1;
+    config.max_executions = 100;
+    config.wave_size = 8;
+    config.async_workers = static_cast<int>(state.range(0));
+    benchmark::DoNotOptimize(fuzzer::RunCampaign(*artifact, config));
+  }
+}
+BENCHMARK(BM_PipelinedCampaign)->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 /// A batch of campaigns through the engine layer at varying worker counts —
 /// the fan-out path every table/figure bench now rides on. Arg = workers.

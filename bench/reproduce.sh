@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Reproduce harness: runs every figure/table bench at a fixed, CI-sized
+# configuration with fixed seeds and diffs the (volatile-line-stripped)
+# output against the checked-in goldens in bench/golden/.
+#
+#   bench/reproduce.sh <build_dir>            # run + diff (the CI smoke)
+#   bench/reproduce.sh <build_dir> --update   # regenerate the goldens
+#
+# The configurations are deliberately small (minutes on one core): the point
+# of this harness is bit-for-bit reproducibility of the whole bench surface —
+# any silent change to campaign semantics fails the diff — not paper-scale
+# numbers. Paper-scale runs use the benches' default arguments.
+#
+# Volatile lines (worker counts, wall clock) are stripped exactly as the CI
+# determinism diffs strip them.
+set -u -o pipefail
+
+BUILD_DIR=${1:?usage: reproduce.sh <build_dir> [--update]}
+MODE=${2:-check}
+ROOT_DIR=$(cd "$(dirname "$0")/.." && pwd)
+GOLDEN_DIR="$ROOT_DIR/bench/golden"
+OUT_DIR="$BUILD_DIR/reproduce"
+mkdir -p "$OUT_DIR" "$GOLDEN_DIR"
+
+strip_volatile() {
+  grep -v -e "worker" -e "wall clock"
+}
+
+# name | command line (relative to the build dir)
+RUNS=(
+  "fig5|fig5_coverage_over_time 4 2 1 1"
+  "fig6|fig6_overall_coverage 4 2 1 1"
+  "fig6_islands|fig6_overall_coverage 3 2 1 1 40"
+  "fig6_pipelined|fig6_overall_coverage 4 2 1 1 0 4 2"
+  "fig7|fig7_ablation 4 1"
+  "table3|table3_bug_detection 24 150 1"
+  "table4|table4_real_world 6 200 1"
+)
+
+status=0
+for run in "${RUNS[@]}"; do
+  name=${run%%|*}
+  cmd=${run#*|}
+  out="$OUT_DIR/$name.txt"
+  echo "[reproduce] $name: $cmd"
+  # shellcheck disable=SC2086
+  if ! (cd "$BUILD_DIR" && ./$cmd) 2>/dev/null | strip_volatile > "$out"; then
+    echo "[reproduce] FAILED to run $name" >&2
+    status=1
+    continue
+  fi
+  golden="$GOLDEN_DIR/$name.txt"
+  if [ "$MODE" = "--update" ]; then
+    cp "$out" "$golden"
+    echo "[reproduce] updated $golden"
+  elif [ ! -f "$golden" ]; then
+    echo "[reproduce] MISSING golden $golden (run with --update)" >&2
+    status=1
+  elif ! diff -u "$golden" "$out"; then
+    echo "[reproduce] DIFF in $name — campaign semantics changed" >&2
+    status=1
+  fi
+done
+
+# Determinism leg: the pipelined fig6 configuration must be bit-for-bit
+# identical when the runner and the backend both use 4 workers instead of 1.
+if [ "$MODE" != "--update" ]; then
+  echo "[reproduce] fig6_pipelined worker-count independence"
+  (cd "$BUILD_DIR" && ./fig6_overall_coverage 4 2 1 4 0 4 4) 2>/dev/null \
+    | strip_volatile > "$OUT_DIR/fig6_pipelined_w4.txt"
+  if ! diff -u "$OUT_DIR/fig6_pipelined.txt" "$OUT_DIR/fig6_pipelined_w4.txt"
+  then
+    echo "[reproduce] DIFF: pipelined results depend on worker count" >&2
+    status=1
+  fi
+fi
+
+if [ $status -eq 0 ]; then
+  echo "[reproduce] OK — all bench outputs match the goldens"
+fi
+exit $status

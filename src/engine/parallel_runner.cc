@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "evm/async_backend.h"
 #include "evm/execution_backend.h"
 #include "fuzzer/sharded_seed_scheduler.h"
 #include "lang/compiler.h"
@@ -26,8 +27,9 @@ double MsBetween(std::chrono::steady_clock::time_point start,
 }
 
 /// Runs one job on the calling worker. `backend` may be null (no session
-/// reuse) — the campaign then owns a private session.
-JobOutcome RunJob(const FuzzJob& job, evm::SessionBackend* backend) {
+/// reuse) — the campaign then owns a private backend.
+JobOutcome RunJob(const FuzzJob& job, const fuzzer::CampaignConfig& config,
+                  evm::ExecutionBackend* backend) {
   JobOutcome outcome;
   outcome.name = job.name;
   auto start = std::chrono::steady_clock::now();
@@ -46,34 +48,9 @@ JobOutcome RunJob(const FuzzJob& job, evm::SessionBackend* backend) {
     artifact = &*compiled;
   }
 
-  outcome.result = fuzzer::RunCampaign(*artifact, job.config, backend);
+  outcome.result = fuzzer::RunCampaign(*artifact, config, backend);
   outcome.elapsed_ms = MsBetween(start, std::chrono::steady_clock::now());
   return outcome;
-}
-
-/// Fans fn(0..count) across up to `workers` threads pulling from a shared
-/// atomic counter, and joins before returning — the barrier the island
-/// rounds rely on. Single-worker (or single-item) calls stay on the calling
-/// thread.
-void ForEachParallel(int workers, size_t count,
-                     const std::function<void(size_t)>& fn) {
-  workers = std::min<int>(workers, static_cast<int>(count));
-  if (workers <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  auto body = [&] {
-    for (;;) {
-      size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      fn(i);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (int w = 0; w < workers; ++w) threads.emplace_back(body);
-  for (std::thread& t : threads) t.join();
 }
 
 /// One island of a migration group: one job's campaign plus the scaffolding
@@ -115,12 +92,27 @@ int DefaultWorkerCount() {
 ParallelRunner::ParallelRunner(RunnerOptions options)
     : options_(options) {}
 
+WorkerPool* ParallelRunner::EnsurePool(int workers) {
+  if (round_pool_ == nullptr || round_pool_->size() < workers) {
+    round_pool_ = std::make_unique<WorkerPool>(workers);
+  }
+  return round_pool_.get();
+}
+
+fuzzer::CampaignConfig ParallelRunner::EffectiveConfig(
+    const FuzzJob& job) const {
+  fuzzer::CampaignConfig config = job.config;
+  if (options_.wave_size > 0) config.wave_size = options_.wave_size;
+  return config;
+}
+
 std::vector<JobOutcome> ParallelRunner::Run(const std::vector<FuzzJob>& jobs) {
   std::vector<JobOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
 
   int workers = options_.workers > 0 ? options_.workers
                                      : DefaultWorkerCount();
+  WorkerPool* pool = EnsurePool(workers);
 
   // Partition: island-group members (with migration on) take the stepped
   // path; everything else streams through the classic job queue.
@@ -140,31 +132,42 @@ std::vector<JobOutcome> ParallelRunner::Run(const std::vector<FuzzJob>& jobs) {
         std::min<int>(workers, static_cast<int>(standalone.size()));
     std::atomic<size_t> next{0};
 
-    auto worker_fn = [&](int worker_id) {
-      // Independent per-worker stream, used only for worker-local choices
-      // (session leasing); job randomness comes from each job's config.seed.
-      Rng rng(options_.worker_seed +
-              0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(worker_id + 1));
-      std::unique_ptr<evm::SessionBackend> backend;
-      if (options_.reuse_sessions) backend = pool_.Acquire(&rng);
+    // Each index of this ParallelEach is one worker *stream*, not one job:
+    // the stream leases its execution backend once and drains the shared
+    // job queue with it, exactly as the former spawn/join workers did.
+    pool->ParallelEach(
+        static_cast<size_t>(pool_workers), [&](size_t worker_id) {
+          // Independent per-worker stream, used only for worker-local
+          // choices (session leasing); job randomness comes from each job's
+          // config.seed.
+          Rng rng(options_.worker_seed +
+                  0x9e3779b97f4a7c15ULL *
+                      static_cast<uint64_t>(worker_id + 1));
+          std::unique_ptr<evm::SessionBackend> session;
+          std::unique_ptr<evm::AsyncBackendAdapter> adapter;
+          evm::ExecutionBackend* backend = nullptr;
+          if (options_.backend_workers > 0) {
+            evm::AsyncBackendAdapter::Options adapter_options;
+            adapter_options.workers = options_.backend_workers;
+            adapter = std::make_unique<evm::AsyncBackendAdapter>(
+                adapter_options,
+                options_.reuse_sessions ? &pool_ : nullptr);
+            backend = adapter.get();
+          } else if (options_.reuse_sessions) {
+            session = pool_.Acquire(&rng);
+            backend = session.get();
+          }
 
-      for (;;) {
-        size_t pos = next.fetch_add(1, std::memory_order_relaxed);
-        if (pos >= standalone.size()) break;
-        size_t index = standalone[pos];
-        outcomes[index] = RunJob(jobs[index], backend.get());
-      }
-      if (backend != nullptr) pool_.Release(std::move(backend));
-    };
-
-    if (pool_workers == 1) {
-      worker_fn(0);
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(pool_workers);
-      for (int w = 0; w < pool_workers; ++w) threads.emplace_back(worker_fn, w);
-      for (std::thread& t : threads) t.join();
-    }
+          for (;;) {
+            size_t pos = next.fetch_add(1, std::memory_order_relaxed);
+            if (pos >= standalone.size()) break;
+            size_t index = standalone[pos];
+            outcomes[index] = RunJob(jobs[index],
+                                     EffectiveConfig(jobs[index]), backend);
+          }
+          if (session != nullptr) pool_.Release(std::move(session));
+          // An adapter releases its worker sessions on destruction.
+        });
   }
 
   if (!groups.empty()) RunIslandGroups(jobs, groups, workers, &outcomes);
@@ -176,6 +179,7 @@ void ParallelRunner::RunIslandGroups(
     const std::map<int, std::vector<size_t>>& groups, int workers,
     std::vector<JobOutcome>* outcomes) {
   using Clock = std::chrono::steady_clock;
+  WorkerPool* pool = EnsurePool(workers);
 
   std::vector<IslandState> islands;
   for (const auto& [group_id, indices] : groups) {
@@ -188,7 +192,7 @@ void ParallelRunner::RunIslandGroups(
 
   // Phase A (parallel): compile. A failed compile becomes the usual skip
   // marker and the island drops out of its group before ids are assigned.
-  ForEachParallel(workers, islands.size(), [&](size_t i) {
+  pool->ParallelEach(islands.size(), [&](size_t i) {
     auto start = Clock::now();
     IslandState& state = islands[i];
     const FuzzJob& job = jobs[state.job_index];
@@ -245,22 +249,27 @@ void ParallelRunner::RunIslandGroups(
 
   // Phase B (parallel): deploy + initial corpus. Each campaign owns a
   // private backend — it must survive across rounds, so pooled leasing
-  // would pin the session anyway.
-  ForEachParallel(workers, live.size(), [&](size_t i) {
+  // would pin the session anyway. In pipelined mode the private backend is
+  // an AsyncBackendAdapter (config.async_workers, set here from the runner
+  // options): islands and backend workers compose.
+  pool->ParallelEach(live.size(), [&](size_t i) {
     auto start = Clock::now();
     IslandState& state = *live[i];
+    fuzzer::CampaignConfig config = EffectiveConfig(jobs[state.job_index]);
+    if (options_.backend_workers > 0) {
+      config.async_workers = options_.backend_workers;
+    }
     state.campaign = std::make_unique<fuzzer::Campaign>(
-        state.artifact, jobs[state.job_index].config, nullptr, state.queue,
-        state.island_id);
+        state.artifact, config, nullptr, state.queue, state.island_id);
     state.campaign->SeedCorpus();
     state.elapsed_ms += MsBetween(start, Clock::now());
   });
 
   // Round loop: step every unfinished island for exchange_interval
-  // executions (parallel), then — behind the join barrier — run one serial
-  // migration per group. Finished islands stop executing but keep
-  // exporting/importing, so the exchange schedule is a pure function of the
-  // job list.
+  // executions (parallel over the persistent pool), then — behind the
+  // fork-join barrier — run one serial migration per group. Finished
+  // islands stop executing but keep exporting/importing, so the exchange
+  // schedule is a pure function of the job list.
   const uint64_t interval =
       static_cast<uint64_t>(std::max(1, options_.exchange_interval));
   for (;;) {
@@ -269,7 +278,7 @@ void ParallelRunner::RunIslandGroups(
       if (!state->campaign->Done()) active.push_back(state);
     }
     if (active.empty()) break;
-    ForEachParallel(workers, active.size(), [&](size_t i) {
+    pool->ParallelEach(active.size(), [&](size_t i) {
       auto start = Clock::now();
       active[i]->campaign->StepRound(interval);
       active[i]->elapsed_ms += MsBetween(start, Clock::now());
@@ -281,7 +290,7 @@ void ParallelRunner::RunIslandGroups(
 
   // Phase C (parallel): finalize into the job-indexed outcome slots, then
   // drop each campaign before its externally owned queue goes away.
-  ForEachParallel(workers, live.size(), [&](size_t i) {
+  pool->ParallelEach(live.size(), [&](size_t i) {
     auto start = Clock::now();
     IslandState& state = *live[i];
     (*outcomes)[state.job_index].result = state.campaign->Finalize();

@@ -4,10 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/worker_pool.h"
 #include "evm/execution_backend.h"
 #include "fuzzer/campaign.h"
 #include "lang/codegen.h"
@@ -56,6 +58,18 @@ struct RunnerOptions {
   int exchange_interval = 0;
   /// Seeds each island exports per migration round.
   int migration_top_k = 2;
+
+  // ------------------------------------------------------- Wave pipeline --
+  /// > 0 overrides every job's CampaignConfig::wave_size — the pipelined
+  /// mode's wave width W. Campaign results depend on W (documented wave
+  /// semantics) but never on worker counts.
+  int wave_size = 0;
+  /// > 0 runs every campaign over an AsyncBackendAdapter with this many
+  /// execution workers: standalone jobs get a per-runner-worker adapter
+  /// leasing sessions from the shared pool; island campaigns own private
+  /// adapters (their sessions must survive across rounds). Composes with
+  /// islands: N islands × M backend workers.
+  int backend_workers = 0;
 };
 
 /// Worker threads to use by default: $MUFUZZ_WORKERS when set to a positive
@@ -64,7 +78,7 @@ struct RunnerOptions {
 /// once on stderr and ignored instead of silently falling through.
 int DefaultWorkerCount();
 
-/// Fans a batch of jobs across a std::thread worker pool. Jobs are handed
+/// Fans a batch of jobs across a persistent WorkerPool. Jobs are handed
 /// out in index order from a shared queue; each outcome is written to the
 /// slot matching its job index, so the merged result vector is deterministic
 /// and independent of scheduling, worker count, and completion order. Every
@@ -79,6 +93,11 @@ int DefaultWorkerCount();
 /// thread runs one deterministic migration per group (top-k exports merged
 /// in (island id, rank) order; island ids come from job order, never thread
 /// ids), so island results are also bit-for-bit worker-count independent.
+/// Rounds run on the same persistent pool (std::barrier fork-join) instead
+/// of spawning and joining threads per round.
+///
+/// Pipelined mode (`wave_size` / `backend_workers`): campaigns run the
+/// staged wave loop over async backends; see RunnerOptions.
 class ParallelRunner {
  public:
   explicit ParallelRunner(RunnerOptions options = RunnerOptions());
@@ -90,6 +109,13 @@ class ParallelRunner {
   size_t sessions_created() const { return pool_.created(); }
 
  private:
+  /// The persistent fork-join pool, created on first use with the resolved
+  /// worker count and kept across batches.
+  WorkerPool* EnsurePool(int workers);
+
+  /// Job config with the runner's pipeline overrides applied.
+  fuzzer::CampaignConfig EffectiveConfig(const FuzzJob& job) const;
+
   /// Drives the island-mode jobs: per-group ShardedSeedScheduler, parallel
   /// construction, barrier rounds with serial migration, parallel finalize.
   /// `groups` maps group id → member job indices in job order.
@@ -101,6 +127,7 @@ class ParallelRunner {
   /// Lives as long as the runner: keeping one runner across batches lets
   /// workers lease already-constructed backends instead of allocating.
   evm::SessionPool pool_;
+  std::unique_ptr<WorkerPool> round_pool_;
 };
 
 /// One-call convenience over ParallelRunner.

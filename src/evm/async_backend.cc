@@ -1,0 +1,242 @@
+#include "evm/async_backend.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace mufuzz::evm {
+
+AsyncBackendAdapter::AsyncBackendAdapter(Options options, SessionPool* pool)
+    : options_(options),
+      session_pool_(pool),
+      threads_(std::max(1, options.workers)) {
+  options_.workers = std::max(1, options_.workers);
+  if (options_.queue_capacity <= 0) {
+    options_.queue_capacity = 4 * options_.workers;
+  }
+}
+
+AsyncBackendAdapter::AsyncBackendAdapter()
+    : AsyncBackendAdapter(Options()) {}
+
+AsyncBackendAdapter::~AsyncBackendAdapter() { Unbind(); }
+
+void AsyncBackendAdapter::CheckBound(const char* op) const {
+  if (!bound_) {
+    std::fprintf(stderr, "fatal: AsyncBackendAdapter::%s before Bind()\n", op);
+    std::abort();
+  }
+}
+
+void AsyncBackendAdapter::CheckIdle(const char* op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ != 0 || !batches_.empty()) {
+    std::fprintf(stderr,
+                 "fatal: AsyncBackendAdapter::%s while batches are in "
+                 "flight (setup ops require an idle backend)\n",
+                 op);
+    std::abort();
+  }
+}
+
+void AsyncBackendAdapter::Bind(Host* host, BlockContext block,
+                               EvmConfig config) {
+  StopWorkers();
+  workers_.clear();
+  workers_.reserve(options_.workers);
+  for (int w = 0; w < options_.workers; ++w) {
+    Worker worker;
+    worker.host = host->CloneForWorker();
+    if (worker.host == nullptr) {
+      std::fprintf(stderr,
+                   "fatal: AsyncBackendAdapter requires a host that "
+                   "implements CloneForWorker (a sequence-pure host); use a "
+                   "SessionBackend for non-replicable hosts\n");
+      std::abort();
+    }
+    worker.backend = session_pool_ != nullptr
+                         ? session_pool_->Acquire()
+                         : std::make_unique<SessionBackend>();
+    worker.backend->Bind(worker.host.get(), block, config);
+    workers_.push_back(std::move(worker));
+  }
+  bound_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+    running_loops_ = options_.workers;
+  }
+  for (int w = 0; w < options_.workers; ++w) {
+    threads_.Post([this, w] { WorkerLoop(static_cast<size_t>(w)); });
+  }
+}
+
+void AsyncBackendAdapter::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_loops_ == 0) return;
+    if (in_flight_ != 0) {
+      std::fprintf(stderr,
+                   "fatal: AsyncBackendAdapter stopped with batches still in "
+                   "flight (WaitBatch every ticket before Unbind)\n");
+      std::abort();
+    }
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  exited_cv_.wait(lock, [this] { return running_loops_ == 0; });
+}
+
+void AsyncBackendAdapter::Unbind() {
+  StopWorkers();
+  for (Worker& worker : workers_) {
+    if (session_pool_ != nullptr && worker.backend != nullptr) {
+      session_pool_->Release(std::move(worker.backend));
+    } else if (worker.backend != nullptr) {
+      worker.backend->Unbind();
+    }
+  }
+  workers_.clear();
+  bound_ = false;
+}
+
+void AsyncBackendAdapter::WorkerLoop(size_t index) {
+  SessionBackend* backend = workers_[index].backend.get();
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ is set and the queue drained: exit.
+        --running_loops_;
+        if (running_loops_ == 0) exited_cv_.notify_all();
+        return;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    capacity_cv_.notify_one();
+    *job.slot = backend->ExecuteSequence(*job.plan);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++job.batch->completed;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+Result<Address> AsyncBackendAdapter::DeployContract(const Bytes& runtime_code,
+                                                    const Bytes& ctor_code,
+                                                    const Bytes& ctor_args,
+                                                    const Address& deployer,
+                                                    const U256& value) {
+  CheckBound("DeployContract");
+  CheckIdle("DeployContract");
+  std::optional<Result<Address>> first;
+  for (Worker& worker : workers_) {
+    Result<Address> result = worker.backend->DeployContract(
+        runtime_code, ctor_code, ctor_args, deployer, value);
+    if (!first.has_value()) {
+      first = std::move(result);
+    } else if (first->ok() != result.ok() ||
+               (first->ok() && !(first->value() == result.value()))) {
+      std::fprintf(stderr,
+                   "fatal: worker sessions diverged during deployment — the "
+                   "bound host's CloneForWorker is not sequence-pure\n");
+      std::abort();
+    }
+  }
+  return *first;
+}
+
+void AsyncBackendAdapter::FundAccount(const Address& addr,
+                                      const U256& balance) {
+  CheckBound("FundAccount");
+  CheckIdle("FundAccount");
+  for (Worker& worker : workers_) worker.backend->FundAccount(addr, balance);
+}
+
+void AsyncBackendAdapter::MarkDeployed() {
+  CheckBound("MarkDeployed");
+  CheckIdle("MarkDeployed");
+  for (Worker& worker : workers_) worker.backend->MarkDeployed();
+}
+
+void AsyncBackendAdapter::Rewind() {
+  CheckBound("Rewind");
+  CheckIdle("Rewind");
+  for (Worker& worker : workers_) worker.backend->Rewind();
+}
+
+SequenceOutcome AsyncBackendAdapter::ExecuteSequence(
+    const SequencePlan& plan) {
+  std::vector<SequencePlan> plans;
+  plans.push_back(plan);
+  return std::move(WaitBatch(SubmitBatch(std::move(plans))).front());
+}
+
+std::vector<SequenceOutcome> AsyncBackendAdapter::ExecuteSequenceBatch(
+    std::span<const SequencePlan> plans) {
+  return WaitBatch(
+      SubmitBatch(std::vector<SequencePlan>(plans.begin(), plans.end())));
+}
+
+ExecutionBackend::BatchTicket AsyncBackendAdapter::SubmitBatch(
+    std::vector<SequencePlan> plans) {
+  CheckBound("SubmitBatch");
+  Batch* batch = nullptr;
+  BatchTicket ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_async_ticket_++;
+    auto owned = std::make_unique<Batch>();
+    owned->plans = std::move(plans);
+    owned->outcomes.resize(owned->plans.size());
+    batch = owned.get();
+    batches_.emplace(ticket, std::move(owned));
+  }
+  // Enqueue under the capacity bound: a planner that outruns the workers
+  // blocks here instead of growing the queue without limit.
+  const size_t capacity = static_cast<size_t>(options_.queue_capacity);
+  for (size_t i = 0; i < batch->plans.size(); ++i) {
+    std::unique_lock<std::mutex> lock(mu_);
+    capacity_cv_.wait(lock, [this, capacity] {
+      return queue_.size() < capacity;
+    });
+    queue_.push_back(Job{&batch->plans[i], &batch->outcomes[i], batch});
+    ++in_flight_;
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+  return ticket;
+}
+
+std::vector<SequenceOutcome> AsyncBackendAdapter::WaitBatch(
+    BatchTicket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = batches_.find(ticket);
+  if (it == batches_.end()) {
+    std::fprintf(stderr,
+                 "fatal: WaitBatch(%llu) for an unknown or already-redeemed "
+                 "ticket\n",
+                 static_cast<unsigned long long>(ticket));
+    std::abort();
+  }
+  Batch* batch = it->second.get();
+  done_cv_.wait(lock,
+                [batch] { return batch->completed == batch->plans.size(); });
+  std::vector<SequenceOutcome> outcomes = std::move(batch->outcomes);
+  batches_.erase(it);
+  return outcomes;
+}
+
+const WorldState& AsyncBackendAdapter::state() const {
+  CheckBound("state");
+  return workers_.front().backend->state();
+}
+
+}  // namespace mufuzz::evm

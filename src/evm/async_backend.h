@@ -1,0 +1,134 @@
+#ifndef MUFUZZ_EVM_ASYNC_BACKEND_H_
+#define MUFUZZ_EVM_ASYNC_BACKEND_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/worker_pool.h"
+#include "evm/execution_backend.h"
+
+namespace mufuzz::evm {
+
+/// An ExecutionBackend that drains a bounded submission queue on worker
+/// threads. Each worker owns a SessionBackend (leased from an optional
+/// shared SessionPool) bound to its own Host replica
+/// (Host::CloneForWorker), deploys the same contract, and rewinds per
+/// sequence — so any worker produces the identical outcome for a given
+/// SequencePlan and results are bit-for-bit independent of the worker
+/// count and of completion order (WaitBatch returns submission order).
+///
+/// This is the in-process stand-in for the ROADMAP's out-of-process /
+/// accelerator-hosted EVM: the campaign already speaks plans and tickets,
+/// so swapping the transport later is a backend-only change.
+///
+/// Threading contract: Bind/Unbind/DeployContract/FundAccount/MarkDeployed/
+/// Rewind/state() are setup-phase calls — they must not race SubmitBatch
+/// and may only run while no batch is in flight (the adapter aborts on
+/// violations it can detect). SubmitBatch blocks while the queue is at
+/// capacity, which backpressures a planner that outruns execution.
+class AsyncBackendAdapter : public ExecutionBackend {
+ public:
+  struct Options {
+    int workers = 2;
+    /// Plans the queue holds before SubmitBatch blocks. <= 0 picks
+    /// 4 * workers.
+    int queue_capacity = 0;
+  };
+
+  /// `pool` (optional, caller-owned, must outlive the adapter) supplies the
+  /// workers' SessionBackends; without it the adapter owns fresh sessions.
+  explicit AsyncBackendAdapter(Options options, SessionPool* pool = nullptr);
+  AsyncBackendAdapter();
+  ~AsyncBackendAdapter() override;
+
+  /// Spins up the workers: each gets host->CloneForWorker() (aborts if the
+  /// host is not clonable — async execution requires sequence-pure hosts)
+  /// and a freshly bound session.
+  void Bind(Host* host, BlockContext block = BlockContext(),
+            EvmConfig config = EvmConfig()) override;
+  void Unbind() override;
+
+  /// Deploys on every worker session and verifies they agree on the
+  /// resulting address (they must — deployment is deterministic and the
+  /// replicas start identical).
+  Result<Address> DeployContract(const Bytes& runtime_code,
+                                 const Bytes& ctor_code,
+                                 const Bytes& ctor_args,
+                                 const Address& deployer,
+                                 const U256& value) override;
+
+  void FundAccount(const Address& addr, const U256& balance) override;
+  void MarkDeployed() override;
+  void Rewind() override;
+
+  SequenceOutcome ExecuteSequence(const SequencePlan& plan) override;
+  std::vector<SequenceOutcome> ExecuteSequenceBatch(
+      std::span<const SequencePlan> plans) override;
+  BatchTicket SubmitBatch(std::vector<SequencePlan> plans) override;
+  std::vector<SequenceOutcome> WaitBatch(BatchTicket ticket) override;
+
+  int worker_count() const override { return static_cast<int>(workers_.size()); }
+
+  /// Worker 0's world state. Setup ops fan out identically, but after
+  /// execution each worker carries the residue of the last plan it
+  /// happened to run — call Rewind() first (as Campaign::Finalize does)
+  /// for a canonical, scheduling-independent view.
+  const WorldState& state() const override;
+
+  bool bound() const { return bound_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<Host> host;
+    std::unique_ptr<SessionBackend> backend;
+  };
+
+  /// One in-flight batch: plans are pinned here (jobs point into them)
+  /// until WaitBatch collects the outcomes.
+  struct Batch {
+    std::vector<SequencePlan> plans;
+    std::vector<SequenceOutcome> outcomes;
+    size_t completed = 0;
+  };
+
+  struct Job {
+    const SequencePlan* plan = nullptr;
+    SequenceOutcome* slot = nullptr;
+    Batch* batch = nullptr;
+  };
+
+  void WorkerLoop(size_t index);
+  void StopWorkers();
+  /// Aborts unless idle (no queued jobs, no in-flight batches).
+  void CheckIdle(const char* op) const;
+  void CheckBound(const char* op) const;
+
+  Options options_;
+  SessionPool* session_pool_;
+  WorkerPool threads_;
+
+  std::vector<Worker> workers_;
+  bool bound_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;       ///< workers: job available / stop
+  std::condition_variable capacity_cv_;    ///< submitters: queue has room
+  std::condition_variable done_cv_;        ///< waiters: batch completed
+  std::condition_variable exited_cv_;      ///< StopWorkers: loops drained
+  std::deque<Job> queue_;
+  std::map<BatchTicket, std::unique_ptr<Batch>> batches_;
+  BatchTicket next_async_ticket_ = 1;
+  size_t in_flight_ = 0;  ///< jobs queued or executing
+  int running_loops_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_ASYNC_BACKEND_H_

@@ -6,12 +6,46 @@
 
 namespace mufuzz::evm {
 
+std::vector<SequenceOutcome> ExecutionBackend::ExecuteSequenceBatch(
+    std::span<const SequencePlan> plans) {
+  std::vector<SequenceOutcome> outcomes;
+  outcomes.reserve(plans.size());
+  for (const SequencePlan& plan : plans) {
+    outcomes.push_back(ExecuteSequence(plan));
+  }
+  return outcomes;
+}
+
+ExecutionBackend::BatchTicket ExecutionBackend::SubmitBatch(
+    std::vector<SequencePlan> plans) {
+  BatchTicket ticket = next_ticket_++;
+  pending_.emplace_back(ticket,
+                        ExecuteSequenceBatch(std::span<const SequencePlan>(
+                            plans.data(), plans.size())));
+  return ticket;
+}
+
+std::vector<SequenceOutcome> ExecutionBackend::WaitBatch(BatchTicket ticket) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].first != ticket) continue;
+    std::vector<SequenceOutcome> outcomes = std::move(pending_[i].second);
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    return outcomes;
+  }
+  std::fprintf(stderr,
+               "fatal: WaitBatch(%llu) for an unknown or already-redeemed "
+               "ticket\n",
+               static_cast<unsigned long long>(ticket));
+  std::abort();
+}
+
 SessionBackend::SessionBackend(Host* host, BlockContext block,
                                EvmConfig config) {
   Bind(host, block, config);
 }
 
 void SessionBackend::Bind(Host* host, BlockContext block, EvmConfig config) {
+  host_ = host;
   session_.emplace(host, block, config);
   session_->interpreter().set_observer(&trace_);
   trace_.Clear();
@@ -20,6 +54,7 @@ void SessionBackend::Bind(Host* host, BlockContext block, EvmConfig config) {
 
 void SessionBackend::Unbind() {
   session_.reset();
+  host_ = nullptr;
   trace_.Clear();
   deployed_ = {};
 }
@@ -57,15 +92,33 @@ void SessionBackend::Rewind() {
   session_->Restore(deployed_);
 }
 
-ExecResult SessionBackend::Execute(const TransactionRequest& tx) {
+SequenceOutcome SessionBackend::ExecuteSequence(const SequencePlan& plan) {
   CheckBound();
+  Rewind();
+  host_->OnSequenceStart(plan.host_seed);
+  SequenceOutcome out;
+  out.txs.reserve(plan.txs.size());
   trace_.Clear();
-  return session_->Apply(tx);
-}
-
-const std::vector<CmpRecord>& SessionBackend::cmp_records() const {
-  CheckBound();
-  return session_->interpreter().cmp_records();
+  for (const PreparedTx& ptx : plan.txs) {
+    host_->OnTransactionStart(ptx.request.data);
+    ExecResult result = session_->Apply(ptx.request);
+    TxOutcome txo;
+    txo.tag = ptx.tag;
+    txo.success = result.Success();
+    txo.outcome = result.outcome;
+    txo.gas_used = result.gas_used;
+    txo.cmps = session_->interpreter().cmp_records();
+    txo.trace = std::move(trace_);
+    trace_.Clear();
+    out.instructions += txo.trace.instruction_count();
+    out.touched_pcs.reserve(out.touched_pcs.size() +
+                            txo.trace.branches().size());
+    for (const BranchEvent& ev : txo.trace.branches()) {
+      out.touched_pcs.push_back(ev.pc);
+    }
+    out.txs.push_back(std::move(txo));
+  }
+  return out;
 }
 
 const WorldState& SessionBackend::state() const {

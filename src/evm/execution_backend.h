@@ -1,9 +1,12 @@
 #ifndef MUFUZZ_EVM_EXECUTION_BACKEND_H_
 #define MUFUZZ_EVM_EXECUTION_BACKEND_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -12,11 +15,64 @@
 
 namespace mufuzz::evm {
 
+/// One transaction of a planned sequence. `tag` is an opaque caller label
+/// carried through to the matching TxOutcome (the fuzzer stores the
+/// transaction's position in the un-encoded sequence, so feedback indexes
+/// stay correct when unencodable entries were skipped at planning time).
+struct PreparedTx {
+  TransactionRequest request;
+  int tag = 0;
+};
+
+/// A fully encoded, self-contained unit of execution work: every transaction
+/// of one sequence plus the per-sequence environment seed the backend passes
+/// to Host::OnSequenceStart. Plans carry no pointers into fuzzer state, so
+/// they can be queued, shipped to worker threads, and executed in any order.
+struct SequencePlan {
+  uint64_t host_seed = 0;
+  std::vector<PreparedTx> txs;
+};
+
+/// What one transaction of a sequence produced. A self-contained value: the
+/// full event trace and the comparison records BranchEvent::cmp_id indexes
+/// into are copied out of the interpreter, so outcomes survive the backend
+/// moving on to other work (unlike the retired trace()-accessor contract,
+/// which exposed a mutable accumulator valid only until the next Execute).
+struct TxOutcome {
+  int tag = 0;
+  bool success = false;
+  Outcome outcome = Outcome::kSuccess;
+  uint64_t gas_used = 0;
+  TraceRecorder trace;
+  std::vector<CmpRecord> cmps;
+};
+
+/// Everything one executed SequencePlan produced, in transaction order.
+struct SequenceOutcome {
+  std::vector<TxOutcome> txs;
+  /// Instructions summed over all transactions.
+  uint64_t instructions = 0;
+  /// Branch pcs executed, flattened across transactions (trace order).
+  std::vector<uint32_t> touched_pcs;
+};
+
 /// The execution substrate a fuzzing campaign drives: deploy once, mark the
-/// deployed state, then rewind-and-execute arbitrarily many times. Pulling
-/// this behind an interface keeps the fuzzer layer ignorant of how state is
-/// hosted (an in-process ChainSession today; sharded or out-of-process
-/// backends later) and lets worker pools recycle sessions between jobs.
+/// deployed state, then execute arbitrarily many sequence plans, each from a
+/// fresh rewind of the mark. Pulling this behind an interface keeps the
+/// fuzzer layer ignorant of how state is hosted (an in-process ChainSession,
+/// a pool of worker sessions behind a queue, or an out-of-process EVM later)
+/// and lets worker pools recycle sessions between jobs.
+///
+/// Execution is plan-in / outcome-out: callers hand over self-contained
+/// SequencePlans and receive self-contained SequenceOutcomes. The mutable
+/// "trace of the most recent Execute (and anything since)" accessors are
+/// gone from this interface — that contract cannot survive concurrency.
+///
+/// Ordering contract: ExecuteSequenceBatch and SubmitBatch/WaitBatch return
+/// outcomes in submission order, and every plan is executed in isolation
+/// (rewound to the MarkDeployed point, host re-armed via OnSequenceStart),
+/// so the outcome of plan i is independent of the other plans in the batch,
+/// of batch boundaries, and of which worker executes it.
 class ExecutionBackend {
  public:
   virtual ~ExecutionBackend() = default;
@@ -43,31 +99,58 @@ class ExecutionBackend {
   virtual void FundAccount(const Address& addr, const U256& balance) = 0;
 
   /// Marks the current session state (world state + block context) as the
-  /// point Rewind() returns to. Typically called right after deployment.
-  /// O(1) in the in-process backend (a journal mark, not a state copy).
+  /// point every sequence plan starts from. Typically called right after
+  /// deployment. O(1) in the in-process backend (a journal mark).
   virtual void MarkDeployed() = 0;
 
-  /// Rewinds to the MarkDeployed() point. May be called any number of times.
-  /// Cost is proportional to the state the transactions since the mark
-  /// touched (journal unwind), not to total state size.
+  /// Rewinds to the MarkDeployed() point. Sequence execution rewinds
+  /// implicitly per plan; this exists for setup code and tests. Cost is
+  /// proportional to the state touched since the mark (journal unwind).
   virtual void Rewind() = 0;
 
-  /// Clears the per-transaction trace and applies one transaction.
-  virtual ExecResult Execute(const TransactionRequest& tx) = 0;
+  /// Executes one plan from a fresh rewind: arms the host
+  /// (OnSequenceStart(plan.host_seed), then OnTransactionStart per tx) and
+  /// applies each transaction, collecting a self-contained outcome.
+  virtual SequenceOutcome ExecuteSequence(const SequencePlan& plan) = 0;
 
-  /// Trace of the most recent Execute() (and anything since).
-  virtual const TraceRecorder& trace() const = 0;
+  /// Executes `plans` and returns their outcomes in submission order.
+  /// Default: a serial loop over ExecuteSequence; concurrent backends
+  /// override (or inherit via SubmitBatch) and may execute out of order —
+  /// the returned vector is always in submission order.
+  virtual std::vector<SequenceOutcome> ExecuteSequenceBatch(
+      std::span<const SequencePlan> plans);
 
-  /// Comparison records backing the most recent transaction's branch events.
-  virtual const std::vector<CmpRecord>& cmp_records() const = 0;
+  /// Handle for an in-flight batch.
+  using BatchTicket = uint64_t;
+
+  /// Submits a batch for (possibly asynchronous) execution and returns a
+  /// ticket to redeem with WaitBatch. The default implementation executes
+  /// synchronously at submit time and stashes the outcomes, which makes the
+  /// pipelined campaign loop run unmodified — and bit-for-bit identically —
+  /// over a plain in-process backend.
+  virtual BatchTicket SubmitBatch(std::vector<SequencePlan> plans);
+
+  /// Blocks until the ticket's batch completed and returns its outcomes in
+  /// submission order. Each ticket may be redeemed exactly once.
+  virtual std::vector<SequenceOutcome> WaitBatch(BatchTicket ticket);
+
+  /// Execution workers behind this backend (1 for in-process backends);
+  /// callers may use it to size waves.
+  virtual int worker_count() const { return 1; }
 
   virtual const WorldState& state() const = 0;
+
+ protected:
+  /// Stash for the synchronous SubmitBatch/WaitBatch default.
+  std::vector<std::pair<BatchTicket, std::vector<SequenceOutcome>>> pending_;
+  BatchTicket next_ticket_ = 1;
 };
 
 /// In-process backend: a ChainSession plus a TraceRecorder wired as its
-/// observer. Bind() reconstructs the session in place, so one SessionBackend
-/// can serve many campaigns back to back without reallocation churn at the
-/// call sites that hold it.
+/// observer (both internal — outcomes are copied out per transaction).
+/// Bind() reconstructs the session in place, so one SessionBackend can serve
+/// many campaigns back to back without reallocation churn at the call sites
+/// that hold it.
 class SessionBackend : public ExecutionBackend {
  public:
   /// Constructs an unbound backend (the pool path); call Bind() before use.
@@ -90,10 +173,8 @@ class SessionBackend : public ExecutionBackend {
   void FundAccount(const Address& addr, const U256& balance) override;
   void MarkDeployed() override;
   void Rewind() override;
-  ExecResult Execute(const TransactionRequest& tx) override;
+  SequenceOutcome ExecuteSequence(const SequencePlan& plan) override;
 
-  const TraceRecorder& trace() const override { return trace_; }
-  const std::vector<CmpRecord>& cmp_records() const override;
   const WorldState& state() const override;
 
   bool bound() const { return session_.has_value(); }
@@ -106,6 +187,7 @@ class SessionBackend : public ExecutionBackend {
   void CheckBound() const;
 
   TraceRecorder trace_;
+  Host* host_ = nullptr;
   std::optional<ChainSession> session_;
   ChainSession::SessionSnapshot deployed_{};
 };

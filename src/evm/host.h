@@ -2,6 +2,7 @@
 #define MUFUZZ_EVM_HOST_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/address.h"
 #include "common/bytes.h"
@@ -51,11 +52,35 @@ class ReentryHandle {
 
 /// Models everything outside the contracts under test: externally owned
 /// accounts receiving transfers, adversarial callees, failing callees.
+///
+/// Sequence lifecycle hooks: an execution backend arms the host before each
+/// sequence (OnSequenceStart) and each transaction (OnTransactionStart)
+/// instead of the fuzzer poking host-specific setters. A host whose behavior
+/// after OnSequenceStart(seed) is a pure function of (construction
+/// parameters, seed, the call stream) is *sequence-pure*; sequence-pure
+/// hosts may additionally implement CloneForWorker so the async backend can
+/// replicate the environment onto parallel workers with identical semantics.
 class Host {
  public:
   virtual ~Host() = default;
   virtual ExternalCallOutcome OnExternalCall(const ExternalCallRequest& req,
                                              ReentryHandle* reentry) = 0;
+
+  /// Called by the backend before the first transaction of a sequence.
+  /// `seed` is the sequence's environment seed; stochastic hosts must
+  /// derive all per-sequence randomness from it (not from a stream carried
+  /// across sequences) or batch results become submission-order dependent.
+  virtual void OnSequenceStart(uint64_t /*seed*/) {}
+
+  /// Called by the backend before each transaction of a sequence, with the
+  /// transaction's calldata (adversarial hosts re-enter with it).
+  virtual void OnTransactionStart(const Bytes& /*calldata*/) {}
+
+  /// Returns an independent replica for a parallel execution worker, or
+  /// nullptr when the host cannot guarantee sequence-purity (the async
+  /// backend refuses such hosts). Replicas must behave identically to the
+  /// original for any (OnSequenceStart seed, call stream).
+  virtual std::unique_ptr<Host> CloneForWorker() const { return nullptr; }
 };
 
 /// Benign host: every external call succeeds and returns no data.
@@ -64,6 +89,10 @@ class AcceptingHost : public Host {
   ExternalCallOutcome OnExternalCall(const ExternalCallRequest&,
                                      ReentryHandle*) override {
     return {true, {}};
+  }
+
+  std::unique_ptr<Host> CloneForWorker() const override {
+    return std::make_unique<AcceptingHost>();
   }
 };
 

@@ -1,6 +1,9 @@
 #include "fuzzer/campaign.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "evm/async_backend.h"
 
 namespace mufuzz::fuzzer {
 
@@ -31,8 +34,17 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
   host_ = std::make_unique<FuzzingHost>(rng_.NextU64(),
                                         config_.call_failure_probability,
                                         /*max_reentries=*/2);
+  // Seed of the planner's per-sequence environment stream (see
+  // MutationPlanner::BuildPlan), drawn here so it precedes the constructor-
+  // argument draws like the host seed does.
+  const uint64_t host_stream_seed = rng_.NextU64();
   if (backend != nullptr) {
     backend_ = backend;
+  } else if (config_.async_workers > 0) {
+    evm::AsyncBackendAdapter::Options options;
+    options.workers = config_.async_workers;
+    owned_backend_ = std::make_unique<evm::AsyncBackendAdapter>(options);
+    backend_ = owned_backend_.get();
   } else {
     owned_backend_ = std::make_unique<evm::SessionBackend>();
     backend_ = owned_backend_.get();
@@ -57,7 +69,7 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
     contract_ = addr.value();
     backend_->FundAccount(contract_, config_.initial_contract_balance);
   }
-  // Post-deploy rewind point: every sequence run starts here (fresh state
+  // Post-deploy rewind point: every sequence plan starts here (fresh state
   // per fuzz round, like the paper's re-execution model).
   backend_->MarkDeployed();
 
@@ -73,6 +85,10 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
         std::make_unique<SeedScheduler>(config_.strategy.distance_feedback);
     scheduler_ = owned_scheduler_.get();
   }
+  planner_ = std::make_unique<MutationPlanner>(
+      codec_.get(), mutation_.get(), scheduler_, feedback_.get(), contract_,
+      config_.base_energy, config_.strategy.dynamic_energy,
+      host_stream_seed);
 }
 
 Campaign::~Campaign() {
@@ -82,35 +98,16 @@ Campaign::~Campaign() {
   if (owned_backend_ == nullptr && backend_ != nullptr) backend_->Unbind();
 }
 
-ExecSignals Campaign::ExecuteSequence(const Sequence& seq) {
+ExecSignals Campaign::ApplyOutcome(const evm::SequenceOutcome& outcome) {
   ExecSignals stats;
-  if (contract_.IsZero() || artifact_->abi.functions.empty()) return stats;
-  backend_->Rewind();
   result_.executions++;
   feedback_->BeginSequence();
 
-  for (size_t i = 0; i < seq.size(); ++i) {
-    const Tx& tx = seq[i];
-    if (tx.fn_index < 0 ||
-        tx.fn_index >= static_cast<int>(artifact_->abi.functions.size())) {
-      continue;
-    }
-    Bytes calldata = codec_->EncodeCalldata(tx);
-    host_->BeginTransaction(calldata);
-
-    evm::TransactionRequest request;
-    request.to = contract_;
-    request.sender = codec_->senders()[tx.sender_index %
-                                       codec_->senders().size()];
-    request.value = tx.value;
-    request.data = std::move(calldata);
-    evm::ExecResult tx_result = backend_->Execute(request);
+  for (const evm::TxOutcome& txo : outcome.txs) {
     result_.transactions++;
-    result_.instructions += backend_->trace().instruction_count();
-
-    feedback_->ProcessTx(static_cast<int>(i), backend_->trace(),
-                         backend_->cmp_records(), tx_result.Success(),
-                         &result_, &stats);
+    result_.instructions += txo.trace.instruction_count();
+    feedback_->ProcessTx(txo.tag, txo.trace, txo.cmps, txo.success, &result_,
+                         &stats);
   }
 
   // Coverage-over-time samples.
@@ -124,6 +121,14 @@ ExecSignals Campaign::ExecuteSequence(const Sequence& seq) {
   return stats;
 }
 
+ExecSignals Campaign::ExecuteSequenceNow(const Sequence& seq) {
+  if (contract_.IsZero() || artifact_->abi.functions.empty()) return {};
+  evm::SequencePlan plan = planner_->BuildPlan(seq);
+  ++planned_executions_;
+  evm::SequenceOutcome outcome = backend_->ExecuteSequence(plan);
+  return ApplyOutcome(outcome);
+}
+
 void Campaign::MaybeComputeMask(FuzzSeed* seed) {
   if (!mutation_->WantsMask(*seed)) return;
   // Mask probes are real executions; bound their share of the campaign so
@@ -133,20 +138,43 @@ void Campaign::MaybeComputeMask(FuzzSeed* seed) {
 
   bool computed = mutation_->ComputeSeedMask(
       seed, &rng_,
-      [this](const Sequence& seq) { return ExecuteSequence(seq); });
+      [this](const Sequence& seq) { return ExecuteSequenceNow(seq); });
   if (computed) result_.masks_computed++;
 }
 
 void Campaign::SeedCorpus() {
   result_ = CampaignResult();
+  planned_executions_ = 0;
   result_.total_jumpis = artifact_->total_jumpis;
   result_.island_id = island_id_;
   if (contract_.IsZero()) return;
 
+  // The initial seeds are mutually independent, so they ride the batch API
+  // as one wave: planned in order, submitted together, applied in order.
+  const bool executable = !artifact_->abi.functions.empty();
+  std::vector<Sequence> seqs;
+  std::vector<evm::SequencePlan> plans;
+  seqs.reserve(config_.initial_seeds);
+  plans.reserve(config_.initial_seeds);
   for (int k = 0; k < config_.initial_seeds; ++k) {
+    seqs.push_back(mutation_->InitialSequence(&rng_));
+    if (executable) {
+      plans.push_back(planner_->BuildPlan(seqs.back()));
+      ++planned_executions_;
+    }
+  }
+  std::vector<evm::SequenceOutcome> outcomes;
+  if (executable) {
+    outcomes = backend_->ExecuteSequenceBatch(
+        std::span<const evm::SequencePlan>(plans.data(), plans.size()));
+  }
+
+  for (int k = 0; k < config_.initial_seeds; ++k) {
+    ExecSignals stats =
+        executable ? ApplyOutcome(outcomes[static_cast<size_t>(k)])
+                   : ExecSignals{};
     FuzzSeed seed;
-    seed.seq = mutation_->InitialSequence(&rng_);
-    ExecSignals stats = ExecuteSequence(seed.seq);
+    seed.seq = std::move(seqs[static_cast<size_t>(k)]);
     seed.hits_nested = stats.hits_nested;
     seed.improved_distance = stats.improved_distance;
     seed.touched_pcs = stats.touched_pcs;
@@ -163,66 +191,98 @@ bool Campaign::Done() const {
          scheduler_->empty();
 }
 
+void Campaign::ApplyWave(MutationPlanner::ParentPlan* parent,
+                         std::vector<MutationPlanner::PlannedChild> children,
+                         std::vector<evm::SequenceOutcome> outcomes) {
+  for (size_t i = 0; i < children.size(); ++i) {
+    ExecSignals stats = ApplyOutcome(outcomes[i]);
+    // UPDATE_ENERGY (Algorithm 1 line 29): productive children extend the
+    // parent's budget. Wave semantics: an extension earned by child i is
+    // visible when the *next* wave is planned, never retroactively — the
+    // schedule depends only on (seed, W), not on execution timing.
+    planner_->ExtendEnergy(parent, stats.new_branches);
+    // Keep productive children; additionally keep oracle-adjacent ones
+    // (wrapping arithmetic) and a thin random sample for queue diversity.
+    bool keep = stats.new_branches > 0 || stats.improved_distance ||
+                stats.saw_overflow || rng_.Chance(0.02);
+    if (!keep) continue;
+    FuzzSeed child;
+    child.seq = std::move(children[i].seq);
+    child.hits_nested = stats.hits_nested;
+    child.improved_distance = stats.improved_distance;
+    child.touched_pcs = stats.touched_pcs;
+    child.focus_tx = stats.best_tx;
+    child.priority =
+        1.0 + 10.0 * stats.new_branches +
+        5.0 * (stats.improved_distance ? 1 : 0) +
+        3.0 * (stats.hits_nested ? 1 : 0) +
+        feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
+    scheduler_->Add(std::move(child));
+  }
+}
+
 void Campaign::StepRound(uint64_t round_executions) {
-  if (contract_.IsZero()) return;
+  if (contract_.IsZero() || artifact_->abi.functions.empty()) return;
   const uint64_t budget = static_cast<uint64_t>(config_.max_executions);
   const uint64_t target =
-      std::min(budget, result_.executions + round_executions);
+      std::min(budget, planned_executions_ + round_executions);
+  const int wave_size = std::max(1, config_.wave_size);
 
-  while (result_.executions < target) {
-    SeedId id = scheduler_->Select(&rng_);
-    if (id == kInvalidSeedId) break;
-    FuzzSeed* seed = scheduler_->Get(id);
-
+  MutationPlanner::MaskHook mask_hook = [this](FuzzSeed* seed) {
     MaybeComputeMask(seed);
+  };
 
-    int energy = config_.strategy.dynamic_energy
-                     ? feedback_->energy().AssignEnergy(seed->touched_pcs,
-                                                        config_.base_energy)
-                     : config_.base_energy;
+  while (planned_executions_ < target) {
+    // Parent boundary: the pipeline is drained here, so selection sees
+    // every keep/Add decision of earlier waves.
+    MutationPlanner::ParentPlan parent =
+        planner_->BeginParent(&rng_, mask_hook);
+    if (!parent.valid) break;
 
-    // Snapshot the parent's fields — stable-handle discipline: `seed` came
-    // from Get(id) and the Add() below invalidates it, so nothing may touch
-    // the pointer past the first Add.
-    Sequence parent_seq = seed->seq;
-    MutationMask parent_mask = seed->mask;
-    bool parent_mask_valid = seed->mask_valid;
-    int parent_focus =
-        parent_seq.empty()
-            ? 0
-            : std::min<int>(seed->focus_tx,
-                            static_cast<int>(parent_seq.size()) - 1);
-    seed = nullptr;
+    struct InFlight {
+      std::vector<MutationPlanner::PlannedChild> children;
+      evm::ExecutionBackend::BatchTicket ticket = 0;
+    };
+    std::optional<InFlight> inflight;
 
-    for (int e = 0; e < energy && result_.executions < target; ++e) {
-      FuzzSeed child;
-      child.seq = parent_seq;
-      mutation_->MutateChild(&child.seq, parent_mask, parent_mask_valid,
-                             parent_focus, &rng_);
-
-      ExecSignals stats = ExecuteSequence(child.seq);
-      // UPDATE_ENERGY (Algorithm 1 line 29): productive children extend the
-      // round's budget.
-      if (stats.new_branches > 0) {
-        energy = std::min(energy + 2,
-                          static_cast<int>(config_.base_energy *
-                                           EnergyScheduler::kMaxEnergyFactor));
+    // Wave loop with one wave of lookahead: wave k+1 is planned (from the
+    // parent snapshot) and submitted *before* wave k's outcomes are
+    // applied, so an async backend executes wave k while this thread
+    // mutates wave k+1. The plan/apply interleaving is fixed by this loop,
+    // not by completion timing: results are a pure function of (seed, W)
+    // for any backend. (The lookahead interleaves rng draws differently
+    // than a no-lookahead loop would — W, like the seed, is part of the
+    // reproducibility key; see ARCHITECTURE.md.)
+    for (;;) {
+      std::optional<InFlight> next;
+      if (parent.planned < parent.allowed && planned_executions_ < target) {
+        std::vector<MutationPlanner::PlannedChild> children =
+            planner_->PlanWave(&parent, wave_size,
+                               target - planned_executions_, &rng_);
+        if (!children.empty()) {
+          planned_executions_ += children.size();
+          std::vector<evm::SequencePlan> plans;
+          plans.reserve(children.size());
+          for (MutationPlanner::PlannedChild& child : children) {
+            plans.push_back(std::move(child.plan));
+          }
+          InFlight wave;
+          wave.children = std::move(children);
+          wave.ticket = backend_->SubmitBatch(std::move(plans));
+          next.emplace(std::move(wave));
+        }
       }
-      // Keep productive children; additionally keep oracle-adjacent ones
-      // (wrapping arithmetic) and a thin random sample for queue diversity.
-      bool keep = stats.new_branches > 0 || stats.improved_distance ||
-                  stats.saw_overflow || rng_.Chance(0.02);
-      if (keep) {
-        child.hits_nested = stats.hits_nested;
-        child.improved_distance = stats.improved_distance;
-        child.touched_pcs = stats.touched_pcs;
-        child.focus_tx = stats.best_tx;
-        child.priority =
-            1.0 + 10.0 * stats.new_branches +
-            5.0 * (stats.improved_distance ? 1 : 0) +
-            3.0 * (stats.hits_nested ? 1 : 0) +
-            feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
-        scheduler_->Add(std::move(child));
+      if (inflight.has_value()) {
+        std::vector<evm::SequenceOutcome> outcomes =
+            backend_->WaitBatch(inflight->ticket);
+        ApplyWave(&parent, std::move(inflight->children),
+                  std::move(outcomes));
+      }
+      inflight = std::move(next);
+      if (!inflight.has_value() &&
+          (parent.planned >= parent.allowed ||
+           planned_executions_ >= target)) {
+        break;
       }
     }
   }
@@ -231,6 +291,10 @@ void Campaign::StepRound(uint64_t round_executions) {
 CampaignResult Campaign::Finalize() {
   if (contract_.IsZero()) return result_;
 
+  // Canonical finalize view: the last executed plan's residue is
+  // scheduling-dependent on a multi-worker backend, so rewind to the
+  // deployed mark before any state-reading oracle runs.
+  backend_->Rewind();
   feedback_->Finalize(backend_->state(), contract_, scheduler_->stats(),
                       &result_);
 

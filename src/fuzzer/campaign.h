@@ -2,6 +2,7 @@
 #define MUFUZZ_FUZZER_CAMPAIGN_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "analysis/dependency_graph.h"
@@ -13,6 +14,7 @@
 #include "fuzzer/feedback_engine.h"
 #include "fuzzer/fuzzing_host.h"
 #include "fuzzer/mutation_pipeline.h"
+#include "fuzzer/mutation_planner.h"
 #include "fuzzer/seed_scheduler.h"
 #include "fuzzer/strategy.h"
 #include "lang/codegen.h"
@@ -32,24 +34,44 @@ struct CampaignConfig {
   U256 initial_contract_balance = U256(100) * U256::PowerOfTen(18);
   int coverage_samples = 25;    ///< points on the coverage-over-time curve
   int mask_stride_divisor = 8;  ///< mask sampling density (len / divisor)
+
+  // ------------------------------------------------------- Wave pipeline --
+  /// Children planned per wave (W). Results are a pure function of (seed,
+  /// wave_size): W=1 is the classic serial loop; larger waves batch W
+  /// children per submission so an async backend executes them in parallel.
+  /// Any W is bit-for-bit identical across backends and worker counts.
+  int wave_size = 1;
+  /// When > 0 and no external backend is supplied, the campaign owns an
+  /// AsyncBackendAdapter with this many execution workers instead of a
+  /// SessionBackend — the wave pipeline then overlaps mutation planning
+  /// with execution.
+  int async_workers = 0;
 };
 
 /// One fuzzing campaign over one contract: deploy once, then iterate
 /// seed-selection → (sequence | masked-input) mutation → execution →
 /// feedback, per the architecture of Fig. 2.
 ///
-/// The campaign is a thin composer over four modules, each swappable:
+/// The campaign is a thin composer over five modules, each swappable:
 ///  - SeedScheduler  — queue, selection, eviction (fuzzer layer)
 ///  - MutationPipeline — sequence ops + mask-guided byte ops (fuzzer layer)
+///  - MutationPlanner — wave planning over parent snapshots (fuzzer layer)
 ///  - FeedbackEngine — coverage / distance / energy / oracles (fuzzer layer)
-///  - ExecutionBackend — deploy-once/rewind-many substrate (evm layer)
-/// All randomness flows from one Rng seeded by the config, so results are
-/// identical wherever the campaign runs — serially or on a worker thread.
+///  - ExecutionBackend — plan-in/outcome-out substrate (evm layer)
+///
+/// Execution is wave-pipelined: StepRound plans a wave of W children,
+/// submits it, and plans the next wave while the backend executes — then
+/// applies outcomes strictly in submission order. All randomness flows from
+/// Rngs seeded by the config and is drawn in planning/apply order (never
+/// execution-completion order), so results are identical wherever and
+/// however the campaign runs — serially, on a worker thread, or over an
+/// async backend at any worker count.
 class Campaign {
  public:
-  /// When `backend` is null the campaign owns a private SessionBackend;
-  /// otherwise it Bind()s the provided one (the worker-pool reuse path) and
-  /// the caller keeps ownership.
+  /// When `backend` is null the campaign owns a private backend (a
+  /// SessionBackend, or an AsyncBackendAdapter when
+  /// `config.async_workers > 0`); otherwise it Bind()s the provided one
+  /// (the worker-pool reuse path) and the caller keeps ownership.
   ///
   /// When `scheduler` is null the campaign owns a private SeedScheduler;
   /// otherwise it fuzzes out of the provided queue (the island-model path —
@@ -71,26 +93,39 @@ class Campaign {
   // Finalize() once.
   // ------------------------------------------------------------------------
 
-  /// Resets the result and executes the initial seed corpus.
+  /// Resets the result and executes the initial seed corpus (as one batch —
+  /// initial seeds are independent, so they ride the same wave machinery).
   void SeedCorpus();
 
   /// True when the execution budget is exhausted (or the contract failed to
   /// deploy, or the queue drained).
   bool Done() const;
 
-  /// Runs up to `round_executions` more sequence executions (never past the
-  /// campaign budget; energy loops and mask probes may overshoot a round
-  /// boundary by a bounded amount, exactly as they overshoot the budget).
+  /// Plans (and applies) up to `round_executions` more sequence executions
+  /// (never past the campaign budget; energy waves and mask probes may
+  /// overshoot a round boundary by a bounded amount, exactly as they
+  /// overshoot the budget). All in-flight waves are applied before this
+  /// returns — rounds are barriers, which is what island migration needs.
   void StepRound(uint64_t round_executions);
 
   /// Contract-lifetime wrap-up; returns the final result.
   CampaignResult Finalize();
 
  private:
-  /// Executes a sequence from the post-deploy rewind point, updating
-  /// coverage, distances, oracles, energy observations, and interesting
-  /// constants.
-  ExecSignals ExecuteSequence(const Sequence& seq);
+  /// Builds the plan for `seq`, executes it synchronously, and applies its
+  /// feedback — the serial path used by the seed corpus and mask probes.
+  ExecSignals ExecuteSequenceNow(const Sequence& seq);
+
+  /// Applies one executed sequence's outcome to coverage, distances,
+  /// oracles, energy observations, interesting constants, and the
+  /// result counters — strictly in submission order.
+  ExecSignals ApplyOutcome(const evm::SequenceOutcome& outcome);
+
+  /// The apply stage for one wave: per child (in submission order) feedback,
+  /// UPDATE_ENERGY against the parent, and the keep/Add decision.
+  void ApplyWave(MutationPlanner::ParentPlan* parent,
+                 std::vector<MutationPlanner::PlannedChild> children,
+                 std::vector<evm::SequenceOutcome> outcomes);
 
   void MaybeComputeMask(FuzzSeed* seed);
 
@@ -101,7 +136,7 @@ class Campaign {
 
   // Substrate (evm layer).
   std::unique_ptr<FuzzingHost> host_;
-  std::unique_ptr<evm::SessionBackend> owned_backend_;
+  std::unique_ptr<evm::ExecutionBackend> owned_backend_;
   evm::ExecutionBackend* backend_ = nullptr;
   Address contract_;
 
@@ -116,6 +151,12 @@ class Campaign {
   SeedScheduler* scheduler_ = nullptr;
   std::unique_ptr<MutationPipeline> mutation_;
   std::unique_ptr<FeedbackEngine> feedback_;
+  std::unique_ptr<MutationPlanner> planner_;
+
+  /// Executions planned (submitted or applied). Runs ahead of
+  /// result_.executions by the in-flight count; equal whenever the pipeline
+  /// is drained (round and parent boundaries).
+  uint64_t planned_executions_ = 0;
 
   CampaignResult result_;
 };

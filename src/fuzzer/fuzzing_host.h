@@ -1,6 +1,8 @@
 #ifndef MUFUZZ_FUZZER_FUZZING_HOST_H_
 #define MUFUZZ_FUZZER_FUZZING_HOST_H_
 
+#include <memory>
+
 #include "common/rng.h"
 #include "evm/host.h"
 
@@ -9,20 +11,42 @@ namespace mufuzz::fuzzer {
 /// The adversarial environment the campaign fuzzes against, combining the
 /// reentrancy probe (re-enter on value calls with gas above the stipend)
 /// with failure injection (external calls fail with a configurable
-/// probability, exercising unhandled-exception paths). Every decision flows
-/// from the campaign RNG so runs stay reproducible.
+/// probability, exercising unhandled-exception paths).
+///
+/// The host is *sequence-pure*: OnSequenceStart reseeds the failure-
+/// injection stream from the sequence's environment seed, so a sequence's
+/// outcome is a function of (construction parameters, sequence seed, call
+/// stream) — never of which sequences ran before it. That is what lets the
+/// async backend replicate this host onto parallel workers (CloneForWorker)
+/// with bit-for-bit identical behavior at any worker count.
 class FuzzingHost : public evm::Host {
  public:
   FuzzingHost(uint64_t seed, double failure_probability, int max_reentries)
       : rng_(seed),
+        seed_(seed),
         failure_probability_(failure_probability),
         max_reentries_(max_reentries) {}
 
+  /// Arms the host for one sequence: reseeds the failure-injection stream.
+  void OnSequenceStart(uint64_t seed) override {
+    rng_.Reseed(seed);
+    reentries_used_ = 0;
+    reentry_calldata_.clear();
+  }
+
   /// Arms the host for one transaction: resets the reentry budget and sets
   /// the calldata the simulated attacker will call back with.
-  void BeginTransaction(Bytes reentry_calldata) {
+  void OnTransactionStart(const Bytes& calldata) override {
     reentries_used_ = 0;
-    reentry_calldata_ = std::move(reentry_calldata);
+    reentry_calldata_ = calldata;
+  }
+
+  /// A fresh replica with the identical construction seed: replicas agree
+  /// with the original on deployment (both start from `seed`) and on every
+  /// sequence (both reseed per OnSequenceStart).
+  std::unique_ptr<evm::Host> CloneForWorker() const override {
+    return std::make_unique<FuzzingHost>(seed_, failure_probability_,
+                                         max_reentries_);
   }
 
   evm::ExternalCallOutcome OnExternalCall(
@@ -48,6 +72,7 @@ class FuzzingHost : public evm::Host {
 
  private:
   Rng rng_;
+  uint64_t seed_;
   double failure_probability_;
   int max_reentries_;
   int reentries_used_ = 0;

@@ -1,0 +1,107 @@
+#include "fuzzer/mutation_planner.h"
+
+#include <algorithm>
+
+#include "fuzzer/energy.h"
+
+namespace mufuzz::fuzzer {
+
+MutationPlanner::MutationPlanner(const AbiCodec* codec,
+                                 MutationPipeline* mutation,
+                                 SeedScheduler* scheduler,
+                                 FeedbackEngine* feedback,
+                                 const Address& contract, int base_energy,
+                                 bool dynamic_energy,
+                                 uint64_t host_stream_seed)
+    : codec_(codec),
+      mutation_(mutation),
+      scheduler_(scheduler),
+      feedback_(feedback),
+      contract_(contract),
+      base_energy_(base_energy),
+      dynamic_energy_(dynamic_energy),
+      host_stream_(host_stream_seed) {}
+
+MutationPlanner::ParentPlan MutationPlanner::BeginParent(
+    Rng* rng, const MaskHook& mask_hook) {
+  ParentPlan parent;
+  SeedId id = scheduler_->Select(rng);
+  if (id == kInvalidSeedId) return parent;
+  FuzzSeed* seed = scheduler_->Get(id);
+
+  if (mask_hook) mask_hook(seed);
+  // The hook may have executed probe sequences, but probes only read the
+  // queue through Get(id)-stable handles and never Add — `seed` stays valid.
+
+  int energy = dynamic_energy_
+                   ? feedback_->energy().AssignEnergy(seed->touched_pcs,
+                                                      base_energy_)
+                   : base_energy_;
+
+  // Snapshot the parent's fields — stable-handle discipline: in-flight
+  // waves outlive any FuzzSeed* (the apply stage's Add() reallocates the
+  // queue), so planning works from this copy, never the resident seed.
+  parent.valid = true;
+  parent.seq = seed->seq;
+  parent.mask = seed->mask;
+  parent.mask_valid = seed->mask_valid;
+  parent.focus = parent.seq.empty()
+                     ? 0
+                     : std::min<int>(seed->focus_tx,
+                                     static_cast<int>(parent.seq.size()) - 1);
+  parent.allowed = energy;
+  parent.cap = static_cast<int>(base_energy_ *
+                                EnergyScheduler::kMaxEnergyFactor);
+  return parent;
+}
+
+std::vector<MutationPlanner::PlannedChild> MutationPlanner::PlanWave(
+    ParentPlan* parent, int wave_size, uint64_t room, Rng* rng) {
+  std::vector<PlannedChild> children;
+  if (!parent->valid) return children;
+  int budget = std::min<int>(wave_size, parent->allowed - parent->planned);
+  budget = std::min<int>(
+      budget, static_cast<int>(std::min<uint64_t>(
+                  room, static_cast<uint64_t>(INT32_MAX))));
+  if (budget <= 0) return children;
+  children.reserve(budget);
+  for (int i = 0; i < budget; ++i) {
+    PlannedChild child;
+    child.seq = parent->seq;
+    mutation_->MutateChild(&child.seq, parent->mask, parent->mask_valid,
+                           parent->focus, rng);
+    child.plan = BuildPlan(child.seq);
+    children.push_back(std::move(child));
+    ++parent->planned;
+  }
+  return children;
+}
+
+void MutationPlanner::ExtendEnergy(ParentPlan* parent, int new_branches) {
+  if (new_branches <= 0) return;
+  parent->allowed = std::min(parent->allowed + 2, parent->cap);
+}
+
+evm::SequencePlan MutationPlanner::BuildPlan(const Sequence& seq) {
+  evm::SequencePlan plan;
+  plan.host_seed = host_stream_.NextU64();
+  plan.txs.reserve(seq.size());
+  const std::vector<Address>& senders = codec_->senders();
+  const size_t fn_count = codec_->abi().functions.size();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const Tx& tx = seq[i];
+    if (tx.fn_index < 0 || tx.fn_index >= static_cast<int>(fn_count)) {
+      continue;
+    }
+    evm::PreparedTx prepared;
+    prepared.tag = static_cast<int>(i);
+    prepared.request.to = contract_;
+    prepared.request.sender = senders[tx.sender_index % senders.size()];
+    prepared.request.value = tx.value;
+    prepared.request.data = codec_->EncodeCalldata(tx);
+    plan.txs.push_back(std::move(prepared));
+  }
+  return plan;
+}
+
+}  // namespace mufuzz::fuzzer

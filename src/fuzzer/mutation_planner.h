@@ -1,0 +1,95 @@
+#ifndef MUFUZZ_FUZZER_MUTATION_PLANNER_H_
+#define MUFUZZ_FUZZER_MUTATION_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "evm/execution_backend.h"
+#include "fuzzer/abi_codec.h"
+#include "fuzzer/feedback_engine.h"
+#include "fuzzer/mutation_pipeline.h"
+#include "fuzzer/seed_scheduler.h"
+
+namespace mufuzz::fuzzer {
+
+/// The planning stage of the wave pipeline: selects a parent from the
+/// scheduler, snapshots the fields mutation needs (so in-flight waves never
+/// dangle into the queue), assigns the parent's energy, and turns mutated
+/// children into self-contained evm::SequencePlans the execute stage can
+/// ship to any backend.
+///
+/// Determinism: every plan draws its environment seed from the planner's
+/// private host-seed stream *in planning order*, and all mutation
+/// randomness comes from the campaign Rng passed in. Since the campaign's
+/// staged loop calls BeginParent/PlanWave/ExtendEnergy in a fixed order
+/// (independent of backend timing), the full plan stream — and therefore
+/// the campaign result — is a pure function of the campaign seed and the
+/// wave size W, for any backend and any worker count.
+class MutationPlanner {
+ public:
+  MutationPlanner(const AbiCodec* codec, MutationPipeline* mutation,
+                  SeedScheduler* scheduler, FeedbackEngine* feedback,
+                  const Address& contract, int base_energy,
+                  bool dynamic_energy, uint64_t host_stream_seed);
+
+  /// The per-parent mutation budget and the snapshot mutation works from.
+  struct ParentPlan {
+    bool valid = false;
+    Sequence seq;
+    MutationMask mask;
+    bool mask_valid = false;
+    int focus = 0;
+    int allowed = 0;  ///< children this parent may spawn (UPDATE_ENERGY raises)
+    int planned = 0;  ///< children planned so far
+    int cap = 0;      ///< absolute ceiling: base * kMaxEnergyFactor
+  };
+
+  /// One planned child: the mutated sequence (kept for the apply stage's
+  /// keep/Add decision) and its encoded execution plan.
+  struct PlannedChild {
+    Sequence seq;
+    evm::SequencePlan plan;
+  };
+
+  /// Runs before energy assignment on the freshly selected parent —
+  /// the campaign hangs mask computation (which itself executes probe
+  /// sequences) here.
+  using MaskHook = std::function<void(FuzzSeed*)>;
+
+  /// Selects the next parent and snapshots it. Requires every outcome of
+  /// previously planned waves to be applied (selection reads the queue).
+  /// Returns an invalid plan when the queue is empty.
+  ParentPlan BeginParent(Rng* rng, const MaskHook& mask_hook);
+
+  /// Plans up to min(wave_size, parent budget left, `room`) children.
+  std::vector<PlannedChild> PlanWave(ParentPlan* parent, int wave_size,
+                                     uint64_t room, Rng* rng);
+
+  /// UPDATE_ENERGY (Algorithm 1 line 29), applied by the apply stage:
+  /// productive children extend the parent's budget, up to the cap.
+  void ExtendEnergy(ParentPlan* parent, int new_branches);
+
+  /// Encodes a sequence into a self-contained plan, drawing the plan's
+  /// environment seed from the host-seed stream. Unencodable transactions
+  /// (out-of-range function index) are skipped; each PreparedTx is tagged
+  /// with its position in `seq` so feedback indexes line up.
+  evm::SequencePlan BuildPlan(const Sequence& seq);
+
+ private:
+  const AbiCodec* codec_;
+  MutationPipeline* mutation_;
+  SeedScheduler* scheduler_;
+  FeedbackEngine* feedback_;
+  Address contract_;
+  int base_energy_;
+  bool dynamic_energy_;
+  /// Private stream for per-sequence environment seeds, advanced once per
+  /// BuildPlan in planning order.
+  Rng host_stream_;
+};
+
+}  // namespace mufuzz::fuzzer
+
+#endif  // MUFUZZ_FUZZER_MUTATION_PLANNER_H_

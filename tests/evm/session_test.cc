@@ -163,15 +163,20 @@ TEST_F(SessionBackendTest, DeployOnceRewindMany) {
   ASSERT_NE(account, nullptr);
   size_t baseline_slots = account->storage.size();
 
-  TransactionRequest tx;
-  tx.to = addr.value();
-  tx.sender = deployer;
-  tx.value = U256(40);
-  tx.data = InvestCalldata(40);
+  SequencePlan plan;
+  PreparedTx ptx;
+  ptx.request.to = addr.value();
+  ptx.request.sender = deployer;
+  ptx.request.value = U256(40);
+  ptx.request.data = InvestCalldata(40);
+  plan.txs.push_back(ptx);
   for (int round = 0; round < 3; ++round) {
-    ExecResult result = backend.Execute(tx);
-    ASSERT_TRUE(result.Success()) << "round " << round;
-    // invest() writes raised/deposits storage.
+    SequenceOutcome outcome = backend.ExecuteSequence(plan);
+    ASSERT_EQ(outcome.txs.size(), 1u);
+    ASSERT_TRUE(outcome.txs[0].success) << "round " << round;
+    // invest() writes raised/deposits storage; the plan's effects stay
+    // until the next plan (or an explicit Rewind) — outcomes are values,
+    // the session state is scratch.
     EXPECT_GT(backend.state().Find(addr.value())->storage.size(),
               baseline_slots);
     backend.Rewind();
@@ -191,14 +196,21 @@ TEST_F(SessionBackendTest, ExecuteRecordsATrace) {
   ASSERT_TRUE(addr.ok());
   backend.MarkDeployed();
 
-  TransactionRequest tx;
-  tx.to = addr.value();
-  tx.sender = deployer;
-  tx.value = U256(1);
-  tx.data = InvestCalldata(1);
-  backend.Execute(tx);
-  EXPECT_GT(backend.trace().instruction_count(), 0u);
-  EXPECT_FALSE(backend.trace().branches().empty());
+  SequencePlan plan;
+  PreparedTx ptx;
+  ptx.tag = 7;
+  ptx.request.to = addr.value();
+  ptx.request.sender = deployer;
+  ptx.request.value = U256(1);
+  ptx.request.data = InvestCalldata(1);
+  plan.txs.push_back(ptx);
+  SequenceOutcome outcome = backend.ExecuteSequence(plan);
+  ASSERT_EQ(outcome.txs.size(), 1u);
+  EXPECT_EQ(outcome.txs[0].tag, 7);
+  EXPECT_GT(outcome.txs[0].trace.instruction_count(), 0u);
+  EXPECT_FALSE(outcome.txs[0].trace.branches().empty());
+  EXPECT_EQ(outcome.instructions, outcome.txs[0].trace.instruction_count());
+  EXPECT_EQ(outcome.touched_pcs.size(), outcome.txs[0].trace.branches().size());
 }
 
 TEST_F(SessionBackendTest, BindResetsAllSessionState) {

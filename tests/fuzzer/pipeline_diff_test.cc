@@ -1,0 +1,157 @@
+// Differential tests for the wave-pipelined campaign: the determinism story
+// the ROADMAP demands, pinned end to end.
+//
+//  1. W=1 over the asynchronous backend reproduces the serial loop
+//     bit-for-bit (same plans, same apply order — the queue, the worker
+//     threads, the pooled sessions, and the host replicas are all
+//     transparent).
+//  2. For any fixed wave size W, results are independent of the backend
+//     worker count (1/2/4) and of sync vs async execution.
+//  3. The same holds through the engine layer: pipelined batches and
+//     pipelined islands are bit-for-bit identical at any runner worker
+//     count.
+//
+// CampaignResult::operator== is field-for-field (coverage, curves, bugs,
+// executions/transactions/instructions, queue stats), so these are strong
+// bit-for-bit assertions, on the fig6 corpus contracts plus the two paper
+// examples.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/builtin.h"
+#include "corpus/datasets.h"
+#include "engine/parallel_runner.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::fuzzer {
+namespace {
+
+std::vector<corpus::CorpusEntry> DiffCorpus() {
+  // Three generated fig6 (D1-small) contracts plus the two hand-written
+  // paper examples — enough shape diversity to exercise masks, reentrancy
+  // probes, and failure injection.
+  std::vector<corpus::CorpusEntry> entries = corpus::BuildD1Small(3, 42);
+  entries.push_back(corpus::CrowdsaleExample());
+  entries.push_back(corpus::GameExample());
+  return entries;
+}
+
+CampaignResult RunWith(const lang::ContractArtifact& artifact, uint64_t seed,
+                       int wave_size, int async_workers, int execs = 200) {
+  CampaignConfig config;
+  config.strategy = StrategyConfig::MuFuzz();
+  config.seed = seed;
+  config.max_executions = execs;
+  config.wave_size = wave_size;
+  config.async_workers = async_workers;
+  return RunCampaign(artifact, config);
+}
+
+TEST(PipelineDiffTest, AsyncW1ReproducesSerialLoopBitForBit) {
+  for (const corpus::CorpusEntry& entry : DiffCorpus()) {
+    auto artifact = lang::CompileContract(entry.source);
+    ASSERT_TRUE(artifact.ok()) << entry.name;
+    CampaignResult serial = RunWith(*artifact, 7, /*wave_size=*/1,
+                                    /*async_workers=*/0);
+    for (int workers : {1, 2, 4}) {
+      CampaignResult async = RunWith(*artifact, 7, /*wave_size=*/1, workers);
+      EXPECT_EQ(serial, async)
+          << entry.name << " with " << workers << " backend worker(s)";
+    }
+  }
+}
+
+TEST(PipelineDiffTest, WaveResultsAreWorkerCountIndependent) {
+  for (const corpus::CorpusEntry& entry : DiffCorpus()) {
+    auto artifact = lang::CompileContract(entry.source);
+    ASSERT_TRUE(artifact.ok()) << entry.name;
+    // W=4 over the synchronous backend is the reference: the async
+    // executions at 1/2/4 workers must all match it exactly.
+    CampaignResult reference = RunWith(*artifact, 9, /*wave_size=*/4,
+                                       /*async_workers=*/0);
+    for (int workers : {1, 2, 4}) {
+      CampaignResult async = RunWith(*artifact, 9, /*wave_size=*/4, workers);
+      EXPECT_EQ(reference, async)
+          << entry.name << " with " << workers << " backend worker(s)";
+    }
+  }
+}
+
+TEST(PipelineDiffTest, PipelinedCampaignIsDeterministic) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  ASSERT_TRUE(artifact.ok());
+  CampaignResult r1 = RunWith(*artifact, 3, /*wave_size=*/8,
+                              /*async_workers=*/2, /*execs=*/300);
+  CampaignResult r2 = RunWith(*artifact, 3, /*wave_size=*/8,
+                              /*async_workers=*/2, /*execs=*/300);
+  EXPECT_EQ(r1, r2);
+  EXPECT_GT(r1.executions, 0u);
+  EXPECT_GT(r1.branch_coverage, 0.0);
+}
+
+TEST(PipelineDiffTest, EnginePipelinedBatchIsRunnerWorkerCountIndependent) {
+  std::vector<engine::FuzzJob> jobs;
+  for (const corpus::CorpusEntry& entry : DiffCorpus()) {
+    engine::FuzzJob job;
+    job.name = entry.name;
+    job.source = entry.source;
+    job.config.strategy = StrategyConfig::MuFuzz();
+    job.config.seed = 11 + jobs.size();
+    job.config.max_executions = 150;
+    jobs.push_back(std::move(job));
+  }
+  auto run = [&](int runner_workers) {
+    engine::RunnerOptions options;
+    options.workers = runner_workers;
+    options.wave_size = 4;
+    options.backend_workers = 2;
+    return engine::RunBatch(jobs, options);
+  };
+  std::vector<engine::JobOutcome> w1 = run(1);
+  std::vector<engine::JobOutcome> w4 = run(4);
+  ASSERT_EQ(w1.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(w1[i].result.has_value()) << w1[i].name << w1[i].error;
+    ASSERT_TRUE(w4[i].result.has_value()) << w4[i].name;
+    EXPECT_EQ(*w1[i].result, *w4[i].result) << jobs[i].name;
+  }
+}
+
+TEST(PipelineDiffTest, PipelinedIslandsComposeAndStayDeterministic) {
+  // Islands × waves × backend workers, diffed across runner worker counts:
+  // the full composition of PR 3's sharded corpora with this PR's pipeline.
+  std::vector<engine::FuzzJob> jobs;
+  for (int island = 0; island < 3; ++island) {
+    engine::FuzzJob job;
+    job.name = "crowdsale#" + std::to_string(island);
+    job.source = corpus::CrowdsaleExample().source;
+    job.config.strategy = StrategyConfig::MuFuzz();
+    job.config.seed = 1 + island;
+    job.config.max_executions = 150;
+    job.island_group = 0;
+    jobs.push_back(std::move(job));
+  }
+  auto run = [&](int runner_workers) {
+    engine::RunnerOptions options;
+    options.workers = runner_workers;
+    options.exchange_interval = 40;
+    options.wave_size = 4;
+    options.backend_workers = 2;
+    return engine::RunBatch(jobs, options);
+  };
+  std::vector<engine::JobOutcome> w1 = run(1);
+  std::vector<engine::JobOutcome> w4 = run(4);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(w1[i].result.has_value()) << w1[i].name;
+    ASSERT_TRUE(w4[i].result.has_value()) << w4[i].name;
+    EXPECT_EQ(*w1[i].result, *w4[i].result) << jobs[i].name;
+    EXPECT_EQ(w1[i].result->island_id, static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace mufuzz::fuzzer
