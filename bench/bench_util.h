@@ -3,8 +3,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "corpus/datasets.h"
@@ -98,31 +100,89 @@ struct AggregateCoverage {
   std::vector<double> curve;
 };
 
+/// Streams `jobs` into a live FuzzService one submission at a time, each
+/// waited to completion before the next is admitted — the maximal
+/// scheduling contrast with RunBatch's submit-all pattern (jobs never
+/// coexist; the service repeatedly goes idle and re-wakes). Grouped jobs
+/// (`island_group` >= 0) go through SubmitIslandGroup per group, also
+/// sequentially. Outcomes come back in job order and must be bit-for-bit
+/// what RunBatch produces for the same jobs — the service determinism
+/// contract the CI reproduce harness diffs.
+inline std::vector<engine::JobOutcome> StreamJobs(
+    const std::vector<engine::FuzzJob>& jobs,
+    const engine::ServiceOptions& options) {
+  engine::FuzzService service(options);
+  std::map<int, std::vector<size_t>> groups;
+  std::vector<engine::JobOutcome> outcomes(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (options.exchange_interval > 0 && jobs[i].island_group >= 0) {
+      groups[jobs[i].island_group].push_back(i);
+      continue;
+    }
+    auto ticket = service.Submit(jobs[i]);
+    if (ticket.ok()) {
+      outcomes[i] = service.Wait(ticket.value());
+    } else {
+      outcomes[i].name = jobs[i].name;
+      outcomes[i].error = ticket.status().ToString();
+    }
+  }
+  for (const auto& [group_id, indices] : groups) {
+    std::vector<engine::FuzzJob> members;
+    for (size_t index : indices) members.push_back(jobs[index]);
+    auto group = service.SubmitIslandGroup(std::move(members));
+    if (!group.ok()) {
+      for (size_t index : indices) {
+        outcomes[index].name = jobs[index].name;
+        outcomes[index].error = group.status().ToString();
+      }
+      continue;
+    }
+    for (size_t k = 0; k < indices.size(); ++k) {
+      outcomes[indices[k]] = service.Wait(group.value().members[k]);
+    }
+  }
+  return outcomes;
+}
+
 /// Fans the dataset across the parallel runner (`workers` <= 0 uses
 /// DefaultWorkerCount / $MUFUZZ_WORKERS) and merges in job order, so the
 /// aggregate is identical for any worker count. With `islands` > 1 and
 /// `exchange_interval` > 0 each entry becomes an island group (every island
 /// is one aggregate row) — still worker-count independent, which is what the
-/// CI bench-smoke migration diff checks.
+/// CI bench-smoke migration diff checks. With `stream` the jobs go through
+/// a live FuzzService one at a time instead of the batch shim — identical
+/// output by the service determinism contract (the reproduce harness diffs
+/// the two).
 inline AggregateCoverage AggregateOverDataset(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
     int points = 20, int workers = 0, int islands = 1,
     int exchange_interval = 0, int migration_top_k = 2, int wave_size = 0,
-    int backend_workers = 0) {
+    int backend_workers = 0, bool stream = false) {
   AggregateCoverage agg;
   agg.curve.assign(points, 0);
-  engine::RunnerOptions options;
-  options.workers = workers;
-  options.exchange_interval = exchange_interval;
-  options.migration_top_k = migration_top_k;
-  options.wave_size = wave_size;
-  options.backend_workers = backend_workers;
   std::vector<engine::FuzzJob> jobs =
       islands > 1 ? MakeIslandJobs(dataset, strategy, execs, seed, islands)
                   : MakeDatasetJobs(dataset, strategy, execs, seed);
-  std::vector<engine::JobOutcome> outcomes =
-      engine::RunBatch(jobs, options);
+  std::vector<engine::JobOutcome> outcomes;
+  if (stream) {
+    engine::ServiceOptions options;
+    options.workers = workers;
+    options.exchange_interval = exchange_interval;
+    options.migration_top_k = migration_top_k;
+    options.wave_size = wave_size;
+    options.backend_workers = backend_workers;
+    outcomes = StreamJobs(jobs, options);
+  } else {
+    engine::RunnerOptions options;
+    options.workers = workers;
+    options.exchange_interval = exchange_interval;
+    options.migration_top_k = migration_top_k;
+    options.wave_size = wave_size;
+    options.backend_workers = backend_workers;
+    outcomes = engine::RunBatch(jobs, options);
+  }
   int counted = 0;
   for (const engine::JobOutcome& outcome : outcomes) {
     if (!outcome.result.has_value()) {

@@ -75,6 +75,19 @@ if [ "$MODE" != "--update" ]; then
   fi
 fi
 
+# Service leg: fig6 streamed job-by-job into a live FuzzService (trailing
+# `1` = stream mode) must match the batch compat shim bit-for-bit — the
+# submission pattern is scheduling, never semantics.
+if [ "$MODE" != "--update" ]; then
+  echo "[reproduce] fig6 compat shim vs streamed FuzzService submission"
+  (cd "$BUILD_DIR" && ./fig6_overall_coverage 4 2 1 2 0 0 0 1) 2>/dev/null \
+    | strip_volatile > "$OUT_DIR/fig6_streamed.txt"
+  if ! diff -u "$GOLDEN_DIR/fig6.txt" "$OUT_DIR/fig6_streamed.txt"; then
+    echo "[reproduce] DIFF: streamed submission diverged from the batch" >&2
+    status=1
+  fi
+fi
+
 if [ $status -eq 0 ]; then
   echo "[reproduce] OK — all bench outputs match the goldens"
 fi

@@ -1,0 +1,570 @@
+#include "engine/fuzz_service.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "lang/compiler.h"
+
+namespace mufuzz::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int DefaultWorkerCount() {
+  if (const char* env = std::getenv("MUFUZZ_WORKERS")) {
+    char* end = nullptr;
+    errno = 0;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno != ERANGE && parsed > 0 &&
+        parsed <= INT_MAX) {
+      return static_cast<int>(parsed);
+    }
+    static const bool warned = [env] {
+      std::fprintf(stderr,
+                   "[mufuzz] ignoring MUFUZZ_WORKERS=\"%s\" (not a positive "
+                   "integer); using hardware concurrency\n",
+                   env);
+      return true;
+    }();
+    (void)warned;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+FuzzService::FuzzService(ServiceOptions options) : options_(options) {
+  workers_ = options_.workers > 0 ? options_.workers : DefaultWorkerCount();
+  options_.round_quantum = std::max(1, options_.round_quantum);
+  if (options_.backend_workers > 0 && options_.share_backend) {
+    evm::AsyncExecutionHub::Options hub_options;
+    hub_options.workers = options_.backend_workers;
+    hub_ = std::make_unique<evm::AsyncExecutionHub>(
+        hub_options, options_.reuse_sessions ? &session_pool_ : nullptr);
+  }
+  pool_ = std::make_unique<WorkerPool>(workers_);
+  coordinator_ = std::thread([this] { CoordinatorMain(); });
+}
+
+FuzzService::~FuzzService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (auto& [ticket, record] : live_jobs_) {
+      record->cancel_requested = true;
+    }
+  }
+  work_cv_.notify_all();
+  if (coordinator_.joinable()) coordinator_.join();
+  // Members are destroyed in reverse declaration order: job records (and
+  // their hub-bound adapters) before hub_, which the hub's destructor
+  // requires.
+}
+
+// ------------------------------------------------------------- Validation --
+
+Status FuzzService::ValidateSubmission(const FuzzJob& job) const {
+  if (options_.wave_size < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::wave_size must be >= 0 (0 = no override)");
+  }
+  if (options_.backend_workers < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::backend_workers must be >= 0 (0 = in-process "
+        "execution)");
+  }
+  if (options_.migration_top_k < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::migration_top_k must be >= 0 (0 = migrate "
+        "nothing)");
+  }
+  if (job.config.wave_size < 0) {
+    return Status::InvalidArgument("job \"" + job.name +
+                                   "\": CampaignConfig::wave_size must be "
+                                   ">= 0 (0/1 = the serial loop)");
+  }
+  if (job.config.async_workers < 0) {
+    return Status::InvalidArgument("job \"" + job.name +
+                                   "\": CampaignConfig::async_workers must "
+                                   "be >= 0 (0 = in-process execution)");
+  }
+  if (job.config.max_executions < 0) {
+    return Status::InvalidArgument(
+        "job \"" + job.name +
+        "\": CampaignConfig::max_executions must be >= 0");
+  }
+  return Status::OK();
+}
+
+fuzzer::CampaignConfig FuzzService::EffectiveConfig(const FuzzJob& job) const {
+  fuzzer::CampaignConfig config = job.config;
+  if (options_.wave_size > 0) config.wave_size = options_.wave_size;
+  if (options_.backend_workers > 0) {
+    // Shared hub: the campaign gets an external hub-bound adapter, so its
+    // own async_workers knob must not spin up a second backend. Private
+    // mode: the campaign owns an adapter with the requested width.
+    config.async_workers = hub_ != nullptr ? 0 : options_.backend_workers;
+  }
+  return config;
+}
+
+// -------------------------------------------------------------- Admission --
+
+Result<JobTicket> FuzzService::Submit(FuzzJob job) {
+  Status status = ValidateSubmission(job);
+  if (!status.ok()) return status;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Internal("FuzzService is shutting down");
+  JobTicket ticket = next_ticket_++;
+  auto record = std::make_unique<JobRecord>();
+  record->ticket = ticket;
+  record->job = std::move(job);
+  record->config = EffectiveConfig(record->job);
+  record->outcome.name = record->job.name;
+  record->progress.state = JobState::kQueued;
+  live_jobs_.emplace(ticket, record.get());
+  jobs_.emplace(ticket, std::move(record));
+  work_cv_.notify_all();
+  return ticket;
+}
+
+Result<GroupTicket> FuzzService::SubmitIslandGroup(std::vector<FuzzJob> jobs) {
+  if (jobs.empty()) {
+    return Status::InvalidArgument(
+        "island group must have at least one member");
+  }
+  if (options_.exchange_interval <= 0) {
+    return Status::InvalidArgument(
+        "island groups require ServiceOptions::exchange_interval > 0 "
+        "(submit the jobs individually to run them standalone)");
+  }
+  for (const FuzzJob& job : jobs) {
+    Status status = ValidateSubmission(job);
+    if (!status.ok()) return status;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Internal("FuzzService is shutting down");
+  auto group = std::make_unique<GroupRecord>();
+  GroupTicket group_ticket;
+  for (FuzzJob& job : jobs) {
+    JobTicket ticket = next_ticket_++;
+    auto record = std::make_unique<JobRecord>();
+    record->ticket = ticket;
+    record->job = std::move(job);
+    record->config = EffectiveConfig(record->job);
+    record->outcome.name = record->job.name;
+    record->progress.state = JobState::kQueued;
+    record->group = group.get();
+    group->members.push_back(record.get());
+    group_ticket.members.push_back(ticket);
+    live_jobs_.emplace(ticket, record.get());
+    jobs_.emplace(ticket, std::move(record));
+  }
+  group->open_members = static_cast<int>(group->members.size());
+  live_groups_.push_back(group.get());
+  groups_.push_back(std::move(group));
+  work_cv_.notify_all();
+  return group_ticket;
+}
+
+// ----------------------------------------------------------- Client calls --
+
+JobProgress FuzzService::Poll(JobTicket ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(ticket);
+  if (it == jobs_.end()) return JobProgress();  // state == kUnknown
+  const JobRecord* record = it->second.get();
+  JobProgress progress = record->progress;
+  if (record->stage == Stage::kDone) {
+    progress.state = JobState::kDone;
+  } else if (record->cancel_requested) {
+    progress.state = JobState::kCancelling;
+  } else if (record->stage == Stage::kActive ||
+             record->stage == Stage::kFinalizing) {
+    progress.state = JobState::kRunning;
+  } else {
+    progress.state = JobState::kQueued;
+  }
+  return progress;
+}
+
+JobOutcome FuzzService::Wait(JobTicket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(ticket);
+  if (it == jobs_.end()) {
+    JobOutcome outcome;
+    outcome.error = "unknown FuzzService ticket";
+    return outcome;
+  }
+  JobRecord* record = it->second.get();
+  done_cv_.wait(lock, [record] { return record->stage == Stage::kDone; });
+  return record->outcome;
+}
+
+std::vector<JobOutcome> FuzzService::WaitAll() {
+  std::vector<JobTicket> tickets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tickets.reserve(jobs_.size());
+    for (const auto& [ticket, record] : jobs_) tickets.push_back(ticket);
+  }
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(tickets.size());
+  for (JobTicket ticket : tickets) outcomes.push_back(Wait(ticket));
+  return outcomes;
+}
+
+void FuzzService::Cancel(JobTicket ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(ticket);
+  if (it == jobs_.end() || it->second->stage == Stage::kDone) return;
+  it->second->cancel_requested = true;
+  work_cv_.notify_all();
+}
+
+void FuzzService::CancelGroup(const GroupTicket& group) {
+  for (JobTicket ticket : group.members) Cancel(ticket);
+}
+
+// ------------------------------------------------------------ Coordinator --
+
+bool FuzzService::AllDoneLocked() const { return live_jobs_.empty(); }
+
+void FuzzService::CoordinatorMain() {
+  for (;;) {
+    RoundPlan plan;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !AllDoneLocked(); });
+      if (stop_ && AllDoneLocked()) return;
+      PlanRoundLocked(&plan);
+    }
+    if (!plan.tasks.empty()) {
+      pool_->ParallelEach(plan.tasks.size(),
+                          [&](size_t i) { plan.tasks[i](); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SettleRoundLocked(plan);
+    }
+  }
+}
+
+void FuzzService::PlanRoundLocked(RoundPlan* plan) {
+  const uint64_t quantum = static_cast<uint64_t>(options_.round_quantum);
+  const uint64_t interval =
+      static_cast<uint64_t>(std::max(1, options_.exchange_interval));
+
+  // Iterate with an explicit iterator: a cancel-before-start completes the
+  // job inline, which erases its live_jobs_ node — advance first.
+  for (auto it = live_jobs_.begin(); it != live_jobs_.end();) {
+    JobRecord* r = it->second;
+    ++it;
+    switch (r->stage) {
+      case Stage::kAdmitted:
+        if (r->cancel_requested) {
+          CancelBeforeStartLocked(r);
+          break;
+        }
+        if (r->group == nullptr) {
+          plan->setups.push_back(r);
+          plan->tasks.push_back([this, r] { SetupStandalone(r); });
+        } else {
+          plan->compiles.push_back(r);
+          plan->tasks.push_back([this, r] { CompileIslandMember(r); });
+        }
+        break;
+      case Stage::kCompiled:
+        // Waiting for every group member to compile; the settle phase
+        // builds the sharder and promotes the whole group together. A
+        // cancel here lands before any campaign ran: the member drops out
+        // of the group exactly like a compile failure.
+        if (r->cancel_requested) CancelBeforeStartLocked(r);
+        break;
+      case Stage::kConstruct:
+        if (r->cancel_requested) {
+          // Island id and queue are already assigned, but no campaign ever
+          // ran — the member's (empty) queue simply stays in the
+          // archipelago, exporting nothing.
+          CancelBeforeStartLocked(r);
+          break;
+        }
+        plan->setups.push_back(r);
+        plan->tasks.push_back([this, r] { ConstructIslandMember(r); });
+        break;
+      case Stage::kActive:
+        if (r->group == nullptr) {
+          if (r->cancel_requested || r->campaign->StreamDone()) {
+            r->finalize_cancelled =
+                r->cancel_requested && !r->campaign->StreamDone();
+            r->stage = Stage::kFinalizing;
+            plan->finals.push_back(r);
+            plan->tasks.push_back([this, r] { FinalizeJob(r); });
+          } else {
+            plan->steps.push_back(r);
+            plan->tasks.push_back([r, quantum] {
+              auto start = Clock::now();
+              r->campaign->StepStream(quantum);
+              r->active_ms += MsBetween(start, Clock::now());
+            });
+          }
+        } else {
+          if (r->cancel_requested && !r->campaign->Done()) {
+            r->finalize_cancelled = true;
+            r->stage = Stage::kFinalizing;
+            plan->finals.push_back(r);
+            plan->tasks.push_back([this, r] { FinalizeJob(r); });
+          } else if (!r->campaign->Done()) {
+            r->group->stepped_this_round = true;
+            plan->steps.push_back(r);
+            plan->tasks.push_back([r, interval] {
+              auto start = Clock::now();
+              r->campaign->StepRound(interval);
+              r->active_ms += MsBetween(start, Clock::now());
+            });
+          }
+          // A member that exhausted its budget keeps exporting/importing in
+          // migration rounds and finalizes when the whole group is done.
+        }
+        break;
+      case Stage::kFinalizing:
+        // Set by group completion last settle; schedule the finalize now.
+        plan->finals.push_back(r);
+        plan->tasks.push_back([this, r] { FinalizeJob(r); });
+        break;
+      case Stage::kDone:
+        break;
+    }
+  }
+}
+
+void FuzzService::SettleRoundLocked(const RoundPlan& plan) {
+  // Island compiles: survivors wait for their group, failures finish here.
+  for (JobRecord* r : plan.compiles) {
+    if (r->artifact != nullptr) {
+      r->stage = Stage::kCompiled;
+    } else {
+      MarkDoneLocked(r);
+    }
+  }
+
+  // Standalone setups and island constructs.
+  for (JobRecord* r : plan.setups) {
+    if (r->campaign == nullptr) {
+      MarkDoneLocked(r);  // compile failed (standalone path)
+      continue;
+    }
+    r->stage = Stage::kActive;
+    SnapshotProgressLocked(r);
+  }
+
+  // Step slices: count rounds and refresh the between-rounds snapshots.
+  for (JobRecord* r : plan.steps) {
+    if (r->group == nullptr) ++r->rounds;
+    SnapshotProgressLocked(r);
+  }
+
+  // Finalized jobs — processed before the group sweep so a group whose
+  // last member finalized this round retires (and frees its queues) now.
+  for (JobRecord* r : plan.finals) MarkDoneLocked(r);
+
+  // Groups: build sharders once every member compiled, run one serial
+  // migration per group that stepped, detect completion, retire drained
+  // groups (freeing their seed queues) from the live list.
+  for (size_t g = 0; g < live_groups_.size();) {
+    GroupRecord* group = live_groups_[g];
+    if (group->finished) {
+      if (group->open_members == 0) {
+        for (JobRecord* m : group->members) m->queue = nullptr;
+        group->sharder.reset();
+        live_groups_.erase(live_groups_.begin() + static_cast<long>(g));
+        continue;
+      }
+      ++g;
+      continue;
+    }
+    ++g;
+    if (!group->built) {
+      bool ready = true;
+      for (JobRecord* m : group->members) {
+        if (m->stage != Stage::kCompiled && m->stage != Stage::kDone) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) BuildSharderLocked(group);
+      continue;
+    }
+    if (group->stepped_this_round) {
+      group->sharder->RunMigrationRound(options_.migration_top_k);
+      ++group->migration_rounds;
+      group->stepped_this_round = false;
+      for (JobRecord* m : group->members) {
+        if (m->stage == Stage::kActive) {
+          m->progress.round_index = group->migration_rounds;
+        }
+      }
+    }
+    bool all_done = true;
+    for (JobRecord* m : group->members) {
+      if (m->stage == Stage::kDone) continue;
+      if (m->stage == Stage::kActive && m->campaign->Done()) continue;
+      all_done = false;
+      break;
+    }
+    if (all_done) {
+      group->finished = true;
+      for (JobRecord* m : group->members) {
+        if (m->stage == Stage::kActive) m->stage = Stage::kFinalizing;
+      }
+    }
+  }
+}
+
+void FuzzService::BuildSharderLocked(GroupRecord* group) {
+  std::vector<std::unique_ptr<fuzzer::SeedScheduler>> queues;
+  std::vector<JobRecord*> survivors;
+  for (JobRecord* m : group->members) {
+    if (m->stage != Stage::kCompiled) continue;  // compile failed / cancelled
+    m->island_id = static_cast<int>(survivors.size());
+    queues.push_back(std::make_unique<fuzzer::SeedScheduler>(
+        m->config.strategy.distance_feedback));
+    m->queue = queues.back().get();
+    survivors.push_back(m);
+  }
+  group->sharder =
+      std::make_unique<fuzzer::ShardedSeedScheduler>(std::move(queues));
+  group->built = true;
+  for (JobRecord* m : survivors) m->stage = Stage::kConstruct;
+}
+
+// --------------------------------------------------- Task bodies (no lock) --
+
+void FuzzService::ResolveArtifact(JobRecord* r) {
+  if (r->job.artifact != nullptr) {
+    r->artifact = r->job.artifact;
+    return;
+  }
+  auto result = lang::CompileContract(r->job.source);
+  if (result.ok()) {
+    r->compiled = std::move(result).value();
+    r->artifact = &*r->compiled;
+  } else {
+    r->outcome.error = result.status().ToString();
+  }
+}
+
+void FuzzService::SetupStandalone(JobRecord* r) {
+  auto start = Clock::now();
+  ResolveArtifact(r);
+  if (r->artifact != nullptr) {
+    evm::ExecutionBackend* backend = nullptr;
+    if (hub_ != nullptr) {
+      r->adapter = std::make_unique<evm::AsyncBackendAdapter>(hub_.get());
+      backend = r->adapter.get();
+    } else if (options_.backend_workers > 0) {
+      // Private-adapter mode: the campaign owns its backend
+      // (config.async_workers was set by EffectiveConfig).
+    } else if (options_.reuse_sessions) {
+      r->session = session_pool_.Acquire();
+      backend = r->session.get();
+    }
+    r->campaign = std::make_unique<fuzzer::Campaign>(
+        r->artifact, r->config, backend, nullptr, -1);
+    r->campaign->SeedCorpus();
+  }
+  r->active_ms += MsBetween(start, Clock::now());
+}
+
+void FuzzService::CompileIslandMember(JobRecord* r) {
+  auto start = Clock::now();
+  ResolveArtifact(r);
+  r->active_ms += MsBetween(start, Clock::now());
+}
+
+void FuzzService::ConstructIslandMember(JobRecord* r) {
+  auto start = Clock::now();
+  evm::ExecutionBackend* backend = nullptr;
+  if (hub_ != nullptr) {
+    r->adapter = std::make_unique<evm::AsyncBackendAdapter>(hub_.get());
+    backend = r->adapter.get();
+  }
+  // Non-hub modes: the campaign owns its backend — a private
+  // AsyncBackendAdapter (config.async_workers) or a SessionBackend. An
+  // island campaign's sessions must survive across rounds, so pooled
+  // leasing would pin them anyway.
+  r->campaign = std::make_unique<fuzzer::Campaign>(
+      r->artifact, r->config, backend, r->queue, r->island_id);
+  r->campaign->SeedCorpus();
+  r->active_ms += MsBetween(start, Clock::now());
+}
+
+void FuzzService::FinalizeJob(JobRecord* r) {
+  auto start = Clock::now();
+  if (r->finalize_cancelled) {
+    r->campaign->MarkCancelled();
+    r->campaign->DrainStream();  // no-op on the stepped (island) path
+  }
+  r->outcome.result = r->campaign->Finalize();
+  // Drop the campaign before its externally owned island queue (and before
+  // the backend it unbinds on destruction) goes away.
+  r->campaign.reset();
+  if (r->session != nullptr) session_pool_.Release(std::move(r->session));
+  r->adapter.reset();
+  r->active_ms += MsBetween(start, Clock::now());
+}
+
+// ------------------------------------------------------------ Bookkeeping --
+
+void FuzzService::SnapshotProgressLocked(JobRecord* r) {
+  fuzzer::Campaign::Progress p = r->campaign->SnapshotProgress();
+  r->progress.executions = p.executions;
+  r->progress.transactions = p.transactions;
+  r->progress.coverage = p.coverage;
+  r->progress.bugs_found = p.bugs_found;
+  r->progress.round_index =
+      r->group != nullptr ? r->group->migration_rounds : r->rounds;
+}
+
+void FuzzService::MarkDoneLocked(JobRecord* r) {
+  r->stage = Stage::kDone;
+  r->outcome.elapsed_ms = r->active_ms;
+  live_jobs_.erase(r->ticket);
+  if (r->group != nullptr) --r->group->open_members;
+  JobProgress& p = r->progress;
+  p.state = JobState::kDone;
+  if (r->outcome.result.has_value()) {
+    const fuzzer::CampaignResult& result = *r->outcome.result;
+    p.executions = result.executions;
+    p.transactions = result.transactions;
+    p.coverage = result.branch_coverage;
+    p.bugs_found = result.bugs.size();
+    p.cancelled = result.cancelled;
+    p.round_index =
+        r->group != nullptr ? r->group->migration_rounds : r->rounds;
+  }
+  done_cv_.notify_all();
+}
+
+void FuzzService::CancelBeforeStartLocked(JobRecord* r) {
+  // No campaign ever ran, so — per the JobOutcome contract — the result
+  // stays empty (it can never be mistaken for a zero-coverage row) and the
+  // error says why; the progress snapshot still reports the cancellation.
+  r->finalize_cancelled = true;
+  r->outcome.error = "cancelled before the campaign started";
+  r->progress.cancelled = true;
+  MarkDoneLocked(r);
+}
+
+}  // namespace mufuzz::engine

@@ -1,0 +1,348 @@
+#ifndef MUFUZZ_ENGINE_FUZZ_SERVICE_H_
+#define MUFUZZ_ENGINE_FUZZ_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/worker_pool.h"
+#include "evm/async_backend.h"
+#include "evm/execution_backend.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/sharded_seed_scheduler.h"
+#include "lang/codegen.h"
+
+namespace mufuzz::engine {
+
+/// One unit of fuzzing work: fuzz one contract with one (strategy, seed)
+/// configuration. Either `artifact` is set (pre-compiled, caller keeps
+/// ownership and must outlive the job) or `source` is compiled by the
+/// worker that picks the job up — which parallelizes compilation too.
+struct FuzzJob {
+  std::string name;    ///< label carried through to the outcome
+  std::string source;  ///< compiled when `artifact` is null
+  const lang::ContractArtifact* artifact = nullptr;
+  fuzzer::CampaignConfig config;
+  /// Jobs sharing a non-negative group id form an island archipelago: when
+  /// `RunnerOptions::exchange_interval` > 0 their campaigns run in lockstep
+  /// rounds and exchange top seeds between rounds (see ShardedSeedScheduler).
+  /// Group members should fuzz the same contract — migrated sequences index
+  /// into the destination's ABI. -1 (default) = standalone job. Only the
+  /// ParallelRunner compat shim reads this tag; the FuzzService API forms
+  /// groups explicitly via SubmitIslandGroup and ignores it on Submit.
+  int island_group = -1;
+};
+
+/// What came back for one job. `result` is empty exactly when the job never
+/// ran a campaign (compile failure, or cancelled before it started) — a
+/// failed job can never be mistaken for a zero-coverage row. A job
+/// cancelled mid-run has a partial-but-valid result with
+/// `result->cancelled` set.
+struct JobOutcome {
+  std::string name;
+  std::optional<fuzzer::CampaignResult> result;
+  std::string error;  ///< compile diagnostics when `result` is empty
+  /// Per-job *active* time: the sum of the job's compile, seed-corpus,
+  /// step-round, and finalize slices on whichever workers ran them. Under
+  /// the interleaved FuzzService scheduler this is NOT wall-clock between
+  /// first and last touch — a job parks between rounds while other jobs'
+  /// rounds run, and that parked time is excluded. (The pre-service batch
+  /// runner ran each standalone job in one uninterrupted slice, where the
+  /// two notions coincided.)
+  double elapsed_ms = 0;
+};
+
+/// Handle for one submitted job. Tickets are issued densely from 1 per
+/// service and are never reused.
+using JobTicket = uint64_t;
+
+/// Handle for one island archipelago: the member jobs' tickets, in
+/// submission order (which is also island-id order).
+struct GroupTicket {
+  std::vector<JobTicket> members;
+};
+
+/// Where a job is in its service lifecycle.
+enum class JobState {
+  kUnknown,     ///< ticket was never issued by this service
+  kQueued,      ///< admitted; compile/deploy has not finished yet
+  kRunning,     ///< stepping (or finalizing) on the worker pool
+  kCancelling,  ///< cancel requested; stops at the next round boundary
+  kDone,        ///< outcome available; Wait() will not block
+};
+
+/// A progress snapshot for one job, taken between scheduler rounds (never
+/// mid-round — rounds are the service's consistency barriers). On a
+/// finished ticket, Poll keeps returning the final snapshot.
+struct JobProgress {
+  JobState state = JobState::kUnknown;
+  uint64_t executions = 0;
+  uint64_t transactions = 0;
+  /// Branch-coverage fraction so far (final figure once done).
+  double coverage = 0;
+  /// Oracle reports so far (raw while running; deduplicated once done).
+  size_t bugs_found = 0;
+  /// Completed scheduler rounds: step rounds for a standalone job,
+  /// migration rounds for an island member.
+  int round_index = 0;
+  /// Set once the job finished via the cancel path.
+  bool cancelled = false;
+};
+
+/// FuzzService knobs. The execution-semantics knobs (`wave_size`,
+/// `exchange_interval`, `migration_top_k`) are part of each job's
+/// reproducibility key; the scheduling knobs (`workers`, `round_quantum`,
+/// `backend_workers`, `share_backend`, `reuse_sessions`) never influence
+/// results.
+struct ServiceOptions {
+  /// Worker threads for campaign rounds; <= 0 means DefaultWorkerCount().
+  int workers = 0;
+  /// Lease execution sessions from the service's shared pool instead of
+  /// allocating per campaign.
+  bool reuse_sessions = true;
+  /// Retained for RunnerOptions compatibility. Worker-local randomness
+  /// never influences job results.
+  uint64_t worker_seed = 0x5eed;
+  /// > 0 overrides every job's CampaignConfig::wave_size — the pipelined
+  /// mode's wave width W (part of the reproducibility key).
+  int wave_size = 0;
+  /// > 0 runs every campaign over async execution workers. With
+  /// `share_backend` (default) one AsyncExecutionHub with this many
+  /// threads serves all campaigns; otherwise each campaign owns a private
+  /// AsyncBackendAdapter with this many threads.
+  int backend_workers = 0;
+  /// One shared execution hub for all pipelined campaigns (vs. a private
+  /// adapter per campaign). Scheduling-only: results are identical either
+  /// way.
+  bool share_backend = true;
+  /// Sequence executions each island runs between migration rounds —
+  /// SubmitIslandGroup requires it > 0.
+  int exchange_interval = 0;
+  /// Seeds each island exports per migration round.
+  int migration_top_k = 2;
+  /// Executions a standalone job advances per scheduler round — the
+  /// progress/cancel granularity. Scheduling-only: the streamed campaign
+  /// suspends (never drains) at round boundaries, so results are identical
+  /// for any quantum (unlike islands' exchange_interval, which is a real
+  /// round barrier and part of the semantics). Clamped to >= 1.
+  int round_quantum = 128;
+};
+
+/// Worker threads to use by default: $MUFUZZ_WORKERS when set to a positive
+/// integer, otherwise the hardware concurrency (min 1). A malformed value
+/// (non-numeric, trailing garbage, zero/negative, out of range) is reported
+/// once on stderr and ignored instead of silently falling through.
+int DefaultWorkerCount();
+
+/// A long-lived streaming fuzzing engine: submit jobs at any time, watch
+/// their progress, cancel them, and collect outcomes — the service keeps a
+/// persistent WorkerPool busy with whatever campaign rounds are ready,
+/// interleaving standalone jobs and island archipelagos on the same
+/// threads (and, in pipelined mode, sharing one AsyncExecutionHub across
+/// every campaign).
+///
+/// ## Scheduling model
+///
+/// A coordinator thread runs *rounds*: each round fans the ready work —
+/// compiles, seed corpora, standalone step slices (`round_quantum`
+/// executions via the campaign's suspended-pipeline streaming interface),
+/// island step rounds (`exchange_interval` executions, drained) — across
+/// the pool, then, behind the fork-join barrier, runs island migrations
+/// serially, snapshots progress, finalizes finished or cancelled jobs, and
+/// admits new submissions. Rounds are the only consistency barriers:
+/// Poll() serves the last between-rounds snapshot, and Cancel() takes
+/// effect at the next round boundary, finalizing a partial-but-valid
+/// result flagged `cancelled`.
+///
+/// ## Determinism contract
+///
+/// A job's result is a pure function of its own `(config, seed, wave_size)`
+/// — independent of submission order, what else is running, worker count,
+/// scheduling, `round_quantum`, and other jobs being cancelled around it.
+/// An island member's result is a pure function of its *group's* jobs and
+/// the (exchange_interval, migration_top_k) pair — members are coupled by
+/// seed migration, by design, but never coupled to jobs outside the group.
+/// Streamed standalone jobs reproduce the batch path (and a plain
+/// RunCampaign call) bit for bit. CI checks all of this differentially.
+///
+/// ## Threads
+///
+/// Submit/Poll/Wait/Cancel are safe from any thread. Destruction cancels
+/// whatever is still running (at its round boundary) and joins.
+class FuzzService {
+ public:
+  explicit FuzzService(ServiceOptions options = ServiceOptions());
+  ~FuzzService();
+
+  FuzzService(const FuzzService&) = delete;
+  FuzzService& operator=(const FuzzService&) = delete;
+
+  /// Admits one standalone job (FuzzJob::island_group is ignored). Fails —
+  /// without admitting anything — on out-of-range config knobs: negative
+  /// `wave_size`, `async_workers`, or `max_executions` on the job, or
+  /// negative `wave_size` / `backend_workers` / `migration_top_k` on the
+  /// service options.
+  Result<JobTicket> Submit(FuzzJob job);
+
+  /// Admits `jobs` as one island archipelago: members run in lockstep
+  /// rounds of `exchange_interval` executions and exchange their top
+  /// `migration_top_k` seeds between rounds, with island ids assigned in
+  /// submission order. All-or-nothing: validation failure (everything
+  /// Submit checks, plus `exchange_interval` must be > 0 and the group
+  /// non-empty) admits no member.
+  Result<GroupTicket> SubmitIslandGroup(std::vector<FuzzJob> jobs);
+
+  /// The job's latest between-rounds snapshot (final one once done;
+  /// `state == kUnknown` for a ticket this service never issued).
+  JobProgress Poll(JobTicket ticket) const;
+
+  /// Blocks until the job finished and returns its outcome. Idempotent —
+  /// outcomes are retained for the service's lifetime, so waiting twice
+  /// returns the same outcome again.
+  JobOutcome Wait(JobTicket ticket);
+
+  /// Blocks until every job submitted so far finished; returns all their
+  /// outcomes in ticket order (idempotent, like Wait).
+  std::vector<JobOutcome> WaitAll();
+
+  /// Requests cancellation: the job stops at its next round boundary and
+  /// finalizes a partial-but-valid result flagged `cancelled`. A job
+  /// cancelled before its campaign ever started completes with an *empty*
+  /// result and an explanatory error instead (the JobOutcome contract:
+  /// never-ran jobs can't be mistaken for zero-coverage rows). No-op on a
+  /// finished (or unknown) ticket. Cancelling an island member removes it
+  /// from stepping but keeps its seed queue in the group's migration
+  /// rounds (exactly like a member that exhausted its budget), so the
+  /// survivors' schedule stays well-formed.
+  void Cancel(JobTicket ticket);
+
+  /// Cancels every member of a group.
+  void CancelGroup(const GroupTicket& group);
+
+  /// Resolved worker-thread count.
+  int workers() const { return workers_; }
+
+  /// Session backends created so far (pool diagnostics).
+  size_t sessions_created() const { return session_pool_.created(); }
+
+ private:
+  /// Coordinator-internal job lifecycle (JobState is the public view).
+  enum class Stage {
+    kAdmitted,    ///< setup (standalone) or compile (island) pending
+    kCompiled,    ///< island member compiled; waiting for the group sharder
+    kConstruct,   ///< island member: construct + seed corpus pending
+    kActive,      ///< stepping
+    kFinalizing,  ///< finalize task scheduled
+    kDone,
+  };
+
+  struct GroupRecord;
+
+  struct JobRecord {
+    JobTicket ticket = 0;
+    FuzzJob job;
+    fuzzer::CampaignConfig config;  ///< effective (service overrides applied)
+    Stage stage = Stage::kAdmitted;
+    bool cancel_requested = false;
+    bool finalize_cancelled = false;  ///< finalize via the cancel path
+    JobProgress progress;
+    JobOutcome outcome;
+    double active_ms = 0;
+    int rounds = 0;  ///< completed standalone step rounds
+
+    // Filled by setup tasks.
+    std::optional<lang::ContractArtifact> compiled;
+    const lang::ContractArtifact* artifact = nullptr;
+    std::unique_ptr<evm::SessionBackend> session;       ///< pooled lease
+    std::unique_ptr<evm::AsyncBackendAdapter> adapter;  ///< hub binding
+    std::unique_ptr<fuzzer::Campaign> campaign;
+
+    // Island members only.
+    GroupRecord* group = nullptr;
+    fuzzer::SeedScheduler* queue = nullptr;  ///< owned by group->sharder
+    int island_id = -1;
+  };
+
+  struct GroupRecord {
+    std::vector<JobRecord*> members;  ///< submission order
+    std::unique_ptr<fuzzer::ShardedSeedScheduler> sharder;
+    bool built = false;
+    bool finished = false;
+    bool stepped_this_round = false;
+    int migration_rounds = 0;
+    int open_members = 0;  ///< members not yet kDone
+  };
+
+  /// One coordinator round's plan: the tasks to fan across the pool plus
+  /// the records they belong to, bucketed for the settle phase.
+  struct RoundPlan {
+    std::vector<std::function<void()>> tasks;
+    std::vector<JobRecord*> compiles;  ///< island members compiling
+    std::vector<JobRecord*> setups;    ///< standalone setup / island construct
+    std::vector<JobRecord*> steps;     ///< stepped this round
+    std::vector<JobRecord*> finals;    ///< finalize tasks
+  };
+
+  void CoordinatorMain();
+  /// Builds this round's task list (requires mu_). Tasks run outside the
+  /// lock; each touches only its own job record.
+  void PlanRoundLocked(RoundPlan* plan);
+  /// Post-barrier serial work (requires mu_): migrations, stage
+  /// transitions, snapshots, completion notifications.
+  void SettleRoundLocked(const RoundPlan& plan);
+
+  // Task bodies (run on pool workers, no lock held).
+  /// Adopts the job's pre-compiled artifact or compiles its source; on
+  /// failure leaves `artifact` null with the diagnostics in
+  /// `outcome.error`.
+  void ResolveArtifact(JobRecord* r);
+  void SetupStandalone(JobRecord* r);
+  void CompileIslandMember(JobRecord* r);
+  void ConstructIslandMember(JobRecord* r);
+  void FinalizeJob(JobRecord* r);
+
+  void BuildSharderLocked(GroupRecord* group);
+  void SnapshotProgressLocked(JobRecord* r);
+  void MarkDoneLocked(JobRecord* r);
+  /// Completes a job that was cancelled before its campaign ever ran:
+  /// empty-but-valid result, flagged cancelled.
+  void CancelBeforeStartLocked(JobRecord* r);
+  Status ValidateSubmission(const FuzzJob& job) const;
+  fuzzer::CampaignConfig EffectiveConfig(const FuzzJob& job) const;
+  bool AllDoneLocked() const;
+
+  ServiceOptions options_;
+  int workers_ = 1;
+  evm::SessionPool session_pool_;
+  std::unique_ptr<evm::AsyncExecutionHub> hub_;  ///< shared pipelined mode
+  std::unique_ptr<WorkerPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< coordinator: submissions / stop
+  std::condition_variable done_cv_;  ///< waiters: a job reached kDone
+  std::map<JobTicket, std::unique_ptr<JobRecord>> jobs_;
+  std::vector<std::unique_ptr<GroupRecord>> groups_;
+  /// Records not yet kDone / groups not yet retired: what the coordinator
+  /// actually scans each round, so a long-lived service pays per-round
+  /// cost proportional to *active* work, not to everything ever submitted
+  /// (jobs_ retains outcomes for Wait-idempotence).
+  std::map<JobTicket, JobRecord*> live_jobs_;
+  std::vector<GroupRecord*> live_groups_;
+  JobTicket next_ticket_ = 1;
+  bool stop_ = false;
+
+  std::thread coordinator_;
+};
+
+}  // namespace mufuzz::engine
+
+#endif  // MUFUZZ_ENGINE_FUZZ_SERVICE_H_

@@ -1,121 +1,35 @@
 #include "engine/parallel_runner.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cerrno>
-#include <chrono>
-#include <climits>
-#include <cstdio>
-#include <cstdlib>
-#include <functional>
-#include <memory>
-#include <thread>
+#include <map>
 #include <utility>
-
-#include "evm/async_backend.h"
-#include "evm/execution_backend.h"
-#include "fuzzer/sharded_seed_scheduler.h"
-#include "lang/compiler.h"
 
 namespace mufuzz::engine {
 
-namespace {
+ParallelRunner::ParallelRunner(RunnerOptions options) : options_(options) {}
 
-double MsBetween(std::chrono::steady_clock::time_point start,
-                 std::chrono::steady_clock::time_point end) {
-  return std::chrono::duration<double, std::milli>(end - start).count();
-}
-
-/// Runs one job on the calling worker. `backend` may be null (no session
-/// reuse) — the campaign then owns a private backend.
-JobOutcome RunJob(const FuzzJob& job, const fuzzer::CampaignConfig& config,
-                  evm::ExecutionBackend* backend) {
-  JobOutcome outcome;
-  outcome.name = job.name;
-  auto start = std::chrono::steady_clock::now();
-
-  const lang::ContractArtifact* artifact = job.artifact;
-  std::optional<lang::ContractArtifact> compiled;
-  if (artifact == nullptr) {
-    auto result = lang::CompileContract(job.source);
-    if (!result.ok()) {
-      outcome.error = result.status().ToString();
-      outcome.elapsed_ms =
-          MsBetween(start, std::chrono::steady_clock::now());
-      return outcome;
-    }
-    compiled = std::move(result).value();
-    artifact = &*compiled;
+FuzzService* ParallelRunner::EnsureService() {
+  if (service_ == nullptr) {
+    ServiceOptions service_options;
+    service_options.workers = options_.workers;
+    service_options.reuse_sessions = options_.reuse_sessions;
+    service_options.worker_seed = options_.worker_seed;
+    service_options.wave_size = options_.wave_size;
+    service_options.backend_workers = options_.backend_workers;
+    service_options.exchange_interval = options_.exchange_interval;
+    service_options.migration_top_k = options_.migration_top_k;
+    service_ = std::make_unique<FuzzService>(service_options);
   }
-
-  outcome.result = fuzzer::RunCampaign(*artifact, config, backend);
-  outcome.elapsed_ms = MsBetween(start, std::chrono::steady_clock::now());
-  return outcome;
-}
-
-/// One island of a migration group: one job's campaign plus the scaffolding
-/// the round loop needs.
-struct IslandState {
-  size_t job_index = 0;
-  int island_id = -1;
-  const lang::ContractArtifact* artifact = nullptr;
-  std::optional<lang::ContractArtifact> compiled;  ///< when source-compiled
-  fuzzer::SeedScheduler* queue = nullptr;  ///< owned by the group's sharder
-  std::unique_ptr<fuzzer::Campaign> campaign;
-  double elapsed_ms = 0;  ///< execution time summed across phases/rounds
-};
-
-}  // namespace
-
-int DefaultWorkerCount() {
-  if (const char* env = std::getenv("MUFUZZ_WORKERS")) {
-    char* end = nullptr;
-    errno = 0;
-    long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && errno != ERANGE && parsed > 0 &&
-        parsed <= INT_MAX) {
-      return static_cast<int>(parsed);
-    }
-    static const bool warned = [env] {
-      std::fprintf(stderr,
-                   "[mufuzz] ignoring MUFUZZ_WORKERS=\"%s\" (not a positive "
-                   "integer); using hardware concurrency\n",
-                   env);
-      return true;
-    }();
-    (void)warned;
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-ParallelRunner::ParallelRunner(RunnerOptions options)
-    : options_(options) {}
-
-WorkerPool* ParallelRunner::EnsurePool(int workers) {
-  if (round_pool_ == nullptr || round_pool_->size() < workers) {
-    round_pool_ = std::make_unique<WorkerPool>(workers);
-  }
-  return round_pool_.get();
-}
-
-fuzzer::CampaignConfig ParallelRunner::EffectiveConfig(
-    const FuzzJob& job) const {
-  fuzzer::CampaignConfig config = job.config;
-  if (options_.wave_size > 0) config.wave_size = options_.wave_size;
-  return config;
+  return service_.get();
 }
 
 std::vector<JobOutcome> ParallelRunner::Run(const std::vector<FuzzJob>& jobs) {
   std::vector<JobOutcome> outcomes(jobs.size());
   if (jobs.empty()) return outcomes;
+  FuzzService* service = EnsureService();
 
-  int workers = options_.workers > 0 ? options_.workers
-                                     : DefaultWorkerCount();
-  WorkerPool* pool = EnsurePool(workers);
-
-  // Partition: island-group members (with migration on) take the stepped
-  // path; everything else streams through the classic job queue.
+  // Partition exactly as the pre-service batch runner did: island-group
+  // members take the migration path only when migration is on; everything
+  // else (including group tags with migration off) runs standalone.
   const bool migration = options_.exchange_interval > 0;
   std::vector<size_t> standalone;
   std::map<int, std::vector<size_t>> groups;  // ordered → deterministic
@@ -127,177 +41,41 @@ std::vector<JobOutcome> ParallelRunner::Run(const std::vector<FuzzJob>& jobs) {
     }
   }
 
-  if (!standalone.empty()) {
-    int pool_workers =
-        std::min<int>(workers, static_cast<int>(standalone.size()));
-    std::atomic<size_t> next{0};
-
-    // Each index of this ParallelEach is one worker *stream*, not one job:
-    // the stream leases its execution backend once and drains the shared
-    // job queue with it, exactly as the former spawn/join workers did.
-    pool->ParallelEach(
-        static_cast<size_t>(pool_workers), [&](size_t worker_id) {
-          // Independent per-worker stream, used only for worker-local
-          // choices (session leasing); job randomness comes from each job's
-          // config.seed.
-          Rng rng(options_.worker_seed +
-                  0x9e3779b97f4a7c15ULL *
-                      static_cast<uint64_t>(worker_id + 1));
-          std::unique_ptr<evm::SessionBackend> session;
-          std::unique_ptr<evm::AsyncBackendAdapter> adapter;
-          evm::ExecutionBackend* backend = nullptr;
-          if (options_.backend_workers > 0) {
-            evm::AsyncBackendAdapter::Options adapter_options;
-            adapter_options.workers = options_.backend_workers;
-            adapter = std::make_unique<evm::AsyncBackendAdapter>(
-                adapter_options,
-                options_.reuse_sessions ? &pool_ : nullptr);
-            backend = adapter.get();
-          } else if (options_.reuse_sessions) {
-            session = pool_.Acquire(&rng);
-            backend = session.get();
-          }
-
-          for (;;) {
-            size_t pos = next.fetch_add(1, std::memory_order_relaxed);
-            if (pos >= standalone.size()) break;
-            size_t index = standalone[pos];
-            outcomes[index] = RunJob(jobs[index],
-                                     EffectiveConfig(jobs[index]), backend);
-          }
-          if (session != nullptr) pool_.Release(std::move(session));
-          // An adapter releases its worker sessions on destruction.
-        });
-  }
-
-  if (!groups.empty()) RunIslandGroups(jobs, groups, workers, &outcomes);
-  return outcomes;
-}
-
-void ParallelRunner::RunIslandGroups(
-    const std::vector<FuzzJob>& jobs,
-    const std::map<int, std::vector<size_t>>& groups, int workers,
-    std::vector<JobOutcome>* outcomes) {
-  using Clock = std::chrono::steady_clock;
-  WorkerPool* pool = EnsurePool(workers);
-
-  std::vector<IslandState> islands;
-  for (const auto& [group_id, indices] : groups) {
-    for (size_t index : indices) {
-      IslandState state;
-      state.job_index = index;
-      islands.push_back(std::move(state));
-    }
-  }
-
-  // Phase A (parallel): compile. A failed compile becomes the usual skip
-  // marker and the island drops out of its group before ids are assigned.
-  pool->ParallelEach(islands.size(), [&](size_t i) {
-    auto start = Clock::now();
-    IslandState& state = islands[i];
-    const FuzzJob& job = jobs[state.job_index];
-    (*outcomes)[state.job_index].name = job.name;
-    if (job.artifact != nullptr) {
-      state.artifact = job.artifact;
+  // Submit everything, then wait: the service interleaves the standalone
+  // stream and the island rounds on its pool. Validation failures become
+  // error outcomes in the failed job's slot (all-or-nothing per group).
+  std::vector<std::pair<size_t, JobTicket>> waits;
+  waits.reserve(jobs.size());
+  for (size_t index : standalone) {
+    Result<JobTicket> ticket = service->Submit(jobs[index]);
+    if (ticket.ok()) {
+      waits.emplace_back(index, ticket.value());
     } else {
-      auto result = lang::CompileContract(job.source);
-      if (result.ok()) {
-        state.compiled = std::move(result).value();
-        state.artifact = &*state.compiled;
-      } else {
-        (*outcomes)[state.job_index].error = result.status().ToString();
+      outcomes[index].name = jobs[index].name;
+      outcomes[index].error = ticket.status().ToString();
+    }
+  }
+  for (const auto& [group_id, indices] : groups) {
+    std::vector<FuzzJob> members;
+    members.reserve(indices.size());
+    for (size_t index : indices) members.push_back(jobs[index]);
+    Result<GroupTicket> group = service->SubmitIslandGroup(std::move(members));
+    if (group.ok()) {
+      for (size_t k = 0; k < indices.size(); ++k) {
+        waits.emplace_back(indices[k], group.value().members[k]);
+      }
+    } else {
+      for (size_t index : indices) {
+        outcomes[index].name = jobs[index].name;
+        outcomes[index].error = group.status().ToString();
       }
     }
-    state.elapsed_ms += MsBetween(start, Clock::now());
-    if (state.artifact == nullptr) {
-      (*outcomes)[state.job_index].elapsed_ms = state.elapsed_ms;
-    }
-  });
-
-  // Serial: build one ShardedSeedScheduler per group over the islands that
-  // compiled, assigning island ids in job order (what keeps migration
-  // independent of which worker runs what).
-  struct GroupRun {
-    std::unique_ptr<fuzzer::ShardedSeedScheduler> sharder;
-  };
-  std::vector<GroupRun> group_runs;
-  {
-    size_t cursor = 0;
-    for (const auto& [group_id, indices] : groups) {
-      std::vector<std::unique_ptr<fuzzer::SeedScheduler>> queues;
-      std::vector<IslandState*> members;
-      for (size_t k = 0; k < indices.size(); ++k, ++cursor) {
-        IslandState& state = islands[cursor];
-        if (state.artifact == nullptr) continue;  // compile failed
-        state.island_id = static_cast<int>(members.size());
-        queues.push_back(std::make_unique<fuzzer::SeedScheduler>(
-            jobs[state.job_index].config.strategy.distance_feedback));
-        state.queue = queues.back().get();
-        members.push_back(&state);
-      }
-      GroupRun run;
-      run.sharder =
-          std::make_unique<fuzzer::ShardedSeedScheduler>(std::move(queues));
-      group_runs.push_back(std::move(run));
-    }
   }
 
-  std::vector<IslandState*> live;
-  for (IslandState& state : islands) {
-    if (state.artifact != nullptr) live.push_back(&state);
+  for (const auto& [index, ticket] : waits) {
+    outcomes[index] = service->Wait(ticket);
   }
-
-  // Phase B (parallel): deploy + initial corpus. Each campaign owns a
-  // private backend — it must survive across rounds, so pooled leasing
-  // would pin the session anyway. In pipelined mode the private backend is
-  // an AsyncBackendAdapter (config.async_workers, set here from the runner
-  // options): islands and backend workers compose.
-  pool->ParallelEach(live.size(), [&](size_t i) {
-    auto start = Clock::now();
-    IslandState& state = *live[i];
-    fuzzer::CampaignConfig config = EffectiveConfig(jobs[state.job_index]);
-    if (options_.backend_workers > 0) {
-      config.async_workers = options_.backend_workers;
-    }
-    state.campaign = std::make_unique<fuzzer::Campaign>(
-        state.artifact, config, nullptr, state.queue, state.island_id);
-    state.campaign->SeedCorpus();
-    state.elapsed_ms += MsBetween(start, Clock::now());
-  });
-
-  // Round loop: step every unfinished island for exchange_interval
-  // executions (parallel over the persistent pool), then — behind the
-  // fork-join barrier — run one serial migration per group. Finished
-  // islands stop executing but keep exporting/importing, so the exchange
-  // schedule is a pure function of the job list.
-  const uint64_t interval =
-      static_cast<uint64_t>(std::max(1, options_.exchange_interval));
-  for (;;) {
-    std::vector<IslandState*> active;
-    for (IslandState* state : live) {
-      if (!state->campaign->Done()) active.push_back(state);
-    }
-    if (active.empty()) break;
-    pool->ParallelEach(active.size(), [&](size_t i) {
-      auto start = Clock::now();
-      active[i]->campaign->StepRound(interval);
-      active[i]->elapsed_ms += MsBetween(start, Clock::now());
-    });
-    for (GroupRun& run : group_runs) {
-      run.sharder->RunMigrationRound(options_.migration_top_k);
-    }
-  }
-
-  // Phase C (parallel): finalize into the job-indexed outcome slots, then
-  // drop each campaign before its externally owned queue goes away.
-  pool->ParallelEach(live.size(), [&](size_t i) {
-    auto start = Clock::now();
-    IslandState& state = *live[i];
-    (*outcomes)[state.job_index].result = state.campaign->Finalize();
-    state.campaign.reset();
-    state.elapsed_ms += MsBetween(start, Clock::now());
-    (*outcomes)[state.job_index].elapsed_ms = state.elapsed_ms;
-  });
+  return outcomes;
 }
 
 std::vector<JobOutcome> RunBatch(const std::vector<FuzzJob>& jobs,

@@ -3,54 +3,24 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
-#include <string>
 #include <vector>
 
-#include "common/worker_pool.h"
-#include "evm/execution_backend.h"
-#include "fuzzer/campaign.h"
-#include "lang/codegen.h"
+#include "engine/fuzz_service.h"
 
 namespace mufuzz::engine {
 
-/// One unit of batch work: fuzz one contract with one (strategy, seed)
-/// configuration. Either `artifact` is set (pre-compiled, caller keeps
-/// ownership and must outlive the batch) or `source` is compiled by the
-/// worker that picks the job up — which parallelizes compilation too.
-struct FuzzJob {
-  std::string name;    ///< label carried through to the outcome
-  std::string source;  ///< compiled when `artifact` is null
-  const lang::ContractArtifact* artifact = nullptr;
-  fuzzer::CampaignConfig config;
-  /// Jobs sharing a non-negative group id form an island archipelago: when
-  /// `RunnerOptions::exchange_interval` > 0 their campaigns run in lockstep
-  /// rounds and exchange top seeds between rounds (see ShardedSeedScheduler).
-  /// Group members should fuzz the same contract — migrated sequences index
-  /// into the destination's ABI. -1 (default) = standalone job.
-  int island_group = -1;
-};
-
-/// What came back for one job. `result` is empty exactly when compilation
-/// failed — a failed job can never be mistaken for a zero-coverage row.
-struct JobOutcome {
-  std::string name;
-  std::optional<fuzzer::CampaignResult> result;
-  std::string error;      ///< compile diagnostics when `result` is empty
-  double elapsed_ms = 0;  ///< wall-clock for this job on its worker
-};
-
+/// Batch-mode knobs — the ServiceOptions subset the pre-service runner
+/// exposed, kept field-for-field so call sites port mechanically.
 struct RunnerOptions {
   /// Worker threads; <= 0 means DefaultWorkerCount().
   int workers = 0;
-  /// Lease execution sessions from a shared pool and reuse them across the
-  /// worker's job stream instead of allocating per campaign.
+  /// Lease execution sessions from a shared pool and reuse them across
+  /// jobs instead of allocating per campaign.
   bool reuse_sessions = true;
-  /// Base for the per-worker Rng streams. Worker-local randomness (e.g.
-  /// which pooled session to lease) never influences job results — those
-  /// are fully determined by each job's own config.seed.
+  /// Base for worker-local Rng streams. Worker-local randomness never
+  /// influences job results — those are fully determined by each job's own
+  /// config.seed.
   uint64_t worker_seed = 0x5eed;
   /// Sequence executions each island runs between migration rounds for jobs
   /// with a non-negative `island_group`. 0 (default) disables migration —
@@ -64,70 +34,51 @@ struct RunnerOptions {
   /// mode's wave width W. Campaign results depend on W (documented wave
   /// semantics) but never on worker counts.
   int wave_size = 0;
-  /// > 0 runs every campaign over an AsyncBackendAdapter with this many
-  /// execution workers: standalone jobs get a per-runner-worker adapter
-  /// leasing sessions from the shared pool; island campaigns own private
-  /// adapters (their sessions must survive across rounds). Composes with
-  /// islands: N islands × M backend workers.
+  /// > 0 runs every campaign over async execution workers — one shared
+  /// AsyncExecutionHub with this many threads serves the whole batch (see
+  /// ServiceOptions::share_backend).
   int backend_workers = 0;
 };
 
-/// Worker threads to use by default: $MUFUZZ_WORKERS when set to a positive
-/// integer, otherwise the hardware concurrency (min 1). A malformed value
-/// (non-numeric, trailing garbage, zero/negative, out of range) is reported
-/// once on stderr and ignored instead of silently falling through.
-int DefaultWorkerCount();
-
-/// Fans a batch of jobs across a persistent WorkerPool. Jobs are handed
-/// out in index order from a shared queue; each outcome is written to the
-/// slot matching its job index, so the merged result vector is deterministic
-/// and independent of scheduling, worker count, and completion order. Every
-/// campaign derives all randomness from its job's seed, which makes the
-/// batch bit-for-bit reproducible: N workers produce exactly what one
-/// worker — or a plain serial loop over RunCampaign — produces.
+/// Batch compatibility shim over FuzzService: Run() submits every job
+/// (island groups via SubmitIslandGroup when `exchange_interval` > 0,
+/// everything else standalone), waits for all of them, and returns the
+/// outcomes in job order. All streaming semantics — interleaved standalone
+/// and island rounds on one pool, shared execution hub, per-job validation
+/// — come from the service; the batch call adds nothing but the blocking
+/// convenience.
 ///
-/// Island mode: jobs with a non-negative `island_group` (and
-/// `exchange_interval` > 0) run as a sharded corpus instead — each job is
-/// one island with a private seed queue, stepped in barrier-synchronized
-/// rounds of `exchange_interval` executions. Between rounds the coordinator
-/// thread runs one deterministic migration per group (top-k exports merged
-/// in (island id, rank) order; island ids come from job order, never thread
-/// ids), so island results are also bit-for-bit worker-count independent.
-/// Rounds run on the same persistent pool (std::barrier fork-join) instead
-/// of spawning and joining threads per round.
+/// Determinism: each outcome is exactly what the same job produces when
+/// streamed into a live service (or, for standalone jobs, what a plain
+/// serial RunCampaign produces) — bit-for-bit, at any worker count. A job
+/// that fails validation (see FuzzService::Submit) gets an error outcome
+/// instead of being silently coerced; island groups are all-or-nothing per
+/// group.
 ///
-/// Pipelined mode (`wave_size` / `backend_workers`): campaigns run the
-/// staged wave loop over async backends; see RunnerOptions.
+/// The service (its worker pool, session pool, and execution hub) persists
+/// across Run() calls, so keeping one runner alive amortizes sessions over
+/// many batches.
 class ParallelRunner {
  public:
   explicit ParallelRunner(RunnerOptions options = RunnerOptions());
 
   std::vector<JobOutcome> Run(const std::vector<FuzzJob>& jobs);
 
-  /// Backends created so far (pool diagnostics; at most `workers` per Run,
-  /// fewer when a runner is kept across batches and sessions recycle).
-  size_t sessions_created() const { return pool_.created(); }
+  /// Backends created so far (pool diagnostics; fewer than jobs when a
+  /// runner is kept across batches and sessions recycle).
+  size_t sessions_created() const {
+    return service_ != nullptr ? service_->sessions_created() : 0;
+  }
+
+  /// The underlying service (constructed on first Run), for callers that
+  /// want to mix batch and streaming use.
+  FuzzService* service() { return service_.get(); }
 
  private:
-  /// The persistent fork-join pool, created on first use with the resolved
-  /// worker count and kept across batches.
-  WorkerPool* EnsurePool(int workers);
-
-  /// Job config with the runner's pipeline overrides applied.
-  fuzzer::CampaignConfig EffectiveConfig(const FuzzJob& job) const;
-
-  /// Drives the island-mode jobs: per-group ShardedSeedScheduler, parallel
-  /// construction, barrier rounds with serial migration, parallel finalize.
-  /// `groups` maps group id → member job indices in job order.
-  void RunIslandGroups(const std::vector<FuzzJob>& jobs,
-                       const std::map<int, std::vector<size_t>>& groups,
-                       int workers, std::vector<JobOutcome>* outcomes);
+  FuzzService* EnsureService();
 
   RunnerOptions options_;
-  /// Lives as long as the runner: keeping one runner across batches lets
-  /// workers lease already-constructed backends instead of allocating.
-  evm::SessionPool pool_;
-  std::unique_ptr<WorkerPool> round_pool_;
+  std::unique_ptr<FuzzService> service_;
 };
 
 /// One-call convenience over ParallelRunner.

@@ -7,7 +7,9 @@
 
 namespace mufuzz::evm {
 
-AsyncBackendAdapter::AsyncBackendAdapter(Options options, SessionPool* pool)
+// ------------------------------------------------------ AsyncExecutionHub --
+
+AsyncExecutionHub::AsyncExecutionHub(Options options, SessionPool* pool)
     : options_(options),
       session_pool_(pool),
       threads_(std::max(1, options.workers)) {
@@ -15,71 +17,19 @@ AsyncBackendAdapter::AsyncBackendAdapter(Options options, SessionPool* pool)
   if (options_.queue_capacity <= 0) {
     options_.queue_capacity = 4 * options_.workers;
   }
-}
-
-AsyncBackendAdapter::AsyncBackendAdapter()
-    : AsyncBackendAdapter(Options()) {}
-
-AsyncBackendAdapter::~AsyncBackendAdapter() { Unbind(); }
-
-void AsyncBackendAdapter::CheckBound(const char* op) const {
-  if (!bound_) {
-    std::fprintf(stderr, "fatal: AsyncBackendAdapter::%s before Bind()\n", op);
-    std::abort();
-  }
-}
-
-void AsyncBackendAdapter::CheckIdle(const char* op) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (in_flight_ != 0 || !batches_.empty()) {
-    std::fprintf(stderr,
-                 "fatal: AsyncBackendAdapter::%s while batches are in "
-                 "flight (setup ops require an idle backend)\n",
-                 op);
-    std::abort();
-  }
-}
-
-void AsyncBackendAdapter::Bind(Host* host, BlockContext block,
-                               EvmConfig config) {
-  StopWorkers();
-  workers_.clear();
-  workers_.reserve(options_.workers);
-  for (int w = 0; w < options_.workers; ++w) {
-    Worker worker;
-    worker.host = host->CloneForWorker();
-    if (worker.host == nullptr) {
-      std::fprintf(stderr,
-                   "fatal: AsyncBackendAdapter requires a host that "
-                   "implements CloneForWorker (a sequence-pure host); use a "
-                   "SessionBackend for non-replicable hosts\n");
-      std::abort();
-    }
-    worker.backend = session_pool_ != nullptr
-                         ? session_pool_->Acquire()
-                         : std::make_unique<SessionBackend>();
-    worker.backend->Bind(worker.host.get(), block, config);
-    workers_.push_back(std::move(worker));
-  }
-  bound_ = true;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = false;
-    running_loops_ = options_.workers;
-  }
+  running_loops_ = options_.workers;
   for (int w = 0; w < options_.workers; ++w) {
     threads_.Post([this, w] { WorkerLoop(static_cast<size_t>(w)); });
   }
 }
 
-void AsyncBackendAdapter::StopWorkers() {
+AsyncExecutionHub::~AsyncExecutionHub() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (running_loops_ == 0) return;
-    if (in_flight_ != 0) {
+    if (!queue_.empty()) {
       std::fprintf(stderr,
-                   "fatal: AsyncBackendAdapter stopped with batches still in "
-                   "flight (WaitBatch every ticket before Unbind)\n");
+                   "fatal: AsyncExecutionHub destroyed with jobs still "
+                   "queued (unbind every adapter first)\n");
       std::abort();
     }
     stop_ = true;
@@ -89,21 +39,7 @@ void AsyncBackendAdapter::StopWorkers() {
   exited_cv_.wait(lock, [this] { return running_loops_ == 0; });
 }
 
-void AsyncBackendAdapter::Unbind() {
-  StopWorkers();
-  for (Worker& worker : workers_) {
-    if (session_pool_ != nullptr && worker.backend != nullptr) {
-      session_pool_->Release(std::move(worker.backend));
-    } else if (worker.backend != nullptr) {
-      worker.backend->Unbind();
-    }
-  }
-  workers_.clear();
-  bound_ = false;
-}
-
-void AsyncBackendAdapter::WorkerLoop(size_t index) {
-  SessionBackend* backend = workers_[index].backend.get();
+void AsyncExecutionHub::WorkerLoop(size_t index) {
   for (;;) {
     Job job;
     {
@@ -119,14 +55,119 @@ void AsyncBackendAdapter::WorkerLoop(size_t index) {
       queue_.pop_front();
     }
     capacity_cv_.notify_one();
+    // Worker `index` always executes on the owning adapter's `index`-th
+    // replica, so replicas never race and any worker yields the identical
+    // outcome for a plan.
+    SessionBackend* backend = job.owner->workers_[index].backend.get();
     *job.slot = backend->ExecuteSequence(*job.plan);
+    bool batch_done;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      ++job.batch->completed;
+      --job.owner->in_flight_;
+      batch_done = ++job.batch->completed == job.batch->plans.size();
     }
-    done_cv_.notify_all();
+    // AwaitBatch is the only done_cv_ waiter and its predicate turns true
+    // exactly at batch completion — per-job notifies would wake every
+    // campaign parked on a shared hub once per execution.
+    if (batch_done) done_cv_.notify_all();
   }
+}
+
+void AsyncExecutionHub::SubmitJobs(AsyncBackendAdapter* owner, Batch* batch) {
+  // Enqueue under the capacity bound: a planner that outruns the workers
+  // blocks here instead of growing the queue without limit. The bound is
+  // hub-wide, so concurrent campaigns backpressure each other too.
+  const size_t capacity = static_cast<size_t>(options_.queue_capacity);
+  for (size_t i = 0; i < batch->plans.size(); ++i) {
+    std::unique_lock<std::mutex> lock(mu_);
+    capacity_cv_.wait(lock, [this, capacity] {
+      return queue_.size() < capacity;
+    });
+    queue_.push_back(Job{&batch->plans[i], &batch->outcomes[i], batch, owner});
+    ++owner->in_flight_;
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void AsyncExecutionHub::AwaitBatch(std::unique_lock<std::mutex>& lock,
+                                   Batch* batch) {
+  done_cv_.wait(lock,
+                [batch] { return batch->completed == batch->plans.size(); });
+}
+
+// ----------------------------------------------------- AsyncBackendAdapter --
+
+AsyncBackendAdapter::AsyncBackendAdapter(Options options, SessionPool* pool)
+    : owned_hub_(std::make_unique<AsyncExecutionHub>(options, pool)),
+      hub_(owned_hub_.get()) {}
+
+AsyncBackendAdapter::AsyncBackendAdapter()
+    : AsyncBackendAdapter(Options()) {}
+
+AsyncBackendAdapter::AsyncBackendAdapter(AsyncExecutionHub* hub)
+    : hub_(hub) {}
+
+AsyncBackendAdapter::~AsyncBackendAdapter() { Unbind(); }
+
+void AsyncBackendAdapter::CheckBound(const char* op) const {
+  if (!bound_) {
+    std::fprintf(stderr, "fatal: AsyncBackendAdapter::%s before Bind()\n", op);
+    std::abort();
+  }
+}
+
+void AsyncBackendAdapter::CheckIdle(const char* op) const {
+  size_t in_flight;
+  {
+    std::lock_guard<std::mutex> lock(hub_->mu_);
+    in_flight = in_flight_;
+  }
+  if (in_flight != 0 || !batches_.empty()) {
+    std::fprintf(stderr,
+                 "fatal: AsyncBackendAdapter::%s while batches are in "
+                 "flight (setup ops require an idle backend)\n",
+                 op);
+    std::abort();
+  }
+}
+
+void AsyncBackendAdapter::Bind(Host* host, BlockContext block,
+                               EvmConfig config) {
+  CheckIdle("Bind");
+  Unbind();
+  const int workers = hub_->worker_count();
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    Worker worker;
+    worker.host = host->CloneForWorker();
+    if (worker.host == nullptr) {
+      std::fprintf(stderr,
+                   "fatal: AsyncBackendAdapter requires a host that "
+                   "implements CloneForWorker (a sequence-pure host); use a "
+                   "SessionBackend for non-replicable hosts\n");
+      std::abort();
+    }
+    worker.backend = hub_->session_pool() != nullptr
+                         ? hub_->session_pool()->Acquire()
+                         : std::make_unique<SessionBackend>();
+    worker.backend->Bind(worker.host.get(), block, config);
+    workers_.push_back(std::move(worker));
+  }
+  bound_ = true;
+}
+
+void AsyncBackendAdapter::Unbind() {
+  CheckIdle("Unbind");
+  for (Worker& worker : workers_) {
+    if (hub_->session_pool() != nullptr && worker.backend != nullptr) {
+      hub_->session_pool()->Release(std::move(worker.backend));
+    } else if (worker.backend != nullptr) {
+      worker.backend->Unbind();
+    }
+  }
+  workers_.clear();
+  bound_ = false;
 }
 
 Result<Address> AsyncBackendAdapter::DeployContract(const Bytes& runtime_code,
@@ -188,36 +229,18 @@ std::vector<SequenceOutcome> AsyncBackendAdapter::ExecuteSequenceBatch(
 ExecutionBackend::BatchTicket AsyncBackendAdapter::SubmitBatch(
     std::vector<SequencePlan> plans) {
   CheckBound("SubmitBatch");
-  Batch* batch = nullptr;
-  BatchTicket ticket = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ticket = next_async_ticket_++;
-    auto owned = std::make_unique<Batch>();
-    owned->plans = std::move(plans);
-    owned->outcomes.resize(owned->plans.size());
-    batch = owned.get();
-    batches_.emplace(ticket, std::move(owned));
-  }
-  // Enqueue under the capacity bound: a planner that outruns the workers
-  // blocks here instead of growing the queue without limit.
-  const size_t capacity = static_cast<size_t>(options_.queue_capacity);
-  for (size_t i = 0; i < batch->plans.size(); ++i) {
-    std::unique_lock<std::mutex> lock(mu_);
-    capacity_cv_.wait(lock, [this, capacity] {
-      return queue_.size() < capacity;
-    });
-    queue_.push_back(Job{&batch->plans[i], &batch->outcomes[i], batch});
-    ++in_flight_;
-    lock.unlock();
-    queue_cv_.notify_one();
-  }
+  BatchTicket ticket = next_async_ticket_++;
+  auto owned = std::make_unique<AsyncExecutionHub::Batch>();
+  owned->plans = std::move(plans);
+  owned->outcomes.resize(owned->plans.size());
+  AsyncExecutionHub::Batch* batch = owned.get();
+  batches_.emplace(ticket, std::move(owned));
+  hub_->SubmitJobs(this, batch);
   return ticket;
 }
 
 std::vector<SequenceOutcome> AsyncBackendAdapter::WaitBatch(
     BatchTicket ticket) {
-  std::unique_lock<std::mutex> lock(mu_);
   auto it = batches_.find(ticket);
   if (it == batches_.end()) {
     std::fprintf(stderr,
@@ -226,9 +249,11 @@ std::vector<SequenceOutcome> AsyncBackendAdapter::WaitBatch(
                  static_cast<unsigned long long>(ticket));
     std::abort();
   }
-  Batch* batch = it->second.get();
-  done_cv_.wait(lock,
-                [batch] { return batch->completed == batch->plans.size(); });
+  AsyncExecutionHub::Batch* batch = it->second.get();
+  {
+    std::unique_lock<std::mutex> lock(hub_->mu_);
+    hub_->AwaitBatch(lock, batch);
+  }
   std::vector<SequenceOutcome> outcomes = std::move(batch->outcomes);
   batches_.erase(it);
   return outcomes;

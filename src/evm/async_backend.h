@@ -15,13 +15,93 @@
 
 namespace mufuzz::evm {
 
-/// An ExecutionBackend that drains a bounded submission queue on worker
-/// threads. Each worker owns a SessionBackend (leased from an optional
-/// shared SessionPool) bound to its own Host replica
-/// (Host::CloneForWorker), deploys the same contract, and rewinds per
-/// sequence — so any worker produces the identical outcome for a given
-/// SequencePlan and results are bit-for-bit independent of the worker
-/// count and of completion order (WaitBatch returns submission order).
+class AsyncBackendAdapter;
+
+/// The shared half of asynchronous execution: a bounded plan queue drained
+/// by a fixed set of worker threads. Hubs carry no campaign state — each
+/// queued job names the AsyncBackendAdapter (the per-campaign binding) it
+/// belongs to, and worker `w` executes it on that adapter's `w`-th session
+/// replica. One hub can therefore serve any number of concurrently
+/// pipelined campaigns with a single set of execution threads, instead of
+/// every campaign spawning its own (the FuzzService path); an adapter
+/// constructed without a hub owns a private one, which is exactly the
+/// pre-hub per-campaign behavior.
+///
+/// Determinism: a plan's outcome depends only on the plan and its adapter's
+/// replicas (which start identical — see AsyncBackendAdapter), never on
+/// which worker runs it or how jobs from different adapters interleave in
+/// the queue. Adapters return outcomes in submission order.
+///
+/// Lifetime: the hub must outlive every adapter bound to it, and all
+/// adapters must be idle (every ticket redeemed) at destruction.
+class AsyncExecutionHub {
+ public:
+  struct Options {
+    int workers = 2;
+    /// Plans the queue holds before SubmitBatch blocks (shared across all
+    /// adapters — concurrent campaigns backpressure each other instead of
+    /// growing the queue without bound). <= 0 picks 4 * workers.
+    int queue_capacity = 0;
+  };
+
+  /// `pool` (optional, caller-owned, must outlive the hub) supplies the
+  /// adapters' SessionBackends; without it adapters own fresh sessions.
+  explicit AsyncExecutionHub(Options options, SessionPool* pool = nullptr);
+  ~AsyncExecutionHub();
+
+  AsyncExecutionHub(const AsyncExecutionHub&) = delete;
+  AsyncExecutionHub& operator=(const AsyncExecutionHub&) = delete;
+
+  int worker_count() const { return options_.workers; }
+  SessionPool* session_pool() const { return session_pool_; }
+
+ private:
+  friend class AsyncBackendAdapter;
+
+  /// One in-flight batch: plans are pinned here (jobs point into them)
+  /// until WaitBatch collects the outcomes. `completed` is guarded by the
+  /// hub mutex.
+  struct Batch {
+    std::vector<SequencePlan> plans;
+    std::vector<SequenceOutcome> outcomes;
+    size_t completed = 0;
+  };
+
+  struct Job {
+    const SequencePlan* plan = nullptr;
+    SequenceOutcome* slot = nullptr;
+    Batch* batch = nullptr;
+    AsyncBackendAdapter* owner = nullptr;  ///< replica lookup per worker
+  };
+
+  void WorkerLoop(size_t index);
+  /// Enqueues every job of `batch` for `owner` under the capacity bound.
+  void SubmitJobs(AsyncBackendAdapter* owner, Batch* batch);
+  /// Blocks until `batch` completed; hub mutex held by caller via `lock`.
+  void AwaitBatch(std::unique_lock<std::mutex>& lock, Batch* batch);
+
+  Options options_;
+  SessionPool* session_pool_;
+  WorkerPool threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     ///< workers: job available / stop
+  std::condition_variable capacity_cv_;  ///< submitters: queue has room
+  std::condition_variable done_cv_;      ///< waiters: batch / adapter idle
+  std::condition_variable exited_cv_;    ///< destructor: loops drained
+  std::deque<Job> queue_;
+  int running_loops_ = 0;
+  bool stop_ = false;
+};
+
+/// An ExecutionBackend that ships plans to an AsyncExecutionHub's worker
+/// threads. The adapter owns one SessionBackend replica per hub worker
+/// (leased from the hub's optional shared SessionPool), each bound to its
+/// own Host replica (Host::CloneForWorker) with the same contract deployed
+/// and rewound per sequence — so any worker produces the identical outcome
+/// for a given SequencePlan and results are bit-for-bit independent of the
+/// worker count and of completion order (WaitBatch returns submission
+/// order).
 ///
 /// This is the in-process stand-in for the ROADMAP's out-of-process /
 /// accelerator-hosted EVM: the campaign already speaks plans and tickets,
@@ -30,26 +110,31 @@ namespace mufuzz::evm {
 /// Threading contract: Bind/Unbind/DeployContract/FundAccount/MarkDeployed/
 /// Rewind/state() are setup-phase calls — they must not race SubmitBatch
 /// and may only run while no batch is in flight (the adapter aborts on
-/// violations it can detect). SubmitBatch blocks while the queue is at
-/// capacity, which backpressures a planner that outruns execution.
+/// violations it can detect). SubmitBatch/WaitBatch belong to a single
+/// client thread per adapter (the campaign that owns the binding); distinct
+/// adapters on one hub may submit concurrently. SubmitBatch blocks while
+/// the hub queue is at capacity, which backpressures a planner that outruns
+/// execution.
 class AsyncBackendAdapter : public ExecutionBackend {
  public:
-  struct Options {
-    int workers = 2;
-    /// Plans the queue holds before SubmitBatch blocks. <= 0 picks
-    /// 4 * workers.
-    int queue_capacity = 0;
-  };
+  using Options = AsyncExecutionHub::Options;
 
-  /// `pool` (optional, caller-owned, must outlive the adapter) supplies the
-  /// workers' SessionBackends; without it the adapter owns fresh sessions.
+  /// Private-hub mode: the adapter owns an AsyncExecutionHub with these
+  /// options — the one-campaign-one-backend path. `pool` (optional,
+  /// caller-owned, must outlive the adapter) supplies the session replicas.
   explicit AsyncBackendAdapter(Options options, SessionPool* pool = nullptr);
   AsyncBackendAdapter();
+
+  /// Shared-hub mode: execution threads, queue, and session pool all come
+  /// from `hub` (caller-owned, must outlive the adapter) — the FuzzService
+  /// path, where one hub serves every pipelined campaign.
+  explicit AsyncBackendAdapter(AsyncExecutionHub* hub);
+
   ~AsyncBackendAdapter() override;
 
-  /// Spins up the workers: each gets host->CloneForWorker() (aborts if the
-  /// host is not clonable — async execution requires sequence-pure hosts)
-  /// and a freshly bound session.
+  /// Creates the per-worker replicas: each gets host->CloneForWorker()
+  /// (aborts if the host is not clonable — async execution requires
+  /// sequence-pure hosts) and a freshly bound session.
   void Bind(Host* host, BlockContext block = BlockContext(),
             EvmConfig config = EvmConfig()) override;
   void Unbind() override;
@@ -73,7 +158,9 @@ class AsyncBackendAdapter : public ExecutionBackend {
   BatchTicket SubmitBatch(std::vector<SequencePlan> plans) override;
   std::vector<SequenceOutcome> WaitBatch(BatchTicket ticket) override;
 
-  int worker_count() const override { return static_cast<int>(workers_.size()); }
+  int worker_count() const override {
+    return static_cast<int>(workers_.size());
+  }
 
   /// Worker 0's world state. Setup ops fan out identically, but after
   /// execution each worker carries the residue of the last plan it
@@ -84,49 +171,28 @@ class AsyncBackendAdapter : public ExecutionBackend {
   bool bound() const { return bound_; }
 
  private:
+  friend class AsyncExecutionHub;
+
   struct Worker {
     std::unique_ptr<Host> host;
     std::unique_ptr<SessionBackend> backend;
   };
 
-  /// One in-flight batch: plans are pinned here (jobs point into them)
-  /// until WaitBatch collects the outcomes.
-  struct Batch {
-    std::vector<SequencePlan> plans;
-    std::vector<SequenceOutcome> outcomes;
-    size_t completed = 0;
-  };
-
-  struct Job {
-    const SequencePlan* plan = nullptr;
-    SequenceOutcome* slot = nullptr;
-    Batch* batch = nullptr;
-  };
-
-  void WorkerLoop(size_t index);
-  void StopWorkers();
   /// Aborts unless idle (no queued jobs, no in-flight batches).
   void CheckIdle(const char* op) const;
   void CheckBound(const char* op) const;
 
-  Options options_;
-  SessionPool* session_pool_;
-  WorkerPool threads_;
+  std::unique_ptr<AsyncExecutionHub> owned_hub_;  ///< private-hub mode
+  AsyncExecutionHub* hub_;
 
   std::vector<Worker> workers_;
   bool bound_ = false;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;       ///< workers: job available / stop
-  std::condition_variable capacity_cv_;    ///< submitters: queue has room
-  std::condition_variable done_cv_;        ///< waiters: batch completed
-  std::condition_variable exited_cv_;      ///< StopWorkers: loops drained
-  std::deque<Job> queue_;
-  std::map<BatchTicket, std::unique_ptr<Batch>> batches_;
+  /// Unredeemed batches. Mutated only by the adapter's client thread;
+  /// Batch::completed (and `in_flight_`) are guarded by the hub mutex.
+  std::map<BatchTicket, std::unique_ptr<AsyncExecutionHub::Batch>> batches_;
   BatchTicket next_async_ticket_ = 1;
-  size_t in_flight_ = 0;  ///< jobs queued or executing
-  int running_loops_ = 0;
-  bool stop_ = false;
+  size_t in_flight_ = 0;  ///< this adapter's jobs queued or executing
 };
 
 }  // namespace mufuzz::evm

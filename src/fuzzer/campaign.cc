@@ -239,11 +239,7 @@ void Campaign::StepRound(uint64_t round_executions) {
         planner_->BeginParent(&rng_, mask_hook);
     if (!parent.valid) break;
 
-    struct InFlight {
-      std::vector<MutationPlanner::PlannedChild> children;
-      evm::ExecutionBackend::BatchTicket ticket = 0;
-    };
-    std::optional<InFlight> inflight;
+    std::optional<InFlightWave> inflight;
 
     // Wave loop with one wave of lookahead: wave k+1 is planned (from the
     // parent snapshot) and submitted *before* wave k's outcomes are
@@ -254,7 +250,7 @@ void Campaign::StepRound(uint64_t round_executions) {
     // than a no-lookahead loop would — W, like the seed, is part of the
     // reproducibility key; see ARCHITECTURE.md.)
     for (;;) {
-      std::optional<InFlight> next;
+      std::optional<InFlightWave> next;
       if (parent.planned < parent.allowed && planned_executions_ < target) {
         std::vector<MutationPlanner::PlannedChild> children =
             planner_->PlanWave(&parent, wave_size,
@@ -266,7 +262,7 @@ void Campaign::StepRound(uint64_t round_executions) {
           for (MutationPlanner::PlannedChild& child : children) {
             plans.push_back(std::move(child.plan));
           }
-          InFlight wave;
+          InFlightWave wave;
           wave.children = std::move(children);
           wave.ticket = backend_->SubmitBatch(std::move(plans));
           next.emplace(std::move(wave));
@@ -288,7 +284,110 @@ void Campaign::StepRound(uint64_t round_executions) {
   }
 }
 
+void Campaign::StepStream(uint64_t quantum) {
+  if (contract_.IsZero() || artifact_->abi.functions.empty()) return;
+  if (!stream_.has_value()) stream_.emplace();
+  StreamState& s = *stream_;
+  if (s.exhausted) return;
+
+  // This loop is the StepRound wave loop with two differences: every
+  // planning decision is bounded by the *campaign budget* (never a round
+  // target — so the operation sequence matches the monolithic run exactly),
+  // and instead of draining at the end it returns with the parent and any
+  // in-flight wave parked in `stream_`, to be resumed by the next call.
+  const uint64_t budget = static_cast<uint64_t>(config_.max_executions);
+  const uint64_t pause_at = result_.executions + quantum;
+  const int wave_size = std::max(1, config_.wave_size);
+
+  MutationPlanner::MaskHook mask_hook = [this](FuzzSeed* seed) {
+    MaybeComputeMask(seed);
+  };
+
+  for (;;) {
+    if (!s.parent_active) {
+      if (planned_executions_ >= budget) {
+        s.exhausted = true;
+        return;
+      }
+      s.parent = planner_->BeginParent(&rng_, mask_hook);
+      if (!s.parent.valid) {
+        s.exhausted = true;
+        return;
+      }
+      s.parent_active = true;
+      s.inflight.reset();
+    }
+    for (;;) {
+      std::optional<InFlightWave> next;
+      if (s.parent.planned < s.parent.allowed &&
+          planned_executions_ < budget) {
+        std::vector<MutationPlanner::PlannedChild> children =
+            planner_->PlanWave(&s.parent, wave_size,
+                               budget - planned_executions_, &rng_);
+        if (!children.empty()) {
+          planned_executions_ += children.size();
+          std::vector<evm::SequencePlan> plans;
+          plans.reserve(children.size());
+          for (MutationPlanner::PlannedChild& child : children) {
+            plans.push_back(std::move(child.plan));
+          }
+          InFlightWave wave;
+          wave.children = std::move(children);
+          wave.ticket = backend_->SubmitBatch(std::move(plans));
+          next.emplace(std::move(wave));
+        }
+      }
+      if (s.inflight.has_value()) {
+        std::vector<evm::SequenceOutcome> outcomes =
+            backend_->WaitBatch(s.inflight->ticket);
+        ApplyWave(&s.parent, std::move(s.inflight->children),
+                  std::move(outcomes));
+      }
+      s.inflight = std::move(next);
+      if (!s.inflight.has_value() &&
+          (s.parent.planned >= s.parent.allowed ||
+           planned_executions_ >= budget)) {
+        s.parent_active = false;
+        break;
+      }
+      // Pause between pipeline operations — never instead of one, so the
+      // schedule is unchanged. The wave (if any) stays on the backend.
+      if (result_.executions >= pause_at) return;
+    }
+    if (result_.executions >= pause_at) return;  // parent-boundary pause
+  }
+}
+
+bool Campaign::StreamDone() const {
+  return contract_.IsZero() || artifact_->abi.functions.empty() ||
+         (stream_.has_value() && stream_->exhausted) || Done();
+}
+
+void Campaign::DrainStream() {
+  if (!stream_.has_value()) return;
+  StreamState& s = *stream_;
+  if (s.inflight.has_value()) {
+    std::vector<evm::SequenceOutcome> outcomes =
+        backend_->WaitBatch(s.inflight->ticket);
+    ApplyWave(&s.parent, std::move(s.inflight->children),
+              std::move(outcomes));
+    s.inflight.reset();
+  }
+  s.parent_active = false;
+  s.exhausted = true;
+}
+
+Campaign::Progress Campaign::SnapshotProgress() const {
+  Progress progress;
+  progress.executions = result_.executions;
+  progress.transactions = result_.transactions;
+  progress.coverage = feedback_->coverage().Fraction();
+  progress.bugs_found = result_.bugs.size();
+  return progress;
+}
+
 CampaignResult Campaign::Finalize() {
+  result_.cancelled = cancelled_;
   if (contract_.IsZero()) return result_;
 
   // Canonical finalize view: the last executed plan's residue is

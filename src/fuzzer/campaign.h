@@ -111,6 +111,51 @@ class Campaign {
   /// Contract-lifetime wrap-up; returns the final result.
   CampaignResult Finalize();
 
+  // ------------------------------------------------------------------------
+  // Streaming interface — the FuzzService's view. Unlike StepRound, which
+  // drains the wave pipeline at every round boundary (rounds are barriers —
+  // what island migration needs), the streaming step *suspends* the
+  // pipeline: the current parent and any in-flight wave survive across
+  // calls, so the plan/apply schedule is exactly the schedule of one
+  // monolithic StepRound(max_executions) no matter how the run is chopped.
+  // That makes results a pure function of (config.seed, wave_size) — the
+  // pause quantum, unlike StepRound's round size, can never leak into them.
+  // A campaign uses either the stepped interface or the streaming one;
+  // mixing the two mid-run is unsupported.
+  // ------------------------------------------------------------------------
+
+  /// Advances the monolithic schedule until at least `quantum` more
+  /// executions have been applied (or the campaign ran out of budget /
+  /// seeds), possibly leaving one wave in flight on the backend. Call
+  /// SeedCorpus() first, then StepStream() until StreamDone().
+  void StepStream(uint64_t quantum);
+
+  /// True when the streamed schedule is exhausted (budget spent, queue
+  /// drained, deploy failed, or nothing executable) and the pipeline is
+  /// drained — Finalize() may run.
+  bool StreamDone() const;
+
+  /// Applies any in-flight wave and abandons the current parent, leaving the
+  /// pipeline drained mid-schedule — the early-stop path Cancel needs before
+  /// Finalize(). After draining, StreamDone() is true.
+  void DrainStream();
+
+  /// Marks the campaign cancelled: Finalize() flags the (partial but valid)
+  /// result. Idempotent; does not stop execution by itself — the scheduler
+  /// stops stepping and calls DrainStream()/Finalize().
+  void MarkCancelled() { cancelled_ = true; }
+
+  /// A cheap mid-run progress snapshot. Callers must not race StepRound /
+  /// StepStream — the FuzzService reads this between rounds, behind its
+  /// scheduler barrier.
+  struct Progress {
+    uint64_t executions = 0;
+    uint64_t transactions = 0;
+    double coverage = 0;     ///< branch-coverage fraction so far
+    size_t bugs_found = 0;   ///< raw (pre-dedup) oracle reports so far
+  };
+  Progress SnapshotProgress() const;
+
  private:
   /// Builds the plan for `seq`, executes it synchronously, and applies its
   /// feedback — the serial path used by the seed corpus and mask probes.
@@ -126,6 +171,20 @@ class Campaign {
   void ApplyWave(MutationPlanner::ParentPlan* parent,
                  std::vector<MutationPlanner::PlannedChild> children,
                  std::vector<evm::SequenceOutcome> outcomes);
+
+  /// One submitted-but-not-yet-applied wave.
+  struct InFlightWave {
+    std::vector<MutationPlanner::PlannedChild> children;
+    evm::ExecutionBackend::BatchTicket ticket = 0;
+  };
+
+  /// Suspended wave-pipeline position for the streaming interface.
+  struct StreamState {
+    MutationPlanner::ParentPlan parent;
+    bool parent_active = false;
+    std::optional<InFlightWave> inflight;
+    bool exhausted = false;  ///< budget spent or queue drained, drained
+  };
 
   void MaybeComputeMask(FuzzSeed* seed);
 
@@ -157,6 +216,10 @@ class Campaign {
   /// result_.executions by the in-flight count; equal whenever the pipeline
   /// is drained (round and parent boundaries).
   uint64_t planned_executions_ = 0;
+
+  /// Present once StepStream has run; absent on the stepped/monolithic path.
+  std::optional<StreamState> stream_;
+  bool cancelled_ = false;
 
   CampaignResult result_;
 };

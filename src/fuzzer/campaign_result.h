@@ -38,6 +38,11 @@ struct CampaignResult {
   /// Position within a migration group (assigned in job order by the island
   /// coordinator), or -1 when the campaign ran standalone.
   int island_id = -1;
+  /// True when the campaign was cancelled before exhausting its budget (the
+  /// FuzzService round-boundary cancel path). A cancelled result is partial
+  /// but valid: every counter, curve point, and bug report reflects the
+  /// executions that actually completed.
+  bool cancelled = false;
 
   bool Found(analysis::BugClass bug) const {
     return bug_classes.contains(bug);

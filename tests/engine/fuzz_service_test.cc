@@ -1,0 +1,566 @@
+#include "engine/fuzz_service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/builtin.h"
+#include "corpus/datasets.h"
+#include "engine/parallel_runner.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+
+namespace mufuzz::engine {
+namespace {
+
+using corpus::CorpusEntry;
+using fuzzer::CampaignConfig;
+using fuzzer::CampaignResult;
+using fuzzer::StrategyConfig;
+
+FuzzJob MakeJob(const std::string& name, const std::string& source,
+                uint64_t seed, int execs,
+                StrategyConfig strategy = StrategyConfig::MuFuzz()) {
+  FuzzJob job;
+  job.name = name;
+  job.source = source;
+  job.config.strategy = strategy;
+  job.config.seed = seed;
+  job.config.max_executions = execs;
+  return job;
+}
+
+/// A small mixed job set across the two paper examples, two strategies, and
+/// distinct seeds.
+std::vector<FuzzJob> MixedJobs(int execs = 120) {
+  std::vector<FuzzJob> jobs;
+  std::vector<CorpusEntry> entries = {corpus::CrowdsaleExample(),
+                                      corpus::GameExample()};
+  for (const CorpusEntry& entry : corpus::BuildD1Small(2, /*seed=*/42)) {
+    entries.push_back(entry);
+  }
+  const StrategyConfig strategies[] = {StrategyConfig::MuFuzz(),
+                                      StrategyConfig::SFuzz()};
+  uint64_t seed = 1;
+  for (const auto& strategy : strategies) {
+    for (const CorpusEntry& entry : entries) {
+      jobs.push_back(MakeJob(entry.name + "/" + strategy.name, entry.source,
+                             seed++, execs, strategy));
+    }
+  }
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: knob validation at the API boundary — one test per rejected
+// field, and proof that a rejected submission admits nothing.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzServiceValidationTest, RejectsNegativeJobWaveSize) {
+  FuzzService service;
+  FuzzJob job = MakeJob("bad", corpus::CrowdsaleExample().source, 1, 50);
+  job.config.wave_size = -2;
+  Result<JobTicket> ticket = service.Submit(job);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ticket.status().message().find("wave_size"), std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsNegativeJobAsyncWorkers) {
+  FuzzService service;
+  FuzzJob job = MakeJob("bad", corpus::CrowdsaleExample().source, 1, 50);
+  job.config.async_workers = -1;
+  Result<JobTicket> ticket = service.Submit(job);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ticket.status().message().find("async_workers"),
+            std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsNegativeJobMaxExecutions) {
+  FuzzService service;
+  FuzzJob job = MakeJob("bad", corpus::CrowdsaleExample().source, 1, -5);
+  Result<JobTicket> ticket = service.Submit(job);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ticket.status().message().find("max_executions"),
+            std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsNegativeServiceWaveSize) {
+  ServiceOptions options;
+  options.wave_size = -4;
+  FuzzService service(options);
+  Result<JobTicket> ticket =
+      service.Submit(MakeJob("job", corpus::CrowdsaleExample().source, 1, 50));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ticket.status().message().find("wave_size"), std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsNegativeServiceBackendWorkers) {
+  ServiceOptions options;
+  options.backend_workers = -1;
+  FuzzService service(options);
+  Result<JobTicket> ticket =
+      service.Submit(MakeJob("job", corpus::CrowdsaleExample().source, 1, 50));
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ticket.status().message().find("backend_workers"),
+            std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsNegativeMigrationTopK) {
+  ServiceOptions options;
+  options.exchange_interval = 40;
+  options.migration_top_k = -2;
+  FuzzService service(options);
+  Result<GroupTicket> group = service.SubmitIslandGroup(
+      {MakeJob("a", corpus::CrowdsaleExample().source, 1, 50),
+       MakeJob("b", corpus::CrowdsaleExample().source, 2, 50)});
+  ASSERT_FALSE(group.ok());
+  EXPECT_EQ(group.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(group.status().message().find("migration_top_k"),
+            std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsIslandGroupWithoutExchangeInterval) {
+  FuzzService service;  // default exchange_interval == 0
+  Result<GroupTicket> group = service.SubmitIslandGroup(
+      {MakeJob("a", corpus::CrowdsaleExample().source, 1, 50),
+       MakeJob("b", corpus::CrowdsaleExample().source, 2, 50)});
+  ASSERT_FALSE(group.ok());
+  EXPECT_EQ(group.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(group.status().message().find("exchange_interval"),
+            std::string::npos);
+}
+
+TEST(FuzzServiceValidationTest, RejectsEmptyIslandGroup) {
+  ServiceOptions options;
+  options.exchange_interval = 40;
+  FuzzService service(options);
+  Result<GroupTicket> group = service.SubmitIslandGroup({});
+  ASSERT_FALSE(group.ok());
+  EXPECT_EQ(group.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FuzzServiceValidationTest, RejectedSubmissionAdmitsNothing) {
+  FuzzService service;
+  FuzzJob job = MakeJob("bad", corpus::CrowdsaleExample().source, 1, 50);
+  job.config.wave_size = -1;
+  ASSERT_FALSE(service.Submit(job).ok());
+  EXPECT_TRUE(service.WaitAll().empty());
+}
+
+TEST(FuzzServiceValidationTest, ShimSurfacesValidationErrorsPerJob) {
+  // The compat shim turns the Status into an error outcome instead of the
+  // pre-service behavior of silently coercing garbage knobs.
+  RunnerOptions options;
+  options.wave_size = -3;
+  std::vector<JobOutcome> outcomes = RunBatch(
+      {MakeJob("job", corpus::CrowdsaleExample().source, 1, 50)}, options);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].result.has_value());
+  EXPECT_NE(outcomes[0].error.find("wave_size"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criterion: per-job results from (a) the legacy batch entry
+// point, (b) jobs streamed one at a time into a live service, and (c) a
+// stream with an unrelated job cancelled mid-run are bit-for-bit identical
+// at 1, 2, and 4 workers.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzServiceDeterminismTest, BatchStreamAndCancelledStreamAgree) {
+  std::vector<FuzzJob> jobs = MixedJobs();
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+
+    // (a) legacy batch call (submit-all + WaitAll via the shim).
+    RunnerOptions runner_options;
+    runner_options.workers = workers;
+    std::vector<JobOutcome> batch = RunBatch(jobs, runner_options);
+
+    // (b) one live service, jobs streamed strictly one at a time — maximal
+    // contrast with the batch submission pattern.
+    ServiceOptions service_options;
+    service_options.workers = workers;
+    FuzzService streamed(service_options);
+    std::vector<JobOutcome> stream_outcomes;
+    for (const FuzzJob& job : jobs) {
+      Result<JobTicket> ticket = streamed.Submit(job);
+      ASSERT_TRUE(ticket.ok());
+      stream_outcomes.push_back(streamed.Wait(ticket.value()));
+    }
+
+    // (c) all jobs in flight together plus an unrelated long-running victim
+    // cancelled mid-run.
+    FuzzService cancelled(service_options);
+    Result<JobTicket> victim = cancelled.Submit(MakeJob(
+        "victim", corpus::GameExample().source, 999, /*execs=*/500000));
+    ASSERT_TRUE(victim.ok());
+    std::vector<JobTicket> tickets;
+    for (const FuzzJob& job : jobs) {
+      Result<JobTicket> ticket = cancelled.Submit(job);
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(ticket.value());
+    }
+    cancelled.Cancel(victim.value());
+    std::vector<JobOutcome> cancelled_outcomes;
+    for (JobTicket ticket : tickets) {
+      cancelled_outcomes.push_back(cancelled.Wait(ticket));
+    }
+    JobOutcome victim_outcome = cancelled.Wait(victim.value());
+    if (victim_outcome.result.has_value()) {
+      EXPECT_TRUE(victim_outcome.result->cancelled);
+    } else {
+      // The cancel won the race with the victim's setup round.
+      EXPECT_FALSE(victim_outcome.error.empty());
+    }
+
+    ASSERT_EQ(batch.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_TRUE(batch[i].result.has_value()) << batch[i].error;
+      ASSERT_TRUE(stream_outcomes[i].result.has_value());
+      ASSERT_TRUE(cancelled_outcomes[i].result.has_value());
+      EXPECT_EQ(*batch[i].result, *stream_outcomes[i].result)
+          << "stream diverged on " << jobs[i].name;
+      EXPECT_EQ(*batch[i].result, *cancelled_outcomes[i].result)
+          << "cancellation leaked into " << jobs[i].name;
+    }
+  }
+}
+
+TEST(FuzzServiceDeterminismTest, RoundQuantumNeverChangesResults) {
+  // The streamed campaign suspends (never drains) at round boundaries, so
+  // the progress/cancel granularity is invisible to results — streamed
+  // output equals a plain serial RunCampaign for any quantum.
+  FuzzJob job = MakeJob("q", corpus::CrowdsaleExample().source, 7, 150);
+  auto artifact = lang::CompileContract(job.source);
+  ASSERT_TRUE(artifact.ok());
+  CampaignResult direct = fuzzer::RunCampaign(*artifact, job.config);
+
+  for (int quantum : {1, 7, 1000}) {
+    SCOPED_TRACE("round_quantum=" + std::to_string(quantum));
+    ServiceOptions options;
+    options.workers = 2;
+    options.round_quantum = quantum;
+    FuzzService service(options);
+    Result<JobTicket> ticket = service.Submit(job);
+    ASSERT_TRUE(ticket.ok());
+    JobOutcome outcome = service.Wait(ticket.value());
+    ASSERT_TRUE(outcome.result.has_value());
+    EXPECT_EQ(direct, *outcome.result);
+  }
+}
+
+TEST(FuzzServiceDeterminismTest, SharedHubMatchesPrivateAdapters) {
+  // One AsyncExecutionHub serving every campaign must be invisible to
+  // results: compare against per-campaign adapters and the serial direct
+  // path with the same wave size.
+  FuzzJob job = MakeJob("hub", corpus::CrowdsaleExample().source, 5, 150);
+  job.config.wave_size = 4;
+
+  CampaignConfig direct_config = job.config;
+  direct_config.async_workers = 2;
+  auto artifact = lang::CompileContract(job.source);
+  ASSERT_TRUE(artifact.ok());
+  CampaignResult direct = fuzzer::RunCampaign(*artifact, direct_config);
+
+  for (bool share : {true, false}) {
+    SCOPED_TRACE(share ? "shared hub" : "private adapters");
+    ServiceOptions options;
+    options.workers = 2;
+    options.backend_workers = 2;
+    options.share_backend = share;
+    FuzzService service(options);
+    std::vector<JobTicket> tickets;
+    for (int i = 0; i < 3; ++i) {  // several campaigns share the hub
+      Result<JobTicket> ticket = service.Submit(job);
+      ASSERT_TRUE(ticket.ok());
+      tickets.push_back(ticket.value());
+    }
+    for (JobTicket ticket : tickets) {
+      JobOutcome outcome = service.Wait(ticket);
+      ASSERT_TRUE(outcome.result.has_value()) << outcome.error;
+      EXPECT_EQ(direct, *outcome.result);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: service lifecycle semantics.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzServiceLifecycleTest, WaitIsIdempotent) {
+  FuzzService service;
+  Result<JobTicket> ticket =
+      service.Submit(MakeJob("job", corpus::CrowdsaleExample().source, 3, 80));
+  ASSERT_TRUE(ticket.ok());
+  JobOutcome first = service.Wait(ticket.value());
+  JobOutcome second = service.Wait(ticket.value());
+  ASSERT_TRUE(first.result.has_value());
+  ASSERT_TRUE(second.result.has_value());
+  EXPECT_EQ(*first.result, *second.result);
+  EXPECT_EQ(first.elapsed_ms, second.elapsed_ms);
+}
+
+TEST(FuzzServiceLifecycleTest, PollOnFinishedTicketReturnsFinalSnapshot) {
+  FuzzService service;
+  Result<JobTicket> ticket =
+      service.Submit(MakeJob("job", corpus::CrowdsaleExample().source, 3, 80));
+  ASSERT_TRUE(ticket.ok());
+  JobOutcome outcome = service.Wait(ticket.value());
+  ASSERT_TRUE(outcome.result.has_value());
+
+  JobProgress progress = service.Poll(ticket.value());
+  EXPECT_EQ(progress.state, JobState::kDone);
+  EXPECT_EQ(progress.executions, outcome.result->executions);
+  EXPECT_EQ(progress.transactions, outcome.result->transactions);
+  EXPECT_DOUBLE_EQ(progress.coverage, outcome.result->branch_coverage);
+  EXPECT_EQ(progress.bugs_found, outcome.result->bugs.size());
+  EXPECT_FALSE(progress.cancelled);
+  // Still the same snapshot on a second poll.
+  JobProgress again = service.Poll(ticket.value());
+  EXPECT_EQ(again.executions, progress.executions);
+  EXPECT_EQ(again.state, JobState::kDone);
+}
+
+TEST(FuzzServiceLifecycleTest, CancelOnFinishedTicketIsANoOp) {
+  FuzzService service;
+  FuzzJob job = MakeJob("job", corpus::CrowdsaleExample().source, 3, 80);
+  Result<JobTicket> ticket = service.Submit(job);
+  ASSERT_TRUE(ticket.ok());
+  JobOutcome before = service.Wait(ticket.value());
+  service.Cancel(ticket.value());
+  JobOutcome after = service.Wait(ticket.value());
+  ASSERT_TRUE(before.result.has_value());
+  ASSERT_TRUE(after.result.has_value());
+  EXPECT_EQ(*before.result, *after.result);
+  EXPECT_FALSE(after.result->cancelled);
+  EXPECT_EQ(service.Poll(ticket.value()).state, JobState::kDone);
+}
+
+TEST(FuzzServiceLifecycleTest, UnknownTicketIsHandledGracefully) {
+  FuzzService service;
+  EXPECT_EQ(service.Poll(12345).state, JobState::kUnknown);
+  JobOutcome outcome = service.Wait(12345);
+  EXPECT_FALSE(outcome.result.has_value());
+  EXPECT_FALSE(outcome.error.empty());
+  service.Cancel(12345);  // must not crash or hang
+}
+
+TEST(FuzzServiceLifecycleTest, CancelledJobYieldsPartialFlaggedResult) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.round_quantum = 16;  // fine-grained rounds → prompt cancel
+  FuzzService service(options);
+  FuzzJob job =
+      MakeJob("victim", corpus::CrowdsaleExample().source, 11, 1000000);
+  Result<JobTicket> ticket = service.Submit(job);
+  ASSERT_TRUE(ticket.ok());
+  // Let it make some progress, then cancel.
+  for (;;) {
+    JobProgress progress = service.Poll(ticket.value());
+    if (progress.executions > 100 || progress.state == JobState::kDone) break;
+    std::this_thread::yield();
+  }
+  service.Cancel(ticket.value());
+  JobOutcome outcome = service.Wait(ticket.value());
+  ASSERT_TRUE(outcome.result.has_value());
+  EXPECT_TRUE(outcome.result->cancelled);
+  // Partial but valid: it ran, and it stopped well short of the budget.
+  EXPECT_GT(outcome.result->executions, 0u);
+  EXPECT_LT(outcome.result->executions, 1000000u);
+  EXPECT_GT(outcome.result->branch_coverage, 0.0);
+  JobProgress progress = service.Poll(ticket.value());
+  EXPECT_TRUE(progress.cancelled);
+  EXPECT_EQ(progress.state, JobState::kDone);
+}
+
+TEST(FuzzServiceLifecycleTest, ProgressIsMonotonicWhileStreaming) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.round_quantum = 25;
+  FuzzService service(options);
+  Result<JobTicket> ticket = service.Submit(
+      MakeJob("job", corpus::CrowdsaleExample().source, 9, 400));
+  ASSERT_TRUE(ticket.ok());
+  uint64_t last_executions = 0;
+  int last_round = 0;
+  for (;;) {
+    JobProgress progress = service.Poll(ticket.value());
+    EXPECT_GE(progress.executions, last_executions);
+    EXPECT_GE(progress.round_index, last_round);
+    last_executions = progress.executions;
+    last_round = progress.round_index;
+    if (progress.state == JobState::kDone) break;
+    std::this_thread::yield();
+  }
+  JobOutcome outcome = service.Wait(ticket.value());
+  ASSERT_TRUE(outcome.result.has_value());
+  EXPECT_EQ(last_executions, outcome.result->executions);
+}
+
+TEST(FuzzServiceLifecycleTest, DestructionCancelsOutstandingJobs) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.round_quantum = 16;
+  auto service = std::make_unique<FuzzService>(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service
+                    ->Submit(MakeJob("job" + std::to_string(i),
+                                     corpus::CrowdsaleExample().source,
+                                     100 + i, 1000000))
+                    .ok());
+  }
+  service.reset();  // must stop at round boundaries and join, not hang
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: cancelled island members must not corrupt their group.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzServiceIslandTest, CancelledMemberDoesNotCorruptGroupMigration) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.exchange_interval = 30;
+  options.migration_top_k = 2;
+  FuzzService service(options);
+
+  std::vector<FuzzJob> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(MakeJob("island#" + std::to_string(i),
+                              corpus::CrowdsaleExample().source, 1 + i, 600));
+  }
+  Result<GroupTicket> group = service.SubmitIslandGroup(members);
+  ASSERT_TRUE(group.ok());
+  ASSERT_EQ(group.value().members.size(), 3u);
+
+  // Cancel member 0 once the group is actually exchanging.
+  for (;;) {
+    JobProgress progress = service.Poll(group.value().members[0]);
+    if (progress.round_index >= 2 || progress.state == JobState::kDone) break;
+    std::this_thread::yield();
+  }
+  service.Cancel(group.value().members[0]);
+
+  JobOutcome cancelled = service.Wait(group.value().members[0]);
+  ASSERT_TRUE(cancelled.result.has_value());
+  EXPECT_EQ(cancelled.result->island_id, 0);
+
+  // The survivors run to completion, keep deterministic dense island ids,
+  // and kept exchanging seeds (the cancelled member's queue stays in the
+  // archipelago, like a member that exhausted its budget).
+  uint64_t exported = 0;
+  for (size_t i = 1; i < 3; ++i) {
+    JobOutcome outcome = service.Wait(group.value().members[i]);
+    ASSERT_TRUE(outcome.result.has_value()) << outcome.error;
+    EXPECT_FALSE(outcome.result->cancelled);
+    EXPECT_EQ(outcome.result->island_id, static_cast<int>(i));
+    EXPECT_GE(outcome.result->executions, 600u) << "survivor stopped early";
+    exported += outcome.result->queue_stats.exported;
+  }
+  EXPECT_GT(exported, 0u) << "survivors stopped exchanging";
+}
+
+TEST(FuzzServiceIslandTest, ServiceGroupsMatchShimIslandBatches) {
+  // SubmitIslandGroup and the shim's island_group tag are the same engine:
+  // identical jobs produce identical per-member results either way, at
+  // 1 and 4 workers.
+  std::vector<FuzzJob> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(MakeJob("isl#" + std::to_string(i),
+                              corpus::GameExample().source, 20 + i, 200));
+  }
+
+  RunnerOptions runner_options;
+  runner_options.workers = 1;
+  runner_options.exchange_interval = 40;
+  std::vector<FuzzJob> tagged = members;
+  for (FuzzJob& job : tagged) job.island_group = 0;
+  std::vector<JobOutcome> shim = RunBatch(tagged, runner_options);
+
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ServiceOptions options;
+    options.workers = workers;
+    options.exchange_interval = 40;
+    FuzzService service(options);
+    Result<GroupTicket> group = service.SubmitIslandGroup(members);
+    ASSERT_TRUE(group.ok());
+    for (size_t i = 0; i < members.size(); ++i) {
+      JobOutcome outcome = service.Wait(group.value().members[i]);
+      ASSERT_TRUE(shim[i].result.has_value());
+      ASSERT_TRUE(outcome.result.has_value());
+      EXPECT_EQ(*shim[i].result, *outcome.result) << members[i].name;
+    }
+  }
+}
+
+TEST(FuzzServiceIslandTest, CancelGroupFinishesEveryMember) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.exchange_interval = 25;
+  FuzzService service(options);
+  std::vector<FuzzJob> members;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(MakeJob("g#" + std::to_string(i),
+                              corpus::CrowdsaleExample().source, 40 + i,
+                              1000000));
+  }
+  Result<GroupTicket> group = service.SubmitIslandGroup(members);
+  ASSERT_TRUE(group.ok());
+  service.CancelGroup(group.value());
+  for (JobTicket ticket : group.value().members) {
+    JobOutcome outcome = service.Wait(ticket);
+    if (outcome.result.has_value()) {
+      EXPECT_TRUE(outcome.result->cancelled);
+      EXPECT_LT(outcome.result->executions, 1000000u);
+    } else {
+      // Cancelled before the campaign started.
+      EXPECT_FALSE(outcome.error.empty());
+    }
+    EXPECT_TRUE(service.Poll(ticket).cancelled);
+  }
+}
+
+TEST(FuzzServiceMixedTest, StandaloneStreamAndIslandRoundsInterleave) {
+  // The round scheduler runs standalone slices and island rounds in the
+  // same fan-outs; both kinds must finish and match their isolated runs.
+  ServiceOptions options;
+  options.workers = 2;
+  options.exchange_interval = 40;
+  options.round_quantum = 32;
+  FuzzService service(options);
+
+  FuzzJob solo = MakeJob("solo", corpus::CrowdsaleExample().source, 77, 150);
+  Result<JobTicket> solo_ticket = service.Submit(solo);
+  ASSERT_TRUE(solo_ticket.ok());
+
+  std::vector<FuzzJob> members;
+  for (int i = 0; i < 2; ++i) {
+    members.push_back(MakeJob("mix#" + std::to_string(i),
+                              corpus::GameExample().source, 50 + i, 200));
+  }
+  Result<GroupTicket> group = service.SubmitIslandGroup(members);
+  ASSERT_TRUE(group.ok());
+
+  auto artifact = lang::CompileContract(solo.source);
+  ASSERT_TRUE(artifact.ok());
+  CampaignResult direct = fuzzer::RunCampaign(*artifact, solo.config);
+  JobOutcome solo_outcome = service.Wait(solo_ticket.value());
+  ASSERT_TRUE(solo_outcome.result.has_value());
+  EXPECT_EQ(direct, *solo_outcome.result);
+
+  for (JobTicket ticket : group.value().members) {
+    JobOutcome outcome = service.Wait(ticket);
+    ASSERT_TRUE(outcome.result.has_value());
+    EXPECT_GT(outcome.result->executions, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mufuzz::engine
