@@ -14,6 +14,7 @@
 #include "corpus/generator.h"
 #include "engine/parallel_runner.h"
 #include "evm/async_backend.h"
+#include "evm/code_cache.h"
 #include "evm/execution_backend.h"
 #include "evm/executor.h"
 #include "fuzzer/abi_codec.h"
@@ -96,6 +97,73 @@ void BM_TransactionExecution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransactionExecution);
+
+/// Decoding a real contract into the linear IR (leader marking, block
+/// stack-effect aggregation, fusion, jump pre-resolution) — the one-time
+/// cost the code cache amortizes across every execution.
+void BM_DecodeContract(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evm::DecodeCode(artifact->runtime_code));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          artifact->runtime_code.size());
+}
+BENCHMARK(BM_DecodeContract);
+
+/// An arithmetic/jump loop heavy in the fusable shapes (PUSH;PUSH;ADD,
+/// DUP;SLOAD, PUSH;JUMPI), isolating raw dispatch cost from session
+/// plumbing. Arg 0 = byte-switch oracle, Arg 1 = decoded IR dispatch.
+void BM_DispatchLoop(benchmark::State& state) {
+  constexpr uint32_t kIterations = 2000;
+  Bytes code;
+  code.push_back(0x61);  // PUSH2 counter
+  code.push_back(static_cast<uint8_t>(kIterations >> 8));
+  code.push_back(static_cast<uint8_t>(kIterations & 0xff));
+  const uint32_t loop_pc = static_cast<uint32_t>(code.size());
+  code.push_back(0x5b);        // JUMPDEST
+  code.push_back(0x60);        // PUSH1 1
+  code.push_back(0x01);
+  code.push_back(0x90);        // SWAP1
+  code.push_back(0x03);        // SUB        counter -= 1
+  code.push_back(0x60);        // PUSH1 3
+  code.push_back(0x03);
+  code.push_back(0x60);        // PUSH1 4
+  code.push_back(0x04);
+  code.push_back(0x01);        // ADD        (fusable triple)
+  code.push_back(0x50);        // POP
+  code.push_back(0x80);        // DUP1
+  code.push_back(0x54);        // SLOAD      (fusable pair)
+  code.push_back(0x50);        // POP
+  code.push_back(0x80);        // DUP1
+  code.push_back(0x61);        // PUSH2 loop
+  code.push_back(static_cast<uint8_t>(loop_pc >> 8));
+  code.push_back(static_cast<uint8_t>(loop_pc & 0xff));
+  code.push_back(0x57);        // JUMPI      (fusable pair)
+  code.push_back(0x00);        // STOP
+
+  evm::WorldState world;
+  evm::AcceptingHost host;
+  const Address contract = Address::FromUint(0xc0de);
+  world.SetCode(contract, code);
+  evm::CodeCache cache;
+  evm::EvmConfig config;
+  config.dispatch = state.range(0) == 0 ? evm::DispatchMode::kByteSwitch
+                                        : evm::DispatchMode::kDecoded;
+  config.code_cache = &cache;
+  evm::Interpreter interp(&world, &host, evm::BlockContext(), config);
+  evm::MessageCall call;
+  call.to = contract;
+  call.code_address = contract;
+  call.caller = Address::FromUint(0xab01);
+  call.origin = call.caller;
+  call.gas = 8000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.ExecuteTransaction(call));
+  }
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+BENCHMARK(BM_DispatchLoop)->Arg(0)->Arg(1);
 
 /// The execution layer's hot path from the wave-pipeline PR onward: a batch
 /// of 16 sequence plans through ExecuteSequenceBatch. Arg = backend workers

@@ -533,6 +533,7 @@ void FuzzService::SnapshotProgressLocked(JobRecord* r) {
   r->progress.transactions = p.transactions;
   r->progress.coverage = p.coverage;
   r->progress.bugs_found = p.bugs_found;
+  r->progress.code_cache = p.code_cache;
   r->progress.round_index =
       r->group != nullptr ? r->group->migration_rounds : r->rounds;
 }
@@ -551,6 +552,7 @@ void FuzzService::MarkDoneLocked(JobRecord* r) {
     p.coverage = result.branch_coverage;
     p.bugs_found = result.bugs.size();
     p.cancelled = result.cancelled;
+    p.code_cache = result.code_cache;
     p.round_index =
         r->group != nullptr ? r->group->migration_rounds : r->rounds;
   }

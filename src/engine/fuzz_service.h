@@ -96,6 +96,9 @@ struct JobProgress {
   int round_index = 0;
   /// Set once the job finished via the cancel path.
   bool cancelled = false;
+  /// Code-cache counters of the job's backend at snapshot time (process-wide
+  /// cache by default — diagnostics, not part of any reproducibility key).
+  evm::CodeCacheStats code_cache;
 };
 
 /// FuzzService knobs. The execution-semantics knobs (`wave_size`,

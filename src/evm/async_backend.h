@@ -162,6 +162,13 @@ class AsyncBackendAdapter : public ExecutionBackend {
     return static_cast<int>(workers_.size());
   }
 
+  /// All replicas decode through the same cache (the process-wide one by
+  /// default), so worker 0's view is the shared truth.
+  CodeCacheStats code_cache_stats() const override {
+    return workers_.empty() ? CodeCacheStats{}
+                            : workers_[0].backend->code_cache_stats();
+  }
+
   /// Worker 0's world state. Setup ops fan out identically, but after
   /// execution each worker carries the residue of the last plan it
   /// happened to run — call Rewind() first (as Campaign::Finalize does)

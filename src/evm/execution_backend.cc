@@ -121,6 +121,11 @@ SequenceOutcome SessionBackend::ExecuteSequence(const SequencePlan& plan) {
   return out;
 }
 
+CodeCacheStats SessionBackend::code_cache_stats() const {
+  if (!session_.has_value()) return {};
+  return session_->interpreter().code_cache()->stats();
+}
+
 const WorldState& SessionBackend::state() const {
   CheckBound();
   return session_->state();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "evm/code_cache.h"
 #include "evm/executor.h"
 #include "evm/trace.h"
 
@@ -138,6 +139,11 @@ class ExecutionBackend {
   /// callers may use it to size waves.
   virtual int worker_count() const { return 1; }
 
+  /// Counters of the code cache this backend decodes through (zeros when
+  /// unbound). Observability only: the cache is typically the process-wide
+  /// one, so hits/misses aggregate across every session sharing it.
+  virtual CodeCacheStats code_cache_stats() const { return {}; }
+
   virtual const WorldState& state() const = 0;
 
  protected:
@@ -174,6 +180,8 @@ class SessionBackend : public ExecutionBackend {
   void MarkDeployed() override;
   void Rewind() override;
   SequenceOutcome ExecuteSequence(const SequencePlan& plan) override;
+
+  CodeCacheStats code_cache_stats() const override;
 
   const WorldState& state() const override;
 

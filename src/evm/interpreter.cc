@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/keccak.h"
+#include "evm/code_cache.h"
 #include "evm/memory.h"
 #include "evm/stack.h"
 
@@ -56,7 +57,12 @@ const char* OutcomeToString(Outcome outcome) {
 
 Interpreter::Interpreter(WorldState* state, Host* host, BlockContext block,
                          EvmConfig config)
-    : state_(state), host_(host), block_(block), config_(config) {}
+    : state_(state),
+      host_(host),
+      block_(block),
+      config_(config),
+      cache_(config.code_cache != nullptr ? config.code_cache
+                                          : CodeCache::Global()) {}
 
 ExecResult Interpreter::ExecuteTransaction(const MessageCall& call) {
   cmp_records_.clear();
@@ -114,8 +120,26 @@ ExecResult Interpreter::RunFrame(const MessageCall& call) {
     // Calling an empty account succeeds vacuously (value already moved).
     return {Outcome::kSuccess, {}, 0};
   }
-  // Copy the code handle; the accounts map may rehash during execution.
-  const Bytes code = code_acct->code;
+  // Resolve the shared decode, memoized on the account so repeat frames
+  // skip even the cache's keccak probe. Holding the shared_ptr (not the
+  // account pointer) keeps the code alive while the accounts map rehashes —
+  // this replaces the per-frame deep copy of the code vector.
+  if (code_acct->decoded == nullptr) {
+    code_acct->decoded = cache_->GetOrDecode(code_acct->code);
+  }
+  std::shared_ptr<const DecodedCode> decoded = code_acct->decoded;
+  if (config_.dispatch == DispatchMode::kDecoded) {
+    return RunFrameDecoded(call, *decoded);
+  }
+  return RunFrameBytes(call, *decoded);
+}
+
+ExecResult Interpreter::RunFrameBytes(const MessageCall& call,
+                                      const DecodedCode& decoded) {
+  const Bytes& code = decoded.code;
+  // The oracle re-derives jump targets from the raw bytes on purpose: the
+  // differential suite then cross-checks the decoder's pre-validated table
+  // against an independent derivation.
   const auto jumpdests = FindJumpdests(code);
 
   Stack stack;

@@ -13,12 +13,31 @@
 
 namespace mufuzz::evm {
 
+class CodeCache;
+struct DecodedCode;
+
+/// Which execution loop runs the frames.
+enum class DispatchMode : uint8_t {
+  /// Pre-decoded IR with direct-threaded (computed-goto) dispatch — the
+  /// default hot path. Falls back to a switch-based loop when built with
+  /// -DMUFUZZ_PORTABLE_DISPATCH or on non-GNU compilers.
+  kDecoded,
+  /// The original byte-switch loop, kept alive as the differential oracle:
+  /// it re-derives jump targets and immediates from raw bytes, so the
+  /// decoded-dispatch tests cross-check two independent decodings.
+  kByteSwitch,
+};
+
 /// Interpreter limits. The step cap is a belt-and-braces guard on top of gas
 /// so a mis-priced loop cannot wedge a fuzzing campaign.
 struct EvmConfig {
   uint64_t tx_gas_limit = 10000000;
   int max_call_depth = 12;
   uint64_t max_steps = 2000000;
+  DispatchMode dispatch = DispatchMode::kDecoded;
+  /// Cache for pre-decoded bytecode; nullptr means CodeCache::Global() (one
+  /// decode per contract per process, shared across sessions and workers).
+  CodeCache* code_cache = nullptr;
 };
 
 /// A message call to execute: `to` receives the call and supplies the storage
@@ -93,16 +112,33 @@ class Interpreter : public ReentryHandle {
   const BlockContext& block() const { return block_; }
   void set_block(const BlockContext& block) { block_ = block; }
 
+  /// The code cache this interpreter decodes through (never null).
+  CodeCache* code_cache() const { return cache_; }
+
  private:
   friend class Frame;
-  /// Runs one call frame (recursively for nested calls). State snapshots for
+  /// Runs one call frame (recursively for nested calls): resolves the
+  /// callee's DecodedCode (memoized on the account, shared via the cache)
+  /// and hands off to the configured dispatch loop. State snapshots for
   /// nested frames are managed by the caller of RunFrame.
   ExecResult RunFrame(const MessageCall& call);
+
+  /// The byte-switch loop — the original interpreter, now reading the code
+  /// bytes through the shared DecodedCode instead of a per-frame copy.
+  ExecResult RunFrameBytes(const MessageCall& call,
+                           const DecodedCode& decoded);
+
+  /// The threaded-dispatch IR loop (interpreter_decoded.cc). Bit-for-bit
+  /// equivalent to RunFrameBytes in outcome, gas, state journal, and every
+  /// observer event (events carry original byte pcs, not IR indices).
+  ExecResult RunFrameDecoded(const MessageCall& call,
+                             const DecodedCode& decoded);
 
   WorldState* state_;
   Host* host_;
   BlockContext block_;
   EvmConfig config_;
+  CodeCache* cache_ = nullptr;
   ExecObserver* observer_ = nullptr;
 
   std::vector<CmpRecord> cmp_records_;

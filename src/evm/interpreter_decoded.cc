@@ -1,0 +1,1107 @@
+// The threaded-dispatch execution loop over pre-decoded IR (see
+// evm/code_cache.h). This is the hot path of the whole system; the
+// byte-switch loop in interpreter.cc survives as its differential oracle.
+//
+// Equivalence contract (pinned by tests/evm/decoded_dispatch_test.cc): for
+// any bytecode and call, this loop produces the same ExecResult (outcome,
+// output, gas_used), the same state-journal effects, the same comparison
+// records, and the same observer-event stream — events carry original byte
+// pcs — as RunFrameBytes. To that end every handler replicates the byte
+// loop's per-instruction order exactly: step-limit check, (defined check),
+// OnStep, gas charge, stack-arity check, then the operation. Fused
+// superinstructions perform that bookkeeping once per original instruction.
+//
+// The per-op stack checks are hoisted to basic-block granularity: each
+// block's leader carries (min entry height, peak growth) computed at decode
+// time, and when the entry height proves the whole block safe the handlers
+// skip arity/overflow checks and use the unchecked stack accessors. Blocks
+// that cannot be proven safe (the error path) run with the byte loop's
+// exact per-op checks, so a stack error aborts at the same instruction with
+// the same partial event stream.
+
+#include <unordered_map>
+
+#include "common/keccak.h"
+#include "evm/code_cache.h"
+#include "evm/interpreter.h"
+#include "evm/memory.h"
+#include "evm/stack.h"
+
+// Direct-threaded dispatch needs GNU computed goto; everything else (and
+// -DMUFUZZ_PORTABLE_DISPATCH builds, which CI exercises) uses a portable
+// switch loop over the same handler bodies.
+#if !defined(MUFUZZ_PORTABLE_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MUFUZZ_THREADED_DISPATCH 1
+#endif
+
+namespace mufuzz::evm {
+
+// One entry per IrOp, in enum order (the dispatch table and the switch are
+// both generated from this list).
+#define MUFUZZ_IR_OPS(X)                                                 \
+  X(BlockCheck)                                                          \
+  X(Stop)                                                                \
+  X(Arith)                                                               \
+  X(AddmodMulmod)                                                        \
+  X(Cmp)                                                                 \
+  X(Iszero)                                                              \
+  X(Bitwise)                                                             \
+  X(Not)                                                                 \
+  X(Byte)                                                                \
+  X(Shift)                                                               \
+  X(Keccak)                                                              \
+  X(Address)                                                             \
+  X(Balance)                                                             \
+  X(Selfbalance)                                                         \
+  X(Origin)                                                              \
+  X(Caller)                                                              \
+  X(Callvalue)                                                           \
+  X(Calldataload)                                                        \
+  X(Calldatasize)                                                        \
+  X(Calldatacopy)                                                        \
+  X(Codesize)                                                            \
+  X(Codecopy)                                                            \
+  X(Gasprice)                                                            \
+  X(Returndatasize)                                                      \
+  X(Returndatacopy)                                                      \
+  X(Blockhash)                                                           \
+  X(BlockRead)                                                           \
+  X(Pop)                                                                 \
+  X(Mload)                                                               \
+  X(Mstore)                                                              \
+  X(Mstore8)                                                             \
+  X(Sload)                                                               \
+  X(Sstore)                                                              \
+  X(Jump)                                                                \
+  X(Jumpi)                                                               \
+  X(Pc)                                                                  \
+  X(Msize)                                                               \
+  X(Gas)                                                                 \
+  X(Jumpdest)                                                            \
+  X(ReturnRevert)                                                        \
+  X(Invalid)                                                             \
+  X(Selfdestruct)                                                        \
+  X(Create)                                                              \
+  X(CallFamily)                                                          \
+  X(Push)                                                                \
+  X(Dup)                                                                 \
+  X(Swap)                                                                \
+  X(Log)                                                                 \
+  X(Undefined)                                                           \
+  X(PushJump)                                                            \
+  X(PushJumpi)                                                           \
+  X(DupSload)                                                            \
+  X(PushPushArith)                                                       \
+  X(End)
+
+ExecResult Interpreter::RunFrameDecoded(const MessageCall& call,
+                                        const DecodedCode& decoded) {
+  const Bytes& code = decoded.code;
+  const DecodedInsn* const insns = decoded.insns.data();
+  const int32_t* const pc_to_insn = decoded.pc_to_insn.data();
+
+  Stack stack;
+  Memory memory;
+  // Word-granular memory instrumentation, identical to the byte loop.
+  struct MemTag {
+    uint32_t taint = 0;
+    int32_t call_id = -1;
+  };
+  std::unordered_map<uint64_t, MemTag> mem_taint;
+  Bytes return_data;
+  bool caller_guard_seen = false;
+  uint64_t gas = call.gas;
+  size_t ip = 0;        ///< index into decoded.insns
+  bool checked = true;  ///< per-op stack checks on (kBlockCheck updates)
+  const DecodedInsn* ins = insns;
+
+  auto out_of_gas = [&]() {
+    return ExecResult{Outcome::kOutOfGas, {}, call.gas};
+  };
+  auto stack_err = [&]() {
+    return ExecResult{Outcome::kStackError, {}, call.gas - gas};
+  };
+  auto charge = [&](uint64_t amount) {
+    if (gas < amount) return false;
+    gas -= amount;
+    return true;
+  };
+
+  auto mem_tag_load = [&](uint64_t offset) -> MemTag {
+    MemTag tag;
+    auto it = mem_taint.find(offset / 32);
+    if (it != mem_taint.end()) tag = it->second;
+    if (offset % 32 != 0) {
+      it = mem_taint.find(offset / 32 + 1);
+      if (it != mem_taint.end()) {
+        tag.taint |= it->second.taint;
+        tag.call_id = -1;  // misaligned: call identity is lost
+      }
+    }
+    return tag;
+  };
+  auto mem_taint_store = [&](uint64_t offset, uint64_t len, uint32_t taint,
+                             int32_t call_id = -1) {
+    if (len == 0) return;
+    for (uint64_t w = offset / 32; w <= (offset + len - 1) / 32; ++w) {
+      if (taint == 0 && call_id < 0) {
+        mem_taint.erase(w);
+      } else {
+        mem_taint[w] = MemTag{taint, call_id};
+      }
+    }
+  };
+  auto mem_taint_range = [&](uint64_t offset, uint64_t len) -> uint32_t {
+    uint32_t t = 0;
+    if (len == 0) return t;
+    for (uint64_t w = offset / 32; w <= (offset + len - 1) / 32; ++w) {
+      auto it = mem_taint.find(w);
+      if (it != mem_taint.end()) t |= it->second.taint;
+    }
+    return t;
+  };
+
+  // Executing a frame brings the callee account into existence (journaled).
+  state_->Touch(call.to);
+
+// Per-original-instruction bookkeeping, in the byte loop's exact order.
+#define BOOKKEEP(pc_, opcode_, gas_)                         \
+  do {                                                       \
+    if (++steps_ > config_.max_steps) {                      \
+      return ExecResult{Outcome::kStepLimit, {}, call.gas - gas}; \
+    }                                                        \
+    if (observer_ != nullptr) {                              \
+      observer_->OnStep((pc_), (opcode_), call.depth);       \
+    }                                                        \
+    if (!charge(gas_)) return out_of_gas();                  \
+  } while (0)
+
+// Handler prologue for unfused instructions.
+#define PRELUDE()                                                      \
+  do {                                                                 \
+    BOOKKEEP(ins->pc, ins->opcode, ins->gas);                          \
+    if (checked && stack.size() < static_cast<size_t>(ins->inputs)) {  \
+      return stack_err();                                              \
+    }                                                                  \
+  } while (0)
+
+// Push that replicates the byte loop's overflow handling in checked mode
+// and skips it in block-proven-safe mode.
+#define PUSH_W(w)                                   \
+  do {                                              \
+    if (checked) {                                  \
+      if (!stack.Push(w)) return stack_err();       \
+    } else {                                        \
+      stack.PushUnsafe(w);                          \
+    }                                               \
+  } while (0)
+
+#ifdef MUFUZZ_THREADED_DISPATCH
+#define HANDLER(name) lbl_##name:
+#define DISPATCH()                                        \
+  do {                                                    \
+    ins = &insns[ip];                                     \
+    goto* kDispatchTable[static_cast<int>(ins->ir)];      \
+  } while (0)
+#define MUFUZZ_LABEL_ENTRY(name) &&lbl_##name,
+  static const void* const kDispatchTable[] = {
+      MUFUZZ_IR_OPS(MUFUZZ_LABEL_ENTRY)};
+  static_assert(true, "");  // require a trailing semicolon above
+  DISPATCH();
+#else
+#define HANDLER(name) case IrOp::k##name:
+#define DISPATCH() goto dispatch_top
+dispatch_top:
+  ins = &insns[ip];
+  switch (ins->ir) {
+#endif
+
+// Every handler ends in DISPATCH() (or NEXT(), which advances first) or
+// returns, so control never falls through between handlers in either
+// dispatch flavor.
+#define NEXT()   \
+  do {           \
+    ++ip;        \
+    DISPATCH();  \
+  } while (0)
+
+  HANDLER(BlockCheck) {
+    // The whole block is provably free of stack errors iff the entry height
+    // covers the deepest pop and the peak growth stays under the cap.
+    checked = stack.size() < ins->block_need ||
+              stack.size() + ins->block_peak > Stack::kMaxDepth;
+    NEXT();
+  }
+
+  HANDLER(Stop) {
+    PRELUDE();
+    return ExecResult{Outcome::kSuccess, {}, call.gas - gas};
+  }
+
+  HANDLER(Arith) {
+    PRELUDE();
+    Word x = stack.PopUnsafe();
+    Word y = stack.PopUnsafe();
+    U256 r;
+    bool overflow = false;
+    switch (static_cast<Op>(ins->opcode)) {
+      case Op::kAdd:
+        r = x.value + y.value;
+        overflow = U256::AddOverflows(x.value, y.value);
+        break;
+      case Op::kMul:
+        r = x.value * y.value;
+        overflow = U256::MulOverflows(x.value, y.value);
+        break;
+      case Op::kSub:
+        r = x.value - y.value;
+        overflow = U256::SubUnderflows(x.value, y.value);
+        break;
+      case Op::kDiv:
+        r = x.value / y.value;
+        break;
+      case Op::kSdiv:
+        r = x.value.Sdiv(y.value);
+        break;
+      case Op::kMod:
+        r = x.value % y.value;
+        break;
+      case Op::kSmod:
+        r = x.value.Smod(y.value);
+        break;
+      case Op::kExp:
+        r = x.value.Exp(y.value);
+        break;
+      case Op::kSignextend:
+        r = y.value.SignExtend(x.value);
+        break;
+      default:
+        break;
+    }
+    if (overflow && observer_ != nullptr) {
+      observer_->OnOverflow({ins->pc, static_cast<Op>(ins->opcode),
+                             x.taint | y.taint, false, call.depth});
+    }
+    PUSH_W(Word(r, x.taint | y.taint));
+    NEXT();
+  }
+
+  HANDLER(AddmodMulmod) {
+    PRELUDE();
+    Word x = stack.PopUnsafe();
+    Word y = stack.PopUnsafe();
+    Word m = stack.PopUnsafe();
+    U256 r = (static_cast<Op>(ins->opcode) == Op::kAddmod)
+                 ? U256::AddMod(x.value, y.value, m.value)
+                 : U256::MulMod(x.value, y.value, m.value);
+    PUSH_W(Word(r, x.taint | y.taint | m.taint));
+    NEXT();
+  }
+
+  HANDLER(Cmp) {
+    PRELUDE();
+    Word x = stack.PopUnsafe();
+    Word y = stack.PopUnsafe();
+    bool truth = false;
+    CmpOp cmp_op = CmpOp::kEq;
+    switch (static_cast<Op>(ins->opcode)) {
+      case Op::kLt:
+        truth = x.value < y.value;
+        cmp_op = CmpOp::kLt;
+        break;
+      case Op::kGt:
+        truth = x.value > y.value;
+        cmp_op = CmpOp::kGt;
+        break;
+      case Op::kSlt:
+        truth = x.value.Slt(y.value);
+        cmp_op = CmpOp::kSlt;
+        break;
+      case Op::kSgt:
+        truth = x.value.Sgt(y.value);
+        cmp_op = CmpOp::kSgt;
+        break;
+      case Op::kEq:
+        truth = x.value == y.value;
+        cmp_op = CmpOp::kEq;
+        break;
+      default:
+        break;
+    }
+    Word result(truth ? U256::One() : U256::Zero(), x.taint | y.taint);
+    result.cmp_id = static_cast<int32_t>(cmp_records_.size());
+    cmp_records_.push_back(
+        {cmp_op, x.value, y.value, false, x.taint | y.taint});
+    result.call_id = (x.call_id >= 0) ? x.call_id : y.call_id;
+    PUSH_W(result);
+    NEXT();
+  }
+
+  HANDLER(Iszero) {
+    PRELUDE();
+    Word x = stack.PopUnsafe();
+    Word result(x.value.IsZero() ? U256::One() : U256::Zero(), x.taint);
+    if (x.cmp_id >= 0) {
+      // Negate the existing comparison so distance stays meaningful
+      // through require()'s ISZERO chains.
+      CmpRecord rec = cmp_records_[x.cmp_id];
+      rec.negated = !rec.negated;
+      result.cmp_id = static_cast<int32_t>(cmp_records_.size());
+      cmp_records_.push_back(rec);
+    } else {
+      result.cmp_id = static_cast<int32_t>(cmp_records_.size());
+      cmp_records_.push_back(
+          {CmpOp::kIsZero, x.value, U256::Zero(), false, x.taint});
+    }
+    result.call_id = x.call_id;
+    PUSH_W(result);
+    NEXT();
+  }
+
+  HANDLER(Bitwise) {
+    PRELUDE();
+    Word x = stack.PopUnsafe();
+    Word y = stack.PopUnsafe();
+    U256 r;
+    const Op op = static_cast<Op>(ins->opcode);
+    if (op == Op::kAnd) r = x.value & y.value;
+    if (op == Op::kOr) r = x.value | y.value;
+    if (op == Op::kXor) r = x.value ^ y.value;
+    Word result(r, x.taint | y.taint);
+    result.call_id = (x.call_id >= 0) ? x.call_id : y.call_id;
+    PUSH_W(result);
+    NEXT();
+  }
+
+  HANDLER(Not) {
+    PRELUDE();
+    Word x = stack.PopUnsafe();
+    PUSH_W(Word(~x.value, x.taint));
+    NEXT();
+  }
+
+  HANDLER(Byte) {
+    PRELUDE();
+    Word i = stack.PopUnsafe();
+    Word x = stack.PopUnsafe();
+    PUSH_W(Word(x.value.Byte(i.value), x.taint | i.taint));
+    NEXT();
+  }
+
+  HANDLER(Shift) {
+    PRELUDE();
+    Word shift = stack.PopUnsafe();
+    Word x = stack.PopUnsafe();
+    unsigned n = shift.value.FitsU64() && shift.value.low64() < 256
+                     ? static_cast<unsigned>(shift.value.low64())
+                     : 256;
+    U256 r;
+    const Op op = static_cast<Op>(ins->opcode);
+    if (op == Op::kShl) r = x.value << n;
+    if (op == Op::kShr) r = x.value >> n;
+    if (op == Op::kSar) r = x.value.Sar(n);
+    PUSH_W(Word(r, x.taint | shift.taint));
+    NEXT();
+  }
+
+  HANDLER(Keccak) {
+    PRELUDE();
+    Word off = stack.PopUnsafe();
+    Word len = stack.PopUnsafe();
+    if (!off.value.FitsU64() || !len.value.FitsU64()) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    uint64_t offset = off.value.low64();
+    uint64_t length = len.value.low64();
+    if (!charge(6 * ((length + 31) / 32))) return out_of_gas();
+    Bytes input;
+    if (!memory.CopyOut(offset, length, &input)) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    auto digest = Keccak256(input);
+    U256 r = U256::FromBytesBE(BytesView(digest.data(), 32)).value();
+    PUSH_W(Word(r, mem_taint_range(offset, length)));
+    NEXT();
+  }
+
+  HANDLER(Address) {
+    PRELUDE();
+    PUSH_W(Word(call.to.ToWord()));
+    NEXT();
+  }
+
+  HANDLER(Balance) {
+    PRELUDE();
+    Word a = stack.PopUnsafe();
+    Address addr = Address::FromWord(a.value);
+    if (observer_ != nullptr) {
+      observer_->OnBalanceRead({ins->pc, call.depth});
+    }
+    PUSH_W(Word(state_->GetBalance(addr), a.taint | kTaintBalance));
+    NEXT();
+  }
+
+  HANDLER(Selfbalance) {
+    PRELUDE();
+    if (observer_ != nullptr) {
+      observer_->OnBalanceRead({ins->pc, call.depth});
+    }
+    PUSH_W(Word(state_->GetBalance(call.to), kTaintBalance));
+    NEXT();
+  }
+
+  HANDLER(Origin) {
+    PRELUDE();
+    PUSH_W(Word(call.origin.ToWord(), kTaintOrigin));
+    NEXT();
+  }
+
+  HANDLER(Caller) {
+    PRELUDE();
+    PUSH_W(Word(call.caller.ToWord(), kTaintCaller));
+    NEXT();
+  }
+
+  HANDLER(Callvalue) {
+    PRELUDE();
+    PUSH_W(Word(call.value, kTaintCallValue));
+    NEXT();
+  }
+
+  HANDLER(Calldataload) {
+    PRELUDE();
+    Word off = stack.PopUnsafe();
+    U256 v;
+    if (off.value.FitsU64()) {
+      uint64_t o = off.value.low64();
+      uint8_t buf[32];
+      for (int i = 0; i < 32; ++i) {
+        buf[i] = (o + i < call.data.size()) ? call.data[o + i] : 0;
+      }
+      v = U256::FromBytesBE(BytesView(buf, 32)).value();
+    }
+    PUSH_W(Word(v, kTaintCalldata | off.taint));
+    NEXT();
+  }
+
+  HANDLER(Calldatasize) {
+    PRELUDE();
+    PUSH_W(Word(U256(call.data.size())));
+    NEXT();
+  }
+
+  HANDLER(Calldatacopy) {
+    PRELUDE();
+    Word dst = stack.PopUnsafe();
+    Word src = stack.PopUnsafe();
+    Word len = stack.PopUnsafe();
+    if (!dst.value.FitsU64() || !len.value.FitsU64()) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    uint64_t src_off = src.value.FitsU64() ? src.value.low64() : UINT64_MAX;
+    if (!memory.CopyIn(dst.value.low64(), call.data, src_off,
+                       len.value.low64())) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    mem_taint_store(dst.value.low64(), len.value.low64(), kTaintCalldata);
+    NEXT();
+  }
+
+  HANDLER(Codesize) {
+    PRELUDE();
+    PUSH_W(Word(U256(code.size())));
+    NEXT();
+  }
+
+  HANDLER(Codecopy) {
+    PRELUDE();
+    Word dst = stack.PopUnsafe();
+    Word src = stack.PopUnsafe();
+    Word len = stack.PopUnsafe();
+    if (!dst.value.FitsU64() || !len.value.FitsU64()) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    uint64_t src_off = src.value.FitsU64() ? src.value.low64() : UINT64_MAX;
+    if (!memory.CopyIn(dst.value.low64(), code, src_off,
+                       len.value.low64())) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    NEXT();
+  }
+
+  HANDLER(Gasprice) {
+    PRELUDE();
+    PUSH_W(Word(U256(1)));
+    NEXT();
+  }
+
+  HANDLER(Returndatasize) {
+    PRELUDE();
+    PUSH_W(Word(U256(return_data.size())));
+    NEXT();
+  }
+
+  HANDLER(Returndatacopy) {
+    PRELUDE();
+    Word dst = stack.PopUnsafe();
+    Word src = stack.PopUnsafe();
+    Word len = stack.PopUnsafe();
+    if (!dst.value.FitsU64() || !len.value.FitsU64()) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    uint64_t src_off = src.value.FitsU64() ? src.value.low64() : UINT64_MAX;
+    if (!memory.CopyIn(dst.value.low64(), return_data, src_off,
+                       len.value.low64())) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    NEXT();
+  }
+
+  HANDLER(Blockhash) {
+    PRELUDE();
+    Word n = stack.PopUnsafe();
+    Bytes seed;
+    AppendU64BE(&seed, n.value.low64());
+    auto digest = Keccak256(seed);
+    if (observer_ != nullptr) {
+      observer_->OnBlockRead(
+          {ins->pc, static_cast<Op>(ins->opcode), call.depth});
+    }
+    PUSH_W(Word(U256::FromBytesBE(BytesView(digest.data(), 32)).value(),
+                kTaintBlock));
+    NEXT();
+  }
+
+  HANDLER(BlockRead) {
+    PRELUDE();
+    U256 v;
+    switch (static_cast<Op>(ins->opcode)) {
+      case Op::kCoinbase:
+        v = block_.coinbase.ToWord();
+        break;
+      case Op::kTimestamp:
+        v = U256(block_.timestamp);
+        break;
+      case Op::kNumber:
+        v = U256(block_.number);
+        break;
+      case Op::kDifficulty:
+        v = block_.difficulty;
+        break;
+      case Op::kGaslimit:
+        v = U256(block_.gas_limit);
+        break;
+      default:
+        break;
+    }
+    if (observer_ != nullptr) {
+      observer_->OnBlockRead(
+          {ins->pc, static_cast<Op>(ins->opcode), call.depth});
+    }
+    PUSH_W(Word(v, kTaintBlock));
+    NEXT();
+  }
+
+  HANDLER(Pop) {
+    PRELUDE();
+    (void)stack.PopUnsafe();
+    NEXT();
+  }
+
+  HANDLER(Mload) {
+    PRELUDE();
+    Word off = stack.PopUnsafe();
+    if (!off.value.FitsU64()) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    U256 v;
+    if (!memory.Load32(off.value.low64(), &v)) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    MemTag tag = mem_tag_load(off.value.low64());
+    Word loaded(v, tag.taint);
+    loaded.call_id = tag.call_id;
+    PUSH_W(loaded);
+    NEXT();
+  }
+
+  HANDLER(Mstore) {
+    PRELUDE();
+    Word off = stack.PopUnsafe();
+    Word val = stack.PopUnsafe();
+    if (!off.value.FitsU64() ||
+        !memory.Store32(off.value.low64(), val.value)) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    mem_taint_store(off.value.low64(), 32, val.taint, val.call_id);
+    NEXT();
+  }
+
+  HANDLER(Mstore8) {
+    PRELUDE();
+    Word off = stack.PopUnsafe();
+    Word val = stack.PopUnsafe();
+    if (!off.value.FitsU64() ||
+        !memory.Store8(off.value.low64(),
+                       static_cast<uint8_t>(val.value.low64() & 0xff))) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    mem_taint_store(off.value.low64(), 1, val.taint);
+    NEXT();
+  }
+
+  HANDLER(Sload) {
+    PRELUDE();
+    Word key = stack.PopUnsafe();
+    // One account probe for value + taint (Touch pinned the account).
+    const Account* acct = state_->Find(call.to);
+    U256 v = acct ? acct->storage.Load(key.value) : U256::Zero();
+    uint32_t t =
+        kTaintStorage | (acct ? acct->storage.LoadTaint(key.value) : 0);
+    PUSH_W(Word(v, t));
+    NEXT();
+  }
+
+  HANDLER(Sstore) {
+    PRELUDE();
+    if (call.is_static) {
+      return ExecResult{Outcome::kStaticViolation, {}, call.gas - gas};
+    }
+    Word key = stack.PopUnsafe();
+    Word val = stack.PopUnsafe();
+    state_->SetStorage(call.to, key.value, val.value, val.taint);
+    if (observer_ != nullptr) {
+      observer_->OnStore(
+          {ins->pc, key.value, val.value, val.taint, call.depth});
+    }
+    NEXT();
+  }
+
+  HANDLER(Jump) {
+    PRELUDE();
+    Word dest = stack.PopUnsafe();
+    // Same truncation quirk as the byte path: FitsU64, then the low 64 bits
+    // truncated to uint32 before validation.
+    uint32_t d32 = static_cast<uint32_t>(dest.value.low64());
+    if (!dest.value.FitsU64() || d32 >= code.size() || pc_to_insn[d32] < 0) {
+      return ExecResult{Outcome::kBadJump, {}, call.gas - gas};
+    }
+    if (observer_ != nullptr) observer_->OnJump(ins->pc, d32, call.depth);
+    ip = static_cast<size_t>(pc_to_insn[d32]);
+    DISPATCH();
+  }
+
+  HANDLER(Jumpi) {
+    PRELUDE();
+    Word dest = stack.PopUnsafe();
+    Word cond = stack.PopUnsafe();
+    bool taken = !cond.value.IsZero();
+    if (observer_ != nullptr) {
+      BranchEvent ev;
+      ev.pc = ins->pc;
+      ev.dest = dest.value.FitsU64()
+                    ? static_cast<uint32_t>(dest.value.low64())
+                    : 0;
+      ev.taken = taken;
+      ev.cmp_id = cond.cmp_id;
+      ev.call_id = cond.call_id;
+      ev.cond_taint = cond.taint;
+      ev.depth = call.depth;
+      observer_->OnBranch(ev);
+      if (cond.call_id >= 0) {
+        observer_->OnCallResultChecked(cond.call_id);
+      }
+    }
+    if (cond.taint & kTaintCaller) caller_guard_seen = true;
+    if (taken) {
+      uint32_t d32 = static_cast<uint32_t>(dest.value.low64());
+      if (!dest.value.FitsU64() || d32 >= code.size() ||
+          pc_to_insn[d32] < 0) {
+        return ExecResult{Outcome::kBadJump, {}, call.gas - gas};
+      }
+      ip = static_cast<size_t>(pc_to_insn[d32]);
+      DISPATCH();
+    }
+    NEXT();
+  }
+
+  HANDLER(Pc) {
+    PRELUDE();
+    PUSH_W(Word(U256(ins->pc)));
+    NEXT();
+  }
+
+  HANDLER(Msize) {
+    PRELUDE();
+    PUSH_W(Word(U256(memory.SizeWords() * 32)));
+    NEXT();
+  }
+
+  HANDLER(Gas) {
+    PRELUDE();
+    PUSH_W(Word(U256(gas)));
+    NEXT();
+  }
+
+  HANDLER(Jumpdest) {
+    PRELUDE();
+    NEXT();
+  }
+
+  HANDLER(ReturnRevert) {
+    PRELUDE();
+    Word off = stack.PopUnsafe();
+    Word len = stack.PopUnsafe();
+    Bytes out;
+    if (off.value.FitsU64() && len.value.FitsU64()) {
+      if (!memory.CopyOut(off.value.low64(), len.value.low64(), &out)) {
+        return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+      }
+    }
+    return ExecResult{static_cast<Op>(ins->opcode) == Op::kReturn
+                          ? Outcome::kSuccess
+                          : Outcome::kRevert,
+                      std::move(out), call.gas - gas};
+  }
+
+  HANDLER(Invalid) {
+    PRELUDE();
+    return ExecResult{Outcome::kInvalidOp, {}, call.gas};
+  }
+
+  HANDLER(Selfdestruct) {
+    PRELUDE();
+    if (call.is_static) {
+      return ExecResult{Outcome::kStaticViolation, {}, call.gas - gas};
+    }
+    Word beneficiary = stack.PopUnsafe();
+    Address to = Address::FromWord(beneficiary.value);
+    U256 balance = state_->GetBalance(call.to);
+    state_->SetBalance(call.to, U256::Zero());
+    state_->MarkSelfDestructed(call.to);
+    // Read `to` after zeroing the self balance so to == self nets right.
+    state_->SetBalance(to, state_->GetBalance(to) + balance);
+    if (observer_ != nullptr) {
+      observer_->OnSelfdestruct(
+          {ins->pc, to, caller_guard_seen, call.depth});
+    }
+    return ExecResult{Outcome::kSuccess, {}, call.gas - gas};
+  }
+
+  HANDLER(Create) {
+    PRELUDE();
+    // Contract creation from within contracts is out of scope for the
+    // MiniSol corpus; treat as an invalid operation.
+    return ExecResult{Outcome::kInvalidOp, {}, call.gas};
+  }
+
+  HANDLER(CallFamily) {
+    PRELUDE();
+    const Op op = static_cast<Op>(ins->opcode);
+    bool has_value = (op == Op::kCall || op == Op::kCallcode);
+    Word gas_w = stack.PopUnsafe();
+    Word to_w = stack.PopUnsafe();
+    Word value_w;
+    if (has_value) value_w = stack.PopUnsafe();
+    Word in_off = stack.PopUnsafe();
+    Word in_len = stack.PopUnsafe();
+    Word out_off = stack.PopUnsafe();
+    Word out_len = stack.PopUnsafe();
+
+    if (!in_off.value.FitsU64() || !in_len.value.FitsU64() ||
+        !out_off.value.FitsU64() || !out_len.value.FitsU64()) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+    Bytes input;
+    if (!memory.CopyOut(in_off.value.low64(), in_len.value.low64(),
+                        &input)) {
+      return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+    }
+
+    Address target = Address::FromWord(to_w.value);
+    U256 value = has_value ? value_w.value : U256::Zero();
+    if (!value.IsZero()) {
+      if (!charge(9000)) return out_of_gas();
+    }
+    uint64_t gas_requested =
+        gas_w.value.FitsU64() ? gas_w.value.low64() : gas;
+    uint64_t gas_forwarded = std::min(gas_requested, gas);
+    if (!value.IsZero()) gas_forwarded += 2300;  // call stipend
+
+    int32_t call_id = next_call_id_++;
+    CallEvent ev;
+    ev.pc = ins->pc;
+    ev.kind = op;
+    ev.target = target;
+    ev.value = value;
+    ev.gas = gas_forwarded;
+    ev.target_taint = to_w.taint;
+    ev.value_taint = has_value ? value_w.taint : kTaintNone;
+    ev.depth = call.depth;
+    ev.call_id = call_id;
+    ev.caller_guard_seen = caller_guard_seen;
+
+    bool success = false;
+    Bytes child_output;
+    const Account* target_acct = state_->Find(target);
+    bool target_has_code = target_acct != nullptr &&
+                           target_acct->HasCode() &&
+                           op != Op::kCallcode;
+    ev.to_external = !target_has_code;
+
+    if (call.is_static && !value.IsZero()) {
+      success = false;
+    } else if (target_has_code) {
+      // Nested message call into another in-state contract.
+      MessageCall child;
+      if (op == Op::kDelegatecall) {
+        child.to = call.to;              // keep storage context
+        child.code_address = target;     // borrow code
+        child.caller = call.caller;
+        child.value = call.value;
+      } else {
+        child.to = target;
+        child.code_address = target;
+        child.caller = call.to;
+        child.value = value;
+      }
+      child.origin = call.origin;
+      child.data = input;
+      child.gas = gas_forwarded;
+      child.is_static = call.is_static || op == Op::kStaticcall;
+      child.depth = call.depth + 1;
+
+      size_t snapshot = state_->Snapshot();
+      bool transfer_ok = true;
+      if (!value.IsZero() && op == Op::kCall) {
+        transfer_ok = state_->Transfer(call.to, target, value);
+      }
+      if (transfer_ok) {
+        ExecResult child_result = RunFrame(child);
+        uint64_t used = std::min(child_result.gas_used, gas);
+        gas -= used;
+        success = child_result.Success();
+        child_output = std::move(child_result.output);
+        if (success) {
+          state_->Commit(snapshot);
+        } else {
+          state_->RevertTo(snapshot);
+        }
+      } else {
+        state_->RevertTo(snapshot);
+        success = false;
+      }
+    } else {
+      // External (code-less) target: host decides; value moves first.
+      bool transfer_ok = true;
+      if (!value.IsZero()) {
+        transfer_ok = state_->Transfer(call.to, target, value);
+      }
+      if (transfer_ok) {
+        ExternalCallRequest req;
+        req.caller = call.to;
+        req.target = target;
+        req.value = value;
+        req.data = input;
+        req.gas = gas_forwarded;
+        req.kind = op;
+        req.depth = call.depth;
+        ExternalCallOutcome outcome = host_->OnExternalCall(req, this);
+        success = outcome.success;
+        child_output = std::move(outcome.return_data);
+        if (!success && !value.IsZero()) {
+          // Failed call returns the value.
+          state_->Transfer(target, call.to, value);
+        }
+      } else {
+        success = false;
+      }
+    }
+
+    ev.success = success;
+    if (observer_ != nullptr) observer_->OnCall(ev);
+
+    return_data = child_output;
+    uint64_t copy_len =
+        std::min<uint64_t>(out_len.value.low64(), child_output.size());
+    if (copy_len > 0) {
+      if (!memory.CopyIn(out_off.value.low64(), child_output, 0,
+                         copy_len)) {
+        return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
+      }
+    }
+    Word status(success ? U256::One() : U256::Zero(), kTaintCallResult);
+    status.call_id = call_id;
+    PUSH_W(status);
+    NEXT();
+  }
+
+  HANDLER(Push) {
+    PRELUDE();
+    PUSH_W(Word(ins->immediate));
+    NEXT();
+  }
+
+  HANDLER(Dup) {
+    PRELUDE();
+    int n = DupDepth(ins->opcode);
+    if (checked) {
+      if (!stack.Dup(n)) return stack_err();
+    } else {
+      stack.PushUnsafe(Word(stack.TopUnsafe(n - 1)));
+    }
+    NEXT();
+  }
+
+  HANDLER(Swap) {
+    PRELUDE();
+    int n = SwapDepth(ins->opcode);
+    if (checked) {
+      if (!stack.Swap(n)) return stack_err();
+    } else {
+      stack.SwapUnsafe(n);
+    }
+    NEXT();
+  }
+
+  HANDLER(Log) {
+    PRELUDE();
+    (void)stack.PopUnsafe();
+    (void)stack.PopUnsafe();
+    for (int i = 0; i < LogTopics(ins->opcode); ++i) {
+      (void)stack.PopUnsafe();
+    }
+    NEXT();
+  }
+
+  HANDLER(Undefined) {
+    // The byte path bails before OnStep and the gas charge — but after the
+    // step-limit bump.
+    if (++steps_ > config_.max_steps) {
+      return ExecResult{Outcome::kStepLimit, {}, call.gas - gas};
+    }
+    return ExecResult{Outcome::kInvalidOp, {}, call.gas};
+  }
+
+  HANDLER(PushJump) {
+    // PUSH component. The pushed word is consumed by the JUMP immediately,
+    // so it never materializes — but the overflow the byte path would hit
+    // must still be reported in checked mode.
+    BOOKKEEP(ins->pc, ins->opcode, ins->gas);
+    if (checked && stack.size() >= Stack::kMaxDepth) return stack_err();
+    // JUMP component (its arity is satisfied by the virtual push).
+    BOOKKEEP(ins->pc2, ins->opcode2, ins->gas2);
+    if (ins->jump_target < 0) {
+      return ExecResult{Outcome::kBadJump, {}, call.gas - gas};
+    }
+    if (observer_ != nullptr) {
+      observer_->OnJump(ins->pc2,
+                        static_cast<uint32_t>(ins->immediate.low64()),
+                        call.depth);
+    }
+    ip = static_cast<size_t>(ins->jump_target);
+    DISPATCH();
+  }
+
+  HANDLER(PushJumpi) {
+    // PUSH dest component.
+    BOOKKEEP(ins->pc, ins->opcode, ins->gas);
+    if (checked && stack.size() >= Stack::kMaxDepth) return stack_err();
+    // JUMPI component: needs the condition under the virtual dest.
+    BOOKKEEP(ins->pc2, ins->opcode2, ins->gas2);
+    if (checked && stack.size() < 1) return stack_err();
+    Word cond = stack.PopUnsafe();
+    bool taken = !cond.value.IsZero();
+    if (observer_ != nullptr) {
+      BranchEvent ev;
+      ev.pc = ins->pc2;
+      ev.dest = ins->immediate.FitsU64()
+                    ? static_cast<uint32_t>(ins->immediate.low64())
+                    : 0;
+      ev.taken = taken;
+      ev.cmp_id = cond.cmp_id;
+      ev.call_id = cond.call_id;
+      ev.cond_taint = cond.taint;
+      ev.depth = call.depth;
+      observer_->OnBranch(ev);
+      if (cond.call_id >= 0) {
+        observer_->OnCallResultChecked(cond.call_id);
+      }
+    }
+    if (cond.taint & kTaintCaller) caller_guard_seen = true;
+    if (taken) {
+      if (ins->jump_target < 0) {
+        return ExecResult{Outcome::kBadJump, {}, call.gas - gas};
+      }
+      ip = static_cast<size_t>(ins->jump_target);
+      DISPATCH();
+    }
+    NEXT();
+  }
+
+  HANDLER(DupSload) {
+    // DUPn component: the duplicated key never round-trips through the
+    // stack; it is read in place below.
+    BOOKKEEP(ins->pc, ins->opcode, ins->gas);
+    int n = DupDepth(ins->opcode);
+    if (checked) {
+      if (stack.size() < static_cast<size_t>(n)) return stack_err();
+      if (stack.size() >= Stack::kMaxDepth) return stack_err();
+    }
+    // SLOAD component (arity satisfied by the virtual dup).
+    BOOKKEEP(ins->pc2, ins->opcode2, ins->gas2);
+    U256 key = stack.TopUnsafe(n - 1).value;  // SLOAD discards the key taint
+    const Account* acct = state_->Find(call.to);
+    U256 v = acct ? acct->storage.Load(key) : U256::Zero();
+    uint32_t t = kTaintStorage | (acct ? acct->storage.LoadTaint(key) : 0);
+    // Net effect of DUP + SLOAD is one push; the byte path's SLOAD push can
+    // never overflow after the dup succeeded, so the unchecked push is
+    // exact in both modes.
+    stack.PushUnsafe(Word(v, t));
+    NEXT();
+  }
+
+  HANDLER(PushPushArith) {
+    // PUSH a component.
+    BOOKKEEP(ins->pc, ins->opcode, ins->gas);
+    if (checked && stack.size() >= Stack::kMaxDepth) return stack_err();
+    // PUSH b component: the byte path pushes a first, so its overflow
+    // threshold is one lower.
+    BOOKKEEP(ins->pc2, ins->opcode2, ins->gas2);
+    if (checked && stack.size() + 1 >= Stack::kMaxDepth) return stack_err();
+    // Folded arithmetic component (arity satisfied by the virtual pushes).
+    BOOKKEEP(ins->pc3, ins->opcode3, ins->gas3);
+    if (ins->folded_overflow && observer_ != nullptr) {
+      observer_->OnOverflow({ins->pc3, static_cast<Op>(ins->opcode3),
+                             kTaintNone, false, call.depth});
+    }
+    PUSH_W(Word(ins->immediate));
+    NEXT();
+  }
+
+  HANDLER(End) {
+    // Fell off the end of the code: implicit STOP (no step, no charge).
+    return ExecResult{Outcome::kSuccess, {}, call.gas - gas};
+  }
+
+#ifndef MUFUZZ_THREADED_DISPATCH
+  }
+  // Unreachable: every IrOp has a case and every case returns or jumps.
+  return ExecResult{Outcome::kSuccess, {}, call.gas - gas};
+#endif
+
+#undef NEXT
+#undef DISPATCH
+#undef HANDLER
+#undef PUSH_W
+#undef PRELUDE
+#undef BOOKKEEP
+#ifdef MUFUZZ_LABEL_ENTRY
+#undef MUFUZZ_LABEL_ENTRY
+#endif
+}
+
+#undef MUFUZZ_IR_OPS
+
+}  // namespace mufuzz::evm

@@ -66,6 +66,31 @@ class Stack {
     return true;
   }
 
+  // Unchecked accessors for the decoded-dispatch loop: a block whose entry
+  // height covers its deepest pop and whose peak growth stays under
+  // kMaxDepth (proven at decode time, checked once per block) skips the
+  // per-op bounds tests. Callers outside that proof must use the checked
+  // variants above.
+
+  void PushUnsafe(Word w) { items_.push_back(std::move(w)); }
+
+  Word PopUnsafe() {
+    Word w = std::move(items_.back());
+    items_.pop_back();
+    return w;
+  }
+
+  /// Reference to the item `depth` below the top (0 == top). Invalidated by
+  /// the next push.
+  const Word& TopUnsafe(size_t depth = 0) const {
+    return items_[items_.size() - 1 - depth];
+  }
+
+  /// SWAPn without the depth check.
+  void SwapUnsafe(int depth) {
+    std::swap(items_.back(), items_[items_.size() - 1 - depth]);
+  }
+
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
   void Clear() { items_.clear(); }

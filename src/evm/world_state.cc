@@ -54,6 +54,7 @@ void WorldState::SetCode(const Address& addr, Bytes code) {
     journal_.push_back(std::move(e));
   }
   a.code = std::move(code);
+  a.decoded.reset();  // the memoized IR no longer matches the bytes
 }
 
 void WorldState::SetStorage(const Address& addr, const U256& key,
@@ -107,7 +108,10 @@ void WorldState::UnwindTo(size_t mark) {
         }
         break;
       case JournalEntry::Kind::kCode:
-        if (it != accounts_.end()) it->second.code = std::move(e.prev_code);
+        if (it != accounts_.end()) {
+          it->second.code = std::move(e.prev_code);
+          it->second.decoded.reset();
+        }
         break;
       case JournalEntry::Kind::kSelfDestructed:
         if (it != accounts_.end()) it->second.self_destructed = e.prev_flag;

@@ -2,6 +2,7 @@
 #define MUFUZZ_EVM_WORLD_STATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "common/u256.h"
 
 namespace mufuzz::evm {
+
+struct DecodedCode;
 
 /// Persistent key-value storage of one account (the contract Storage of
 /// §II-A). Missing keys read as zero; writing zero erases the key so that
@@ -104,6 +107,13 @@ struct Account {
   Bytes code;
   Storage storage;
   bool self_destructed = false;
+
+  /// Decode memo: the cached IR for `code`, filled lazily by the
+  /// interpreter on first frame entry so repeat executions skip the
+  /// keccak-keyed cache probe. Invalidated by SetCode (and its journal
+  /// undo). Mutable because it is a cache over the read-only view WorldState
+  /// exposes; excluded from operator== — it is never observable state.
+  mutable std::shared_ptr<const DecodedCode> decoded;
 
   bool HasCode() const { return !code.empty(); }
 

@@ -383,11 +383,13 @@ Campaign::Progress Campaign::SnapshotProgress() const {
   progress.transactions = result_.transactions;
   progress.coverage = feedback_->coverage().Fraction();
   progress.bugs_found = result_.bugs.size();
+  progress.code_cache = backend_->code_cache_stats();
   return progress;
 }
 
 CampaignResult Campaign::Finalize() {
   result_.cancelled = cancelled_;
+  result_.code_cache = backend_->code_cache_stats();
   if (contract_.IsZero()) return result_;
 
   // Canonical finalize view: the last executed plan's residue is

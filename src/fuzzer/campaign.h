@@ -153,6 +153,9 @@ class Campaign {
     uint64_t transactions = 0;
     double coverage = 0;     ///< branch-coverage fraction so far
     size_t bugs_found = 0;   ///< raw (pre-dedup) oracle reports so far
+    /// Code-cache counters at snapshot time (diagnostics; see
+    /// CampaignResult::code_cache for the caveats).
+    evm::CodeCacheStats code_cache;
   };
   Progress SnapshotProgress() const;
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/bug_types.h"
+#include "evm/code_cache.h"
 #include "fuzzer/seed_scheduler.h"
 
 namespace mufuzz::fuzzer {
@@ -43,14 +44,33 @@ struct CampaignResult {
   /// but valid: every counter, curve point, and bug report reflects the
   /// executions that actually completed.
   bool cancelled = false;
+  /// Code-cache counters sampled at finalization. Diagnostics only: the
+  /// cache is usually process-wide, so hits/misses depend on what else ran
+  /// in the process (other campaigns, worker replica count) — which is why
+  /// operator== below excludes this field.
+  evm::CodeCacheStats code_cache;
 
   bool Found(analysis::BugClass bug) const {
     return bug_classes.contains(bug);
   }
 
-  /// Field-for-field equality — what the determinism tests assert when they
-  /// compare the serial path against the parallel runner.
-  bool operator==(const CampaignResult&) const = default;
+  /// Field-for-field equality over the deterministic fields — what the
+  /// determinism tests assert when they compare the serial path against the
+  /// parallel runner. `code_cache` is deliberately excluded: cache traffic
+  /// varies with scheduling and sharing, results must not.
+  bool operator==(const CampaignResult& o) const {
+    return branch_coverage == o.branch_coverage &&
+           user_branch_coverage == o.user_branch_coverage &&
+           covered_branches == o.covered_branches &&
+           total_jumpis == o.total_jumpis &&
+           coverage_curve == o.coverage_curve && bugs == o.bugs &&
+           bug_classes == o.bug_classes && executions == o.executions &&
+           transactions == o.transactions &&
+           instructions == o.instructions &&
+           masks_computed == o.masks_computed &&
+           queue_stats == o.queue_stats && island_id == o.island_id &&
+           cancelled == o.cancelled;
+  }
 };
 
 }  // namespace mufuzz::fuzzer
