@@ -50,7 +50,8 @@ inline std::optional<fuzzer::CampaignResult> RunOne(
 /// bit-for-bit.
 inline std::vector<engine::FuzzJob> MakeDatasetJobs(
     const std::vector<corpus::CorpusEntry>& dataset,
-    const fuzzer::StrategyConfig& strategy, int execs, uint64_t base_seed) {
+    const fuzzer::StrategyConfig& strategy, int execs, uint64_t base_seed,
+    evm::DispatchMode dispatch = evm::DispatchMode::kDecoded) {
   std::vector<engine::FuzzJob> jobs;
   jobs.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
@@ -60,6 +61,7 @@ inline std::vector<engine::FuzzJob> MakeDatasetJobs(
     job.config.strategy = strategy;
     job.config.seed = base_seed + i;
     job.config.max_executions = execs;
+    job.config.dispatch = dispatch;
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -73,7 +75,7 @@ inline std::vector<engine::FuzzJob> MakeDatasetJobs(
 inline std::vector<engine::FuzzJob> MakeIslandJobs(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t base_seed,
-    int islands) {
+    int islands, evm::DispatchMode dispatch = evm::DispatchMode::kDecoded) {
   std::vector<engine::FuzzJob> jobs;
   jobs.reserve(dataset.size() * static_cast<size_t>(islands));
   for (size_t i = 0; i < dataset.size(); ++i) {
@@ -85,6 +87,7 @@ inline std::vector<engine::FuzzJob> MakeIslandJobs(
       job.config.seed = base_seed + i * static_cast<uint64_t>(islands) +
                         static_cast<uint64_t>(k);
       job.config.max_executions = execs;
+      job.config.dispatch = dispatch;
       job.island_group = static_cast<int>(i);
       jobs.push_back(std::move(job));
     }
@@ -153,18 +156,23 @@ inline std::vector<engine::JobOutcome> StreamJobs(
 /// CI bench-smoke migration diff checks. With `stream` the jobs go through
 /// a live FuzzService one at a time instead of the batch shim — identical
 /// output by the service determinism contract (the reproduce harness diffs
-/// the two).
+/// the two). `dispatch` selects the interpreter tier (kJit tier-compiles
+/// hot contracts); it is a throughput knob, never a semantics knob, so the
+/// aggregate must be identical across modes (the reproduce harness diffs
+/// that too).
 inline AggregateCoverage AggregateOverDataset(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
     int points = 20, int workers = 0, int islands = 1,
     int exchange_interval = 0, int migration_top_k = 2, int wave_size = 0,
-    int backend_workers = 0, bool stream = false) {
+    int backend_workers = 0, bool stream = false,
+    evm::DispatchMode dispatch = evm::DispatchMode::kDecoded) {
   AggregateCoverage agg;
   agg.curve.assign(points, 0);
   std::vector<engine::FuzzJob> jobs =
-      islands > 1 ? MakeIslandJobs(dataset, strategy, execs, seed, islands)
-                  : MakeDatasetJobs(dataset, strategy, execs, seed);
+      islands > 1
+          ? MakeIslandJobs(dataset, strategy, execs, seed, islands, dispatch)
+          : MakeDatasetJobs(dataset, strategy, execs, seed, dispatch);
   std::vector<engine::JobOutcome> outcomes;
   if (stream) {
     engine::ServiceOptions options;

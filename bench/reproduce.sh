@@ -75,6 +75,19 @@ if [ "$MODE" != "--update" ]; then
   fi
 fi
 
+# JIT leg: fig6 with every campaign's interpreter on the native tier
+# (trailing `1` = kJit dispatch) must match the decoded-dispatch golden
+# bit-for-bit — the tier is throughput, never semantics.
+if [ "$MODE" != "--update" ]; then
+  echo "[reproduce] fig6 decoded dispatch vs jit native tier"
+  (cd "$BUILD_DIR" && ./fig6_overall_coverage 4 2 1 1 0 0 0 0 1) 2>/dev/null \
+    | strip_volatile > "$OUT_DIR/fig6_jit.txt"
+  if ! diff -u "$GOLDEN_DIR/fig6.txt" "$OUT_DIR/fig6_jit.txt"; then
+    echo "[reproduce] DIFF: jit tier diverged from decoded dispatch" >&2
+    status=1
+  fi
+fi
+
 # Service leg: fig6 streamed job-by-job into a live FuzzService (trailing
 # `1` = stream mode) must match the batch compat shim bit-for-bit — the
 # submission pattern is scheduling, never semantics.

@@ -259,6 +259,28 @@ std::vector<SequenceOutcome> AsyncBackendAdapter::WaitBatch(
   return outcomes;
 }
 
+CodeCacheStats AsyncBackendAdapter::code_cache_stats() const {
+  CodeCacheStats total;
+  std::vector<const CodeCache*> seen;
+  for (const Worker& w : workers_) {
+    const CodeCache* cache = w.backend->code_cache();
+    if (cache == nullptr) continue;
+    if (std::find(seen.begin(), seen.end(), cache) != seen.end()) continue;
+    seen.push_back(cache);
+    CodeCacheStats s = w.backend->code_cache_stats();
+    total.entries += s.entries;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.decode_ns += s.decode_ns;
+    total.jit_compiled += s.jit_compiled;
+    total.jit_compile_ns += s.jit_compile_ns;
+    total.jit_bailouts += s.jit_bailouts;
+    total.jit_frames += s.jit_frames;
+    total.interp_frames += s.interp_frames;
+  }
+  return total;
+}
+
 const WorldState& AsyncBackendAdapter::state() const {
   CheckBound("state");
   return workers_.front().backend->state();

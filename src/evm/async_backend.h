@@ -162,12 +162,11 @@ class AsyncBackendAdapter : public ExecutionBackend {
     return static_cast<int>(workers_.size());
   }
 
-  /// All replicas decode through the same cache (the process-wide one by
-  /// default), so worker 0's view is the shared truth.
-  CodeCacheStats code_cache_stats() const override {
-    return workers_.empty() ? CodeCacheStats{}
-                            : workers_[0].backend->code_cache_stats();
-  }
+  /// Aggregates over the distinct caches behind the replicas. Typically all
+  /// replicas share the process-wide cache and this degenerates to one
+  /// snapshot — but a config that gives workers private caches used to have
+  /// every non-worker-0 counter silently dropped here.
+  CodeCacheStats code_cache_stats() const override;
 
   /// Worker 0's world state. Setup ops fan out identically, but after
   /// execution each worker carries the residue of the last plan it

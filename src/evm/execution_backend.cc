@@ -126,6 +126,11 @@ CodeCacheStats SessionBackend::code_cache_stats() const {
   return session_->interpreter().code_cache()->stats();
 }
 
+const CodeCache* SessionBackend::code_cache() const {
+  if (!session_.has_value()) return nullptr;
+  return session_->interpreter().code_cache();
+}
+
 const WorldState& SessionBackend::state() const {
   CheckBound();
   return session_->state();

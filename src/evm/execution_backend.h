@@ -188,6 +188,10 @@ class SessionBackend : public ExecutionBackend {
   bool bound() const { return session_.has_value(); }
   /// Escape hatch for callers that need the raw session (tests, tooling).
   ChainSession& session() { return *session_; }
+  /// The cache this backend's interpreter decodes (and JIT-compiles)
+  /// through; nullptr when unbound. Adapters aggregating stats across
+  /// replicas use the identity to avoid double-counting a shared cache.
+  const CodeCache* code_cache() const;
 
  private:
   /// Aborts with a diagnostic when used before Bind() — a contract

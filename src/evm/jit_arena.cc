@@ -1,0 +1,68 @@
+#include "evm/jit_arena.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define MUFUZZ_JIT_ARENA_MMAP 1
+#endif
+
+namespace mufuzz::evm {
+
+JitArena::~JitArena() { Release(); }
+
+JitArena::JitArena(JitArena&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      sealed_(std::exchange(other.sealed_, false)) {}
+
+JitArena& JitArena::operator=(JitArena&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    sealed_ = std::exchange(other.sealed_, false);
+  }
+  return *this;
+}
+
+bool JitArena::Allocate(size_t size) {
+#ifdef MUFUZZ_JIT_ARENA_MMAP
+  if (data_ != nullptr || size == 0) return false;
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t rounded = (size + page - 1) / page * page;
+  void* p = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return false;
+  data_ = static_cast<uint8_t*>(p);
+  size_ = rounded;
+  sealed_ = false;
+  return true;
+#else
+  (void)size;
+  return false;
+#endif
+}
+
+bool JitArena::Seal() {
+#ifdef MUFUZZ_JIT_ARENA_MMAP
+  if (data_ == nullptr || sealed_) return false;
+  if (mprotect(data_, size_, PROT_READ | PROT_EXEC) != 0) return false;
+  sealed_ = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+void JitArena::Release() {
+#ifdef MUFUZZ_JIT_ARENA_MMAP
+  if (data_ != nullptr) munmap(data_, size_);
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  sealed_ = false;
+}
+
+}  // namespace mufuzz::evm

@@ -1,0 +1,50 @@
+#ifndef MUFUZZ_EVM_JIT_ARENA_H_
+#define MUFUZZ_EVM_JIT_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mufuzz::evm {
+
+/// A W^X-correct slab of executable memory for one compiled contract.
+///
+/// Lifecycle: Allocate() maps the slab read-write, the compiler memcpys the
+/// emitted code in, Seal() remaps it read-execute. The mapping is never
+/// writable and executable at the same time, so the process stays compatible
+/// with hardened kernels (PaX/SELinux `deny_execmem`-style policies would
+/// still veto PROT_EXEC; on those systems Allocate() fails and the caller
+/// falls back to the interpreter).
+class JitArena {
+ public:
+  JitArena() = default;
+  ~JitArena();
+
+  JitArena(const JitArena&) = delete;
+  JitArena& operator=(const JitArena&) = delete;
+  JitArena(JitArena&& other) noexcept;
+  JitArena& operator=(JitArena&& other) noexcept;
+
+  /// Maps at least `size` bytes read-write. Returns false on mmap failure
+  /// (out of address space, execmem policy); the arena stays empty.
+  bool Allocate(size_t size);
+
+  /// Flips the mapping to read-execute. Call exactly once, after the code
+  /// has been copied in. Returns false if mprotect is refused.
+  bool Seal();
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool sealed() const { return sealed_; }
+
+ private:
+  void Release();
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;  ///< mapped size (page-rounded)
+  bool sealed_ = false;
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_JIT_ARENA_H_

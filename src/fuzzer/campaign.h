@@ -46,6 +46,14 @@ struct CampaignConfig {
   /// SessionBackend — the wave pipeline then overlaps mutation planning
   /// with execution.
   int async_workers = 0;
+
+  // ------------------------------------------------------ Execution tier --
+  /// Dispatch tier the campaign's interpreter runs (kDecoded default;
+  /// kJit tier-compiles hot contracts). Results are bit-for-bit identical
+  /// across all modes — this is a throughput knob, not a semantics knob.
+  evm::DispatchMode dispatch = evm::DispatchMode::kDecoded;
+  /// kJit tier-up threshold (see EvmConfig::jit_threshold).
+  uint64_t jit_threshold = 8;
 };
 
 /// One fuzzing campaign over one contract: deploy once, then iterate
