@@ -159,14 +159,18 @@ inline std::vector<engine::JobOutcome> StreamJobs(
 /// the two). `dispatch` selects the interpreter tier (kJit tier-compiles
 /// hot contracts); it is a throughput knob, never a semantics knob, so the
 /// aggregate must be identical across modes (the reproduce harness diffs
-/// that too).
+/// that too). `fanout` > 0 overrides every job's speculative expansion
+/// width K — like wave_size it is part of the reproducibility key, and like
+/// wave_size the aggregate stays identical across worker counts (the
+/// reproduce harness's fan-out leg diffs that).
 inline AggregateCoverage AggregateOverDataset(
     const std::vector<corpus::CorpusEntry>& dataset,
     const fuzzer::StrategyConfig& strategy, int execs, uint64_t seed,
     int points = 20, int workers = 0, int islands = 1,
     int exchange_interval = 0, int migration_top_k = 2, int wave_size = 0,
     int backend_workers = 0, bool stream = false,
-    evm::DispatchMode dispatch = evm::DispatchMode::kDecoded) {
+    evm::DispatchMode dispatch = evm::DispatchMode::kDecoded,
+    int fanout = 0) {
   AggregateCoverage agg;
   agg.curve.assign(points, 0);
   std::vector<engine::FuzzJob> jobs =
@@ -180,6 +184,7 @@ inline AggregateCoverage AggregateOverDataset(
     options.exchange_interval = exchange_interval;
     options.migration_top_k = migration_top_k;
     options.wave_size = wave_size;
+    options.fanout = fanout;
     options.backend_workers = backend_workers;
     outcomes = StreamJobs(jobs, options);
   } else {
@@ -188,6 +193,7 @@ inline AggregateCoverage AggregateOverDataset(
     options.exchange_interval = exchange_interval;
     options.migration_top_k = migration_top_k;
     options.wave_size = wave_size;
+    options.fanout = fanout;
     options.backend_workers = backend_workers;
     outcomes = engine::RunBatch(jobs, options);
   }

@@ -41,6 +41,11 @@ int main(int argc, char** argv) {
       (argc > 9 && std::atoi(argv[9]) != 0)
           ? mufuzz::evm::DispatchMode::kJit
           : mufuzz::evm::DispatchMode::kDecoded;
+  // Optional speculative fan-out: K parents expanded per campaign round.
+  // Like W, K changes results (it is part of the reproducibility key), so
+  // the reproduce harness diffs a fixed K across worker counts rather than
+  // against the serial golden.
+  int fanout = argc > 10 ? std::atoi(argv[10]) : 0;
   auto wall_start = std::chrono::steady_clock::now();
 
   auto small = mufuzz::corpus::BuildD1Small(small_n, seed);
@@ -68,6 +73,12 @@ int main(int argc, char** argv) {
     // "worker" keeps this line inside the CI diff's volatile-line filter.
     std::printf("submission: streamed into a FuzzService (worker mode)\n");
   }
+  if (fanout > 0) {
+    // "worker" keeps this line inside the CI diff's volatile-line filter.
+    std::printf("speculative fan-out: K=%d parents per round "
+                "(worker-count independent)\n",
+                fanout);
+  }
   if (dispatch == mufuzz::evm::DispatchMode::kJit) {
     // "worker" keeps this line inside the CI diff's volatile-line filter.
     std::printf("dispatch: jit native tier on each worker\n");
@@ -81,14 +92,14 @@ int main(int argc, char** argv) {
     double s = AggregateOverDataset(small, tool, 400, seed, /*points=*/20,
                                     workers, islands, exchange_interval,
                                     /*migration_top_k=*/2, wave_size,
-                                    backend_workers, stream, dispatch)
+                                    backend_workers, stream, dispatch, fanout)
                    .mean_final *
                100.0;
     double l = AggregateOverDataset(large, tool, 500, seed + 777,
                                     /*points=*/20, workers, islands,
                                     exchange_interval, /*migration_top_k=*/2,
                                     wave_size, backend_workers, stream,
-                                    dispatch)
+                                    dispatch, fanout)
                    .mean_final *
                100.0;
     std::printf("%-12s %15.1f%% %15.1f%% %9.1f%%\n", tool.name.c_str(), s, l,

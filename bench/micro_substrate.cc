@@ -280,6 +280,27 @@ void BM_PipelinedCampaign(benchmark::State& state) {
 BENCHMARK(BM_PipelinedCampaign)->Arg(0)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Speculative multi-parent expansion over the async hub: Arg = fan-out K
+/// (parents expanded per round, one wave per parent in flight). K=1 is the
+/// serial parent chain on the same substrate — the baseline the wider rows
+/// beat by keeping more independent work queued at the execution workers.
+/// Results depend on K (it is part of the reproducibility key) but, per
+/// row, never on the workers draining the hub.
+void BM_SpeculativeCampaign(benchmark::State& state) {
+  auto artifact = lang::CompileContract(corpus::CrowdsaleExample().source);
+  for (auto _ : state) {
+    fuzzer::CampaignConfig config;
+    config.seed = 1;
+    config.max_executions = 100;
+    config.wave_size = 8;
+    config.fanout = static_cast<int>(state.range(0));
+    config.async_workers = 4;
+    benchmark::DoNotOptimize(fuzzer::RunCampaign(*artifact, config));
+  }
+}
+BENCHMARK(BM_SpeculativeCampaign)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 /// A batch of campaigns through the engine layer at varying worker counts —
 /// the fan-out path every table/figure bench now rides on. Arg = workers.
 void BM_ParallelBatchCampaigns(benchmark::State& state) {

@@ -75,6 +75,22 @@ if [ "$MODE" != "--update" ]; then
   fi
 fi
 
+# Fan-out leg: fig6 with speculative expansion K=4 (trailing `4` = fanout)
+# must be bit-for-bit identical whether the runner and backend use 1 worker
+# or 4 — K widens the schedule, worker counts must still never touch it.
+if [ "$MODE" != "--update" ]; then
+  echo "[reproduce] fig6 fan-out K=4 worker-count independence"
+  (cd "$BUILD_DIR" && ./fig6_overall_coverage 4 2 1 1 0 4 1 0 0 4) \
+    2>/dev/null | strip_volatile > "$OUT_DIR/fig6_fanout_w1.txt"
+  (cd "$BUILD_DIR" && ./fig6_overall_coverage 4 2 1 4 0 4 4 0 0 4) \
+    2>/dev/null | strip_volatile > "$OUT_DIR/fig6_fanout_w4.txt"
+  if ! diff -u "$OUT_DIR/fig6_fanout_w1.txt" "$OUT_DIR/fig6_fanout_w4.txt"
+  then
+    echo "[reproduce] DIFF: fan-out results depend on worker count" >&2
+    status=1
+  fi
+fi
+
 # JIT leg: fig6 with every campaign's interpreter on the native tier
 # (trailing `1` = kJit dispatch) must match the decoded-dispatch golden
 # bit-for-bit — the tier is throughput, never semantics.

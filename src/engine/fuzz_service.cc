@@ -89,10 +89,19 @@ Status FuzzService::ValidateSubmission(const FuzzJob& job) const {
         "ServiceOptions::migration_top_k must be >= 0 (0 = migrate "
         "nothing)");
   }
+  if (options_.fanout < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::fanout must be >= 0 (0 = no override)");
+  }
   if (job.config.wave_size < 0) {
     return Status::InvalidArgument("job \"" + job.name +
                                    "\": CampaignConfig::wave_size must be "
                                    ">= 0 (0/1 = the serial loop)");
+  }
+  if (job.config.fanout < 0) {
+    return Status::InvalidArgument("job \"" + job.name +
+                                   "\": CampaignConfig::fanout must be >= 0 "
+                                   "(0/1 = the serial parent chain)");
   }
   if (job.config.async_workers < 0) {
     return Status::InvalidArgument("job \"" + job.name +
@@ -110,6 +119,7 @@ Status FuzzService::ValidateSubmission(const FuzzJob& job) const {
 fuzzer::CampaignConfig FuzzService::EffectiveConfig(const FuzzJob& job) const {
   fuzzer::CampaignConfig config = job.config;
   if (options_.wave_size > 0) config.wave_size = options_.wave_size;
+  if (options_.fanout > 0) config.fanout = options_.fanout;
   if (options_.backend_workers > 0) {
     // Shared hub: the campaign gets an external hub-bound adapter, so its
     // own async_workers knob must not spin up a second backend. Private
@@ -133,6 +143,7 @@ Result<JobTicket> FuzzService::Submit(FuzzJob job) {
   record->config = EffectiveConfig(record->job);
   record->outcome.name = record->job.name;
   record->progress.state = JobState::kQueued;
+  record->progress.fanout = std::max(1, record->config.fanout);
   live_jobs_.emplace(ticket, record.get());
   jobs_.emplace(ticket, std::move(record));
   work_cv_.notify_all();
@@ -165,6 +176,7 @@ Result<GroupTicket> FuzzService::SubmitIslandGroup(std::vector<FuzzJob> jobs) {
     record->config = EffectiveConfig(record->job);
     record->outcome.name = record->job.name;
     record->progress.state = JobState::kQueued;
+    record->progress.fanout = std::max(1, record->config.fanout);
     record->group = group.get();
     group->members.push_back(record.get());
     group_ticket.members.push_back(ticket);
@@ -533,6 +545,8 @@ void FuzzService::SnapshotProgressLocked(JobRecord* r) {
   r->progress.transactions = p.transactions;
   r->progress.coverage = p.coverage;
   r->progress.bugs_found = p.bugs_found;
+  r->progress.parents_in_flight = p.parents_in_flight;
+  r->progress.inflight_executions = p.inflight_executions;
   r->progress.code_cache = p.code_cache;
   r->progress.round_index =
       r->group != nullptr ? r->group->migration_rounds : r->rounds;
@@ -545,6 +559,10 @@ void FuzzService::MarkDoneLocked(JobRecord* r) {
   if (r->group != nullptr) --r->group->open_members;
   JobProgress& p = r->progress;
   p.state = JobState::kDone;
+  // A finished job has nothing speculative left: the finalize path drained
+  // the set and applied (or accounted for) every submitted child.
+  p.parents_in_flight = 0;
+  p.inflight_executions = 0;
   if (r->outcome.result.has_value()) {
     const fuzzer::CampaignResult& result = *r->outcome.result;
     p.executions = result.executions;

@@ -94,6 +94,17 @@ struct JobProgress {
   /// Completed scheduler rounds: step rounds for a standalone job,
   /// migration rounds for an island member.
   int round_index = 0;
+  /// Effective speculative fan-out (K) the job's campaign runs with —
+  /// parents expanded per selection round (service override applied).
+  int fanout = 1;
+  /// Parents in the campaign's parked speculative set at snapshot time
+  /// (streamed standalone jobs park the whole set across rounds; 0 for
+  /// island members, whose rounds drain, and once the job is done).
+  int parents_in_flight = 0;
+  /// Executions submitted to the backend but not yet applied at snapshot
+  /// time — the speculative waves in flight, so progress keeps moving on
+  /// large waves instead of stalling at round boundaries. 0 once done.
+  uint64_t inflight_executions = 0;
   /// Set once the job finished via the cancel path.
   bool cancelled = false;
   /// Code-cache counters of the job's backend at snapshot time (process-wide
@@ -102,10 +113,10 @@ struct JobProgress {
 };
 
 /// FuzzService knobs. The execution-semantics knobs (`wave_size`,
-/// `exchange_interval`, `migration_top_k`) are part of each job's
-/// reproducibility key; the scheduling knobs (`workers`, `round_quantum`,
-/// `backend_workers`, `share_backend`, `reuse_sessions`) never influence
-/// results.
+/// `fanout`, `exchange_interval`, `migration_top_k`) are part of each
+/// job's reproducibility key; the scheduling knobs (`workers`,
+/// `round_quantum`, `backend_workers`, `share_backend`, `reuse_sessions`)
+/// never influence results.
 struct ServiceOptions {
   /// Worker threads for campaign rounds; <= 0 means DefaultWorkerCount().
   int workers = 0;
@@ -118,6 +129,10 @@ struct ServiceOptions {
   /// > 0 overrides every job's CampaignConfig::wave_size — the pipelined
   /// mode's wave width W (part of the reproducibility key).
   int wave_size = 0;
+  /// > 0 overrides every job's CampaignConfig::fanout — the speculative
+  /// multi-parent expansion width K (part of the reproducibility key,
+  /// exactly like wave_size; 1 = the serial parent chain).
+  int fanout = 0;
   /// > 0 runs every campaign over async execution workers. With
   /// `share_backend` (default) one AsyncExecutionHub with this many
   /// threads serves all campaigns; otherwise each campaign owns a private
@@ -168,9 +183,13 @@ int DefaultWorkerCount();
 ///
 /// ## Determinism contract
 ///
-/// A job's result is a pure function of its own `(config, seed, wave_size)`
-/// — independent of submission order, what else is running, worker count,
-/// scheduling, `round_quantum`, and other jobs being cancelled around it.
+/// A job's result is a pure function of its own `(config, seed, wave_size,
+/// fanout)` — independent of submission order, what else is running, worker
+/// count, scheduling, `round_quantum`, and other jobs being cancelled
+/// around it. A streamed job parks its whole speculative parent set (all K
+/// parents and their in-flight waves) across round boundaries, and Cancel
+/// drains that set — applying every submitted child in (parent rank, child
+/// index) order — before finalizing the partial result.
 /// An island member's result is a pure function of its *group's* jobs and
 /// the (exchange_interval, migration_top_k) pair — members are coupled by
 /// seed migration, by design, but never coupled to jobs outside the group.

@@ -34,6 +34,10 @@ struct RunnerOptions {
   /// mode's wave width W. Campaign results depend on W (documented wave
   /// semantics) but never on worker counts.
   int wave_size = 0;
+  /// > 0 overrides every job's CampaignConfig::fanout — the speculative
+  /// multi-parent expansion width K. Like W, K is part of each job's
+  /// reproducibility key; worker counts still never influence results.
+  int fanout = 0;
   /// > 0 runs every campaign over async execution workers — one shared
   /// AsyncExecutionHub with this many threads serves the whole batch (see
   /// ServiceOptions::share_backend).

@@ -30,7 +30,13 @@ class AsyncBackendAdapter;
 /// Determinism: a plan's outcome depends only on the plan and its adapter's
 /// replicas (which start identical — see AsyncBackendAdapter), never on
 /// which worker runs it or how jobs from different adapters interleave in
-/// the queue. Adapters return outcomes in submission order.
+/// the queue. Adapters return outcomes in submission order. This holds
+/// with any number of batches outstanding per adapter: a campaign running
+/// a speculative K-parent round keeps K tickets in flight at once, and the
+/// hub freely interleaves their jobs (and other campaigns') across its
+/// workers — every plan rewinds its replica to the deployed journal mark
+/// before executing, so per-child state is an isolated journal fork and
+/// cross-wave ordering can never leak into outcomes.
 ///
 /// Lifetime: the hub must outlive every adapter bound to it, and all
 /// adapters must be idle (every ticket redeemed) at destruction.
@@ -115,6 +121,14 @@ class AsyncExecutionHub {
 /// adapters on one hub may submit concurrently. SubmitBatch blocks while
 /// the hub queue is at capacity, which backpressures a planner that outruns
 /// execution.
+///
+/// Multi-ticket contract (what the speculative fan-out loop relies on):
+/// one client thread may hold any number of unredeemed tickets — a
+/// K-parent campaign submits one wave per parent before redeeming any —
+/// and WaitBatch may redeem them in any order; each ticket is redeemable
+/// exactly once and returns that batch's outcomes in its own submission
+/// order. Setup calls remain forbidden until every ticket is redeemed
+/// (CheckIdle counts all of them).
 class AsyncBackendAdapter : public ExecutionBackend {
  public:
   using Options = AsyncExecutionHub::Options;
@@ -175,6 +189,11 @@ class AsyncBackendAdapter : public ExecutionBackend {
   const WorldState& state() const override;
 
   bool bound() const { return bound_; }
+
+  /// Unredeemed batch tickets — the speculative waves currently in flight.
+  /// Client-thread view (the same thread that submits and waits), so it
+  /// needs no lock.
+  size_t inflight_batches() const { return batches_.size(); }
 
  private:
   friend class AsyncExecutionHub;

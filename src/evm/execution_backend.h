@@ -125,14 +125,18 @@ class ExecutionBackend {
   using BatchTicket = uint64_t;
 
   /// Submits a batch for (possibly asynchronous) execution and returns a
-  /// ticket to redeem with WaitBatch. The default implementation executes
-  /// synchronously at submit time and stashes the outcomes, which makes the
-  /// pipelined campaign loop run unmodified — and bit-for-bit identically —
-  /// over a plain in-process backend.
+  /// ticket to redeem with WaitBatch. Any number of tickets may be
+  /// outstanding at once — the speculative fan-out loop keeps one wave per
+  /// parent in flight — and implementations must not require redemption in
+  /// submission order. The default implementation executes synchronously at
+  /// submit time and stashes the outcomes, which makes the pipelined
+  /// campaign loop run unmodified — and bit-for-bit identically — over a
+  /// plain in-process backend.
   virtual BatchTicket SubmitBatch(std::vector<SequencePlan> plans);
 
   /// Blocks until the ticket's batch completed and returns its outcomes in
-  /// submission order. Each ticket may be redeemed exactly once.
+  /// submission order. Each ticket may be redeemed exactly once, in any
+  /// order relative to other outstanding tickets.
   virtual std::vector<SequenceOutcome> WaitBatch(BatchTicket ticket);
 
   /// Execution workers behind this backend (1 for in-process backends);

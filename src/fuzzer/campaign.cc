@@ -182,8 +182,7 @@ void Campaign::SeedCorpus() {
     seed.improved_distance = stats.improved_distance;
     seed.touched_pcs = stats.touched_pcs;
     seed.focus_tx = stats.best_tx;
-    seed.priority = 1.0 + 10.0 * stats.new_branches +
-                    feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
+    seed.priority = feedback_->InitialSeedPriority(stats);
     scheduler_->Add(std::move(seed));
   }
 }
@@ -202,26 +201,93 @@ void Campaign::ApplyWave(MutationPlanner::ParentPlan* parent,
     // UPDATE_ENERGY (Algorithm 1 line 29): productive children extend the
     // parent's budget. Wave semantics: an extension earned by child i is
     // visible when the *next* wave is planned, never retroactively — the
-    // schedule depends only on (seed, W), not on execution timing.
+    // schedule depends only on (seed, W, K), not on execution timing.
     planner_->ExtendEnergy(parent, stats.new_branches);
-    // Keep productive children; additionally keep oracle-adjacent ones
-    // (wrapping arithmetic) and a thin random sample for queue diversity.
-    bool keep = stats.new_branches > 0 || stats.improved_distance ||
-                stats.saw_overflow || rng_.Chance(0.02);
-    if (!keep) continue;
+    ChildVerdict verdict = feedback_->JudgeChild(stats, &rng_);
+    if (!verdict.keep) continue;
     FuzzSeed child;
     child.seq = std::move(children[i].seq);
     child.hits_nested = stats.hits_nested;
     child.improved_distance = stats.improved_distance;
-    child.touched_pcs = stats.touched_pcs;
+    child.touched_pcs = std::move(stats.touched_pcs);
     child.focus_tx = stats.best_tx;
-    child.priority =
-        1.0 + 10.0 * stats.new_branches +
-        5.0 * (stats.improved_distance ? 1 : 0) +
-        3.0 * (stats.hits_nested ? 1 : 0) +
-        feedback_->energy().VulnerabilityBonus(stats.touched_pcs);
+    child.priority = verdict.priority;
     scheduler_->Add(std::move(child));
   }
+}
+
+std::vector<Campaign::ParentSlot> Campaign::BeginParentSet(
+    const MutationPlanner::MaskHook& mask_hook) {
+  std::vector<MutationPlanner::ParentPlan> plans =
+      planner_->BeginParents(&rng_, mask_hook, config_.fanout);
+  std::vector<ParentSlot> parents;
+  parents.reserve(plans.size());
+  for (MutationPlanner::ParentPlan& plan : plans) {
+    ParentSlot slot;
+    slot.plan = std::move(plan);
+    parents.push_back(std::move(slot));
+  }
+  return parents;
+}
+
+bool Campaign::SweepParentSet(std::vector<ParentSlot>* parents,
+                              uint64_t bound) {
+  const int wave_size = std::max(1, config_.wave_size);
+
+  // Plan phase (rank order): every parent with budget gets its next wave
+  // planned and submitted *before* anyone's outcomes are applied, so an
+  // async backend executes all K waves while this thread mutates — and,
+  // across sweeps, executes sweep k while sweep k+1 is planned. The
+  // plan/apply interleaving is fixed by this loop, not by completion
+  // timing: results are a pure function of (seed, W, K) for any backend.
+  // (The lookahead and the fan-out both interleave rng draws differently
+  // than a serial no-lookahead loop would — W and K, like the seed, are
+  // part of the reproducibility key; see ARCHITECTURE.md.)
+  std::vector<std::optional<InFlightWave>> next(parents->size());
+  for (size_t r = 0; r < parents->size(); ++r) {
+    ParentSlot& slot = (*parents)[r];
+    if (slot.plan.planned >= slot.plan.allowed ||
+        planned_executions_ >= bound) {
+      continue;
+    }
+    std::vector<MutationPlanner::PlannedChild> children =
+        planner_->PlanWave(&slot.plan, wave_size,
+                           bound - planned_executions_, &rng_);
+    if (children.empty()) continue;
+    planned_executions_ += children.size();
+    std::vector<evm::SequencePlan> plans;
+    plans.reserve(children.size());
+    for (MutationPlanner::PlannedChild& child : children) {
+      plans.push_back(std::move(child.plan));
+    }
+    InFlightWave wave;
+    wave.children = std::move(children);
+    wave.ticket = backend_->SubmitBatch(std::move(plans));
+    next[r].emplace(std::move(wave));
+  }
+
+  // Apply phase, strictly (parent rank, child index) order — energy
+  // extensions and keep/Add decisions land in this fixed order no matter
+  // which worker finished which wave first.
+  for (size_t r = 0; r < parents->size(); ++r) {
+    ParentSlot& slot = (*parents)[r];
+    if (slot.inflight.has_value()) {
+      std::vector<evm::SequenceOutcome> outcomes =
+          backend_->WaitBatch(slot.inflight->ticket);
+      ApplyWave(&slot.plan, std::move(slot.inflight->children),
+                std::move(outcomes));
+    }
+    slot.inflight = std::move(next[r]);
+  }
+
+  for (const ParentSlot& slot : *parents) {
+    if (slot.inflight.has_value()) return true;
+    if (slot.plan.planned < slot.plan.allowed &&
+        planned_executions_ < bound) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Campaign::StepRound(uint64_t round_executions) {
@@ -229,60 +295,18 @@ void Campaign::StepRound(uint64_t round_executions) {
   const uint64_t budget = static_cast<uint64_t>(config_.max_executions);
   const uint64_t target =
       std::min(budget, planned_executions_ + round_executions);
-  const int wave_size = std::max(1, config_.wave_size);
 
   MutationPlanner::MaskHook mask_hook = [this](FuzzSeed* seed) {
     MaybeComputeMask(seed);
   };
 
   while (planned_executions_ < target) {
-    // Parent boundary: the pipeline is drained here, so selection sees
-    // every keep/Add decision of earlier waves.
-    MutationPlanner::ParentPlan parent =
-        planner_->BeginParent(&rng_, mask_hook);
-    if (!parent.valid) break;
-
-    std::optional<InFlightWave> inflight;
-
-    // Wave loop with one wave of lookahead: wave k+1 is planned (from the
-    // parent snapshot) and submitted *before* wave k's outcomes are
-    // applied, so an async backend executes wave k while this thread
-    // mutates wave k+1. The plan/apply interleaving is fixed by this loop,
-    // not by completion timing: results are a pure function of (seed, W)
-    // for any backend. (The lookahead interleaves rng draws differently
-    // than a no-lookahead loop would — W, like the seed, is part of the
-    // reproducibility key; see ARCHITECTURE.md.)
-    for (;;) {
-      std::optional<InFlightWave> next;
-      if (parent.planned < parent.allowed && planned_executions_ < target) {
-        std::vector<MutationPlanner::PlannedChild> children =
-            planner_->PlanWave(&parent, wave_size,
-                               target - planned_executions_, &rng_);
-        if (!children.empty()) {
-          planned_executions_ += children.size();
-          std::vector<evm::SequencePlan> plans;
-          plans.reserve(children.size());
-          for (MutationPlanner::PlannedChild& child : children) {
-            plans.push_back(std::move(child.plan));
-          }
-          InFlightWave wave;
-          wave.children = std::move(children);
-          wave.ticket = backend_->SubmitBatch(std::move(plans));
-          next.emplace(std::move(wave));
-        }
-      }
-      if (inflight.has_value()) {
-        std::vector<evm::SequenceOutcome> outcomes =
-            backend_->WaitBatch(inflight->ticket);
-        ApplyWave(&parent, std::move(inflight->children),
-                  std::move(outcomes));
-      }
-      inflight = std::move(next);
-      if (!inflight.has_value() &&
-          (parent.planned >= parent.allowed ||
-           planned_executions_ >= target)) {
-        break;
-      }
+    // Set boundary: the pipeline is drained here, so selection sees every
+    // keep/Add decision of earlier waves — and the round's K picks land
+    // back to back on a queue no wave can mutate mid-selection.
+    std::vector<ParentSlot> parents = BeginParentSet(mask_hook);
+    if (parents.empty()) break;
+    while (SweepParentSet(&parents, target)) {
     }
   }
 }
@@ -293,71 +317,39 @@ void Campaign::StepStream(uint64_t quantum) {
   StreamState& s = *stream_;
   if (s.exhausted) return;
 
-  // This loop is the StepRound wave loop with two differences: every
+  // This loop is the StepRound sweep loop with two differences: every
   // planning decision is bounded by the *campaign budget* (never a round
   // target — so the operation sequence matches the monolithic run exactly),
-  // and instead of draining at the end it returns with the parent and any
-  // in-flight wave parked in `stream_`, to be resumed by the next call.
+  // and instead of draining at the end it returns with the whole parent
+  // set — and its in-flight waves — parked in `stream_`, to be resumed by
+  // the next call.
   const uint64_t budget = static_cast<uint64_t>(config_.max_executions);
   const uint64_t pause_at = result_.executions + quantum;
-  const int wave_size = std::max(1, config_.wave_size);
 
   MutationPlanner::MaskHook mask_hook = [this](FuzzSeed* seed) {
     MaybeComputeMask(seed);
   };
 
   for (;;) {
-    if (!s.parent_active) {
+    if (s.parents.empty()) {
       if (planned_executions_ >= budget) {
         s.exhausted = true;
         return;
       }
-      s.parent = planner_->BeginParent(&rng_, mask_hook);
-      if (!s.parent.valid) {
+      s.parents = BeginParentSet(mask_hook);
+      if (s.parents.empty()) {
         s.exhausted = true;
         return;
       }
-      s.parent_active = true;
-      s.inflight.reset();
     }
-    for (;;) {
-      std::optional<InFlightWave> next;
-      if (s.parent.planned < s.parent.allowed &&
-          planned_executions_ < budget) {
-        std::vector<MutationPlanner::PlannedChild> children =
-            planner_->PlanWave(&s.parent, wave_size,
-                               budget - planned_executions_, &rng_);
-        if (!children.empty()) {
-          planned_executions_ += children.size();
-          std::vector<evm::SequencePlan> plans;
-          plans.reserve(children.size());
-          for (MutationPlanner::PlannedChild& child : children) {
-            plans.push_back(std::move(child.plan));
-          }
-          InFlightWave wave;
-          wave.children = std::move(children);
-          wave.ticket = backend_->SubmitBatch(std::move(plans));
-          next.emplace(std::move(wave));
-        }
-      }
-      if (s.inflight.has_value()) {
-        std::vector<evm::SequenceOutcome> outcomes =
-            backend_->WaitBatch(s.inflight->ticket);
-        ApplyWave(&s.parent, std::move(s.inflight->children),
-                  std::move(outcomes));
-      }
-      s.inflight = std::move(next);
-      if (!s.inflight.has_value() &&
-          (s.parent.planned >= s.parent.allowed ||
-           planned_executions_ >= budget)) {
-        s.parent_active = false;
-        break;
-      }
-      // Pause between pipeline operations — never instead of one, so the
-      // schedule is unchanged. The wave (if any) stays on the backend.
+    while (SweepParentSet(&s.parents, budget)) {
+      // Pause between pipeline sweeps — never instead of one, so the
+      // schedule is unchanged. The set's waves (if any) stay on the
+      // backend.
       if (result_.executions >= pause_at) return;
     }
-    if (result_.executions >= pause_at) return;  // parent-boundary pause
+    s.parents.clear();
+    if (result_.executions >= pause_at) return;  // set-boundary pause
   }
 }
 
@@ -369,14 +361,19 @@ bool Campaign::StreamDone() const {
 void Campaign::DrainStream() {
   if (!stream_.has_value()) return;
   StreamState& s = *stream_;
-  if (s.inflight.has_value()) {
+  // Apply whatever the speculative set has on the backend — in (parent
+  // rank, child index) order, exactly as a continued run would — then
+  // abandon the set: the partial result accounts for every submitted
+  // child of all K parents.
+  for (ParentSlot& slot : s.parents) {
+    if (!slot.inflight.has_value()) continue;
     std::vector<evm::SequenceOutcome> outcomes =
-        backend_->WaitBatch(s.inflight->ticket);
-    ApplyWave(&s.parent, std::move(s.inflight->children),
+        backend_->WaitBatch(slot.inflight->ticket);
+    ApplyWave(&slot.plan, std::move(slot.inflight->children),
               std::move(outcomes));
-    s.inflight.reset();
+    slot.inflight.reset();
   }
-  s.parent_active = false;
+  s.parents.clear();
   s.exhausted = true;
 }
 
@@ -386,6 +383,11 @@ Campaign::Progress Campaign::SnapshotProgress() const {
   progress.transactions = result_.transactions;
   progress.coverage = feedback_->coverage().Fraction();
   progress.bugs_found = result_.bugs.size();
+  progress.planned_executions = planned_executions_;
+  progress.inflight_executions = planned_executions_ - result_.executions;
+  if (stream_.has_value()) {
+    progress.parents_in_flight = static_cast<int>(stream_->parents.size());
+  }
   progress.code_cache = backend_->code_cache_stats();
   return progress;
 }

@@ -47,6 +47,17 @@ struct CampaignConfig {
   /// with execution.
   int async_workers = 0;
 
+  // --------------------------------------------------- Speculative fan-out --
+  /// Parents speculatively expanded per selection round (K). Each round
+  /// selects K distinct parents and keeps one wave per parent in flight,
+  /// planning and applying strictly in (parent rank, child index) order —
+  /// so results are a pure function of (seed, wave_size, fanout), never of
+  /// the backend or its worker count. 0/1 = the serial parent chain,
+  /// bit-for-bit identical to the pre-fanout schedule. Like wave_size, K
+  /// is part of the reproducibility key: K parents' waves interleave rng
+  /// draws differently than K serial chains would.
+  int fanout = 1;
+
   // ------------------------------------------------------ Execution tier --
   /// Dispatch tier the campaign's interpreter runs (kDecoded default;
   /// kJit tier-compiles hot contracts). Results are bit-for-bit identical
@@ -67,13 +78,16 @@ struct CampaignConfig {
 ///  - FeedbackEngine — coverage / distance / energy / oracles (fuzzer layer)
 ///  - ExecutionBackend — plan-in/outcome-out substrate (evm layer)
 ///
-/// Execution is wave-pipelined: StepRound plans a wave of W children,
-/// submits it, and plans the next wave while the backend executes — then
-/// applies outcomes strictly in submission order. All randomness flows from
-/// Rngs seeded by the config and is drawn in planning/apply order (never
-/// execution-completion order), so results are identical wherever and
-/// however the campaign runs — serially, on a worker thread, or over an
-/// async backend at any worker count.
+/// Execution is wave-pipelined over a speculative parent set: each
+/// selection round picks K = `fanout` distinct parents, and every pipeline
+/// sweep plans one wave of W children per parent with budget (submitting
+/// all K waves before applying anyone's outcomes), then applies the
+/// previous sweep's waves strictly in (parent rank, child index) order.
+/// All randomness flows from Rngs seeded by the config and is drawn in
+/// planning/apply order (never execution-completion order), so results are
+/// identical wherever and however the campaign runs — serially, on a
+/// worker thread, or over an async backend at any worker count. K=1
+/// degenerates to the classic single-parent wave pipeline.
 class Campaign {
  public:
   /// When `backend` is null the campaign owns a private backend (a
@@ -134,7 +148,8 @@ class Campaign {
 
   /// Advances the monolithic schedule until at least `quantum` more
   /// executions have been applied (or the campaign ran out of budget /
-  /// seeds), possibly leaving one wave in flight on the backend. Call
+  /// seeds), possibly parking the whole K-parent set — with up to one
+  /// in-flight wave per parent on the backend — across the pause. Call
   /// SeedCorpus() first, then StepStream() until StreamDone().
   void StepStream(uint64_t quantum);
 
@@ -143,9 +158,12 @@ class Campaign {
   /// drained — Finalize() may run.
   bool StreamDone() const;
 
-  /// Applies any in-flight wave and abandons the current parent, leaving the
-  /// pipeline drained mid-schedule — the early-stop path Cancel needs before
-  /// Finalize(). After draining, StreamDone() is true.
+  /// Applies every parked parent's in-flight wave — strictly in (parent
+  /// rank, child index) order, exactly as a continued run would — and then
+  /// abandons the set, leaving the pipeline drained mid-schedule: the
+  /// early-stop path Cancel needs before Finalize(), with all K parents'
+  /// submitted children accounted for in the partial result. After
+  /// draining, StreamDone() is true.
   void DrainStream();
 
   /// Marks the campaign cancelled: Finalize() flags the (partial but valid)
@@ -161,6 +179,16 @@ class Campaign {
     uint64_t transactions = 0;
     double coverage = 0;     ///< branch-coverage fraction so far
     size_t bugs_found = 0;   ///< raw (pre-dedup) oracle reports so far
+    /// Executions planned so far: applied plus in flight. Never regresses
+    /// across snapshots.
+    uint64_t planned_executions = 0;
+    /// Planned-but-unapplied executions parked on the backend — the
+    /// speculative waves a streamed campaign keeps across pauses, so
+    /// progress doesn't look stalled at round boundaries on large waves.
+    uint64_t inflight_executions = 0;
+    /// Parents in the currently parked speculative set (streaming only;
+    /// 0 at set boundaries and on the stepped path, whose rounds drain).
+    int parents_in_flight = 0;
     /// Code-cache counters at snapshot time (diagnostics; see
     /// CampaignResult::code_cache for the caveats).
     evm::CodeCacheStats code_cache;
@@ -189,11 +217,31 @@ class Campaign {
     evm::ExecutionBackend::BatchTicket ticket = 0;
   };
 
-  /// Suspended wave-pipeline position for the streaming interface.
-  struct StreamState {
-    MutationPlanner::ParentPlan parent;
-    bool parent_active = false;
+  /// One parent of the current speculative set: its plan snapshot plus the
+  /// wave (at most one) it has on the backend.
+  struct ParentSlot {
+    MutationPlanner::ParentPlan plan;
     std::optional<InFlightWave> inflight;
+  };
+
+  /// Begins a new speculative expansion round: up to `fanout` parents
+  /// selected, masked, energized, and snapshotted in rank order. Requires
+  /// the pipeline drained (selection reads the queue). Empty when the
+  /// queue is empty.
+  std::vector<ParentSlot> BeginParentSet(
+      const MutationPlanner::MaskHook& mask_hook);
+
+  /// One pipeline sweep over the set: plans and submits the next wave for
+  /// every parent with budget (rank order, bounded by `bound` total
+  /// planned executions), then applies each parent's previous wave in
+  /// (parent rank, child index) order. Returns true while the set still
+  /// has in-flight or plannable work — false once drained and exhausted.
+  bool SweepParentSet(std::vector<ParentSlot>* parents, uint64_t bound);
+
+  /// Suspended parent-set pipeline position for the streaming interface.
+  struct StreamState {
+    /// The parked speculative set (empty = between rounds).
+    std::vector<ParentSlot> parents;
     bool exhausted = false;  ///< budget spent or queue drained, drained
   };
 

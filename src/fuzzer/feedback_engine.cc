@@ -106,4 +106,21 @@ void FeedbackEngine::Finalize(const evm::WorldState& state,
           : static_cast<double>(user_covered) / (2.0 * user_jumpis);
 }
 
+ChildVerdict FeedbackEngine::JudgeChild(const ExecSignals& stats, Rng* rng) {
+  ChildVerdict verdict;
+  verdict.keep = stats.new_branches > 0 || stats.improved_distance ||
+                 stats.saw_overflow || rng->Chance(0.02);
+  if (!verdict.keep) return verdict;
+  verdict.priority = 1.0 + 10.0 * stats.new_branches +
+                     5.0 * (stats.improved_distance ? 1 : 0) +
+                     3.0 * (stats.hits_nested ? 1 : 0) +
+                     energy_.VulnerabilityBonus(stats.touched_pcs);
+  return verdict;
+}
+
+double FeedbackEngine::InitialSeedPriority(const ExecSignals& stats) {
+  return 1.0 + 10.0 * stats.new_branches +
+         energy_.VulnerabilityBonus(stats.touched_pcs);
+}
+
 }  // namespace mufuzz::fuzzer

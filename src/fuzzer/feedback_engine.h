@@ -6,6 +6,7 @@
 
 #include "analysis/bug_types.h"
 #include "common/address.h"
+#include "common/rng.h"
 #include "evm/trace.h"
 #include "evm/world_state.h"
 #include "fuzzer/campaign_result.h"
@@ -28,6 +29,13 @@ struct ExecSignals {
   bool saw_overflow = false;
   std::vector<uint32_t> touched_pcs;
   int best_tx = 0;  ///< tx index with the closest uncovered branch
+};
+
+/// The apply stage's ruling on one executed child: whether it enters the
+/// seed queue, and at what priority (meaningful only when `keep`).
+struct ChildVerdict {
+  bool keep = false;
+  double priority = 0;
 };
 
 /// Consumes execution traces and turns them into coverage, branch-distance,
@@ -61,6 +69,19 @@ class FeedbackEngine {
   virtual void Finalize(const evm::WorldState& state, const Address& contract,
                         const SeedQueueStats& queue_stats,
                         CampaignResult* result);
+
+  /// The keep/Add policy for one executed child (Algorithm 1's seed-queue
+  /// admission): keep productive children, oracle-adjacent ones (wrapping
+  /// arithmetic), and a thin random sample for queue diversity. Draw
+  /// discipline: the diversity arm pulls from `rng` only when no
+  /// deterministic keep signal fired — the short-circuit order is part of
+  /// the campaign's reproducible rng stream, so the campaign calls this
+  /// strictly in (parent rank, child index) apply order.
+  virtual ChildVerdict JudgeChild(const ExecSignals& stats, Rng* rng);
+
+  /// Queue priority for an initial corpus seed (no parent to credit, so
+  /// only coverage gain and vulnerability adjacency count).
+  virtual double InitialSeedPriority(const ExecSignals& stats);
 
   CoverageMap& coverage() { return coverage_; }
   const CoverageMap& coverage() const { return coverage_; }

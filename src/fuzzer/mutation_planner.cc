@@ -22,37 +22,50 @@ MutationPlanner::MutationPlanner(const AbiCodec* codec,
       dynamic_energy_(dynamic_energy),
       host_stream_(host_stream_seed) {}
 
-MutationPlanner::ParentPlan MutationPlanner::BeginParent(
-    Rng* rng, const MaskHook& mask_hook) {
-  ParentPlan parent;
-  SeedId id = scheduler_->Select(rng);
-  if (id == kInvalidSeedId) return parent;
-  FuzzSeed* seed = scheduler_->Get(id);
+std::vector<MutationPlanner::ParentPlan> MutationPlanner::BeginParents(
+    Rng* rng, const MaskHook& mask_hook, int fanout) {
+  std::vector<ParentPlan> parents;
+  const size_t k = static_cast<size_t>(std::max(1, fanout));
+  // All K picks happen here, before any mask probe or energy assignment:
+  // the queue does not change between picks, so the ids stay distinct and
+  // resolvable for the whole loop below.
+  std::vector<SeedId> ids = scheduler_->SelectParents(rng, k);
+  parents.reserve(ids.size());
+  for (size_t rank = 0; rank < ids.size(); ++rank) {
+    FuzzSeed* seed = scheduler_->Get(ids[rank]);
+    if (seed == nullptr) continue;  // unreachable: picks are resident
 
-  if (mask_hook) mask_hook(seed);
-  // The hook may have executed probe sequences, but probes only read the
-  // queue through Get(id)-stable handles and never Add — `seed` stays valid.
+    if (mask_hook) mask_hook(seed);
+    // The hook may have executed probe sequences, but probes only read the
+    // queue through Get(id)-stable handles and never Add — `seed` (and the
+    // remaining ranks' handles) stays valid.
 
-  int energy = dynamic_energy_
-                   ? feedback_->energy().AssignEnergy(seed->touched_pcs,
-                                                      base_energy_)
-                   : base_energy_;
+    int energy = dynamic_energy_
+                     ? feedback_->energy().AssignEnergy(seed->touched_pcs,
+                                                        base_energy_)
+                     : base_energy_;
 
-  // Snapshot the parent's fields — stable-handle discipline: in-flight
-  // waves outlive any FuzzSeed* (the apply stage's Add() reallocates the
-  // queue), so planning works from this copy, never the resident seed.
-  parent.valid = true;
-  parent.seq = seed->seq;
-  parent.mask = seed->mask;
-  parent.mask_valid = seed->mask_valid;
-  parent.focus = parent.seq.empty()
-                     ? 0
-                     : std::min<int>(seed->focus_tx,
-                                     static_cast<int>(parent.seq.size()) - 1);
-  parent.allowed = energy;
-  parent.cap = static_cast<int>(base_energy_ *
-                                EnergyScheduler::kMaxEnergyFactor);
-  return parent;
+    // Snapshot the parent's fields — stable-handle discipline: in-flight
+    // waves outlive any FuzzSeed* (the apply stage's Add() reallocates the
+    // queue), so planning works from this copy, never the resident seed.
+    ParentPlan parent;
+    parent.valid = true;
+    parent.id = ids[rank];
+    parent.rank = static_cast<int>(rank);
+    parent.seq = seed->seq;
+    parent.mask = seed->mask;
+    parent.mask_valid = seed->mask_valid;
+    parent.focus =
+        parent.seq.empty()
+            ? 0
+            : std::min<int>(seed->focus_tx,
+                            static_cast<int>(parent.seq.size()) - 1);
+    parent.allowed = energy;
+    parent.cap = static_cast<int>(base_energy_ *
+                                  EnergyScheduler::kMaxEnergyFactor);
+    parents.push_back(std::move(parent));
+  }
+  return parents;
 }
 
 std::vector<MutationPlanner::PlannedChild> MutationPlanner::PlanWave(

@@ -14,19 +14,19 @@
 
 namespace mufuzz::fuzzer {
 
-/// The planning stage of the wave pipeline: selects a parent from the
-/// scheduler, snapshots the fields mutation needs (so in-flight waves never
-/// dangle into the queue), assigns the parent's energy, and turns mutated
-/// children into self-contained evm::SequencePlans the execute stage can
-/// ship to any backend.
+/// The planning stage of the wave pipeline: selects a round's parent set
+/// from the scheduler, snapshots the fields mutation needs (so in-flight
+/// waves never dangle into the queue), assigns each parent's energy, and
+/// turns mutated children into self-contained evm::SequencePlans the
+/// execute stage can ship to any backend.
 ///
 /// Determinism: every plan draws its environment seed from the planner's
 /// private host-seed stream *in planning order*, and all mutation
 /// randomness comes from the campaign Rng passed in. Since the campaign's
-/// staged loop calls BeginParent/PlanWave/ExtendEnergy in a fixed order
+/// staged loop calls BeginParents/PlanWave/ExtendEnergy in a fixed order
 /// (independent of backend timing), the full plan stream — and therefore
-/// the campaign result — is a pure function of the campaign seed and the
-/// wave size W, for any backend and any worker count.
+/// the campaign result — is a pure function of the campaign seed, the wave
+/// size W, and the fan-out K, for any backend and any worker count.
 class MutationPlanner {
  public:
   MutationPlanner(const AbiCodec* codec, MutationPipeline* mutation,
@@ -37,6 +37,8 @@ class MutationPlanner {
   /// The per-parent mutation budget and the snapshot mutation works from.
   struct ParentPlan {
     bool valid = false;
+    SeedId id = kInvalidSeedId;  ///< stable handle of the selected resident
+    int rank = 0;     ///< position in the round's parent set (0 = first pick)
     Sequence seq;
     MutationMask mask;
     bool mask_valid = false;
@@ -58,10 +60,15 @@ class MutationPlanner {
   /// sequences) here.
   using MaskHook = std::function<void(FuzzSeed*)>;
 
-  /// Selects the next parent and snapshots it. Requires every outcome of
-  /// previously planned waves to be applied (selection reads the queue).
-  /// Returns an invalid plan when the queue is empty.
-  ParentPlan BeginParent(Rng* rng, const MaskHook& mask_hook);
+  /// Begins one speculative expansion round: selects up to `fanout`
+  /// distinct parents (one SeedScheduler::SelectParents round — all picks
+  /// land back to back, so no handle is invalidated between them), then
+  /// per rank runs the mask hook, assigns energy, and snapshots the parent.
+  /// Requires every outcome of previously planned waves to be applied
+  /// (selection reads the queue). Returns an empty vector when the queue
+  /// is empty. `fanout <= 1` is the serial parent chain, pick for pick.
+  std::vector<ParentPlan> BeginParents(Rng* rng, const MaskHook& mask_hook,
+                                       int fanout);
 
   /// Plans up to min(wave_size, parent budget left, `room`) children.
   std::vector<PlannedChild> PlanWave(ParentPlan* parent, int wave_size,

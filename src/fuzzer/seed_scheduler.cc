@@ -10,21 +10,73 @@ SeedScheduler::SeedScheduler(bool distance_feedback, size_t max_queue)
     : distance_feedback_(distance_feedback), max_queue_(max_queue) {}
 
 SeedId SeedScheduler::Select(Rng* rng) {
-  if (queue_.empty()) return kInvalidSeedId;
-  if (!distance_feedback_ || rng->Chance(0.3)) {
-    return queue_[rng->NextBelow(queue_.size())].id;
+  SeedId id = SelectExcluding(rng, {});
+  if (id != kInvalidSeedId) {
+    stats_.selects++;
+    stats_.select_rounds++;
   }
-  // Branch-distance feedback: prefer the highest-priority seed. Scan in
+  return id;
+}
+
+SeedId SeedScheduler::SelectExcluding(Rng* rng,
+                                      std::span<const SeedId> exclude) {
+  // Candidate view: residents not picked earlier this round, in admission
+  // order. With an empty exclusion this is the queue itself, so the draws
+  // below are exactly the single-Select draws.
+  std::vector<size_t> candidates;
+  candidates.reserve(queue_.size());
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    bool excluded = false;
+    for (SeedId id : exclude) {
+      if (queue_[i].id == id) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) candidates.push_back(i);
+  }
+  if (candidates.empty()) return kInvalidSeedId;
+  if (!distance_feedback_ || rng->Chance(0.3)) {
+    return queue_[candidates[rng->NextBelow(candidates.size())]].id;
+  }
+  // Branch-distance feedback: prefer the highest-priority candidate. Scan in
   // admission order, strict '>' keeps the oldest on ties (stable iteration).
-  Entry* best = &queue_[0];
-  for (Entry& entry : queue_) {
-    if (entry.seed.priority > best->seed.priority) best = &entry;
+  Entry* best = &queue_[candidates[0]];
+  for (size_t i : candidates) {
+    if (queue_[i].seed.priority > best->seed.priority) best = &queue_[i];
   }
   // Mild decay avoids starving the rest of the queue: a repeatedly chosen
   // seed sinks below its rivals, and the 30% uniform arm above guarantees
   // every resident keeps a floor probability of selection.
   best->seed.priority *= 0.95;
   return best->id;
+}
+
+std::vector<SeedId> SeedScheduler::SelectParents(Rng* rng, size_t k) {
+  std::vector<SeedId> picked;
+  picked.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    SeedId id = SelectExcluding(rng, picked);
+    if (id == kInvalidSeedId) break;
+    // Contract hardening: a pick that resolves to an earlier pick of the
+    // same round (an override ignoring `exclude`, or an id recycled across
+    // an eviction — neither happens with this implementation) is rejected;
+    // one resident must never be expanded as two parents.
+    bool alias = false;
+    for (SeedId prev : picked) {
+      if (prev == id) {
+        alias = true;
+        break;
+      }
+    }
+    if (alias) break;
+    picked.push_back(id);
+  }
+  if (!picked.empty()) {
+    stats_.selects += picked.size();
+    stats_.select_rounds++;
+  }
+  return picked;
 }
 
 FuzzSeed* SeedScheduler::Get(SeedId id) {
@@ -108,6 +160,11 @@ double SeedScheduler::MaxPriority() const {
 
 const SeedQueueStats& SeedScheduler::stats() {
   stats_.final_queue = queue_.size();
+  stats_.selects_per_round =
+      stats_.select_rounds == 0
+          ? 0.0
+          : static_cast<double>(stats_.selects) /
+                static_cast<double>(stats_.select_rounds);
   return stats_;
 }
 

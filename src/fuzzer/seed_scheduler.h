@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -41,6 +42,13 @@ struct SeedQueueStats {
   uint64_t imported = 0;   ///< admissions that came from island migration
   uint64_t exported = 0;   ///< seeds cloned into a migration exchange buffer
   uint64_t final_queue = 0;  ///< queue size when the campaign finalized
+  uint64_t selects = 0;        ///< parents handed out (across all rounds)
+  uint64_t select_rounds = 0;  ///< selection rounds (one per parent set)
+  /// selects / select_rounds — the average speculative expansion width the
+  /// campaign actually achieved (1.0 for the serial chain; below the
+  /// configured fanout when the queue was smaller than K). Refreshed by
+  /// stats(), like final_queue.
+  double selects_per_round = 0;
 
   bool operator==(const SeedQueueStats&) const = default;
 };
@@ -61,6 +69,12 @@ struct SeedQueueStats {
 ///    queue can never trade a better seed for a worse one.
 ///  - *Pointer lifetime*: the `FuzzSeed*` from Get() is invalidated by the
 ///    next Add/Import; re-resolve the SeedId instead of holding the pointer.
+///  - *Multi-select*: SelectParents hands out K *distinct* resident ids per
+///    round — every pick excludes the round's earlier picks, and a pick
+///    that still aliases an earlier one (only possible through an override
+///    that ignores `exclude`) is rejected, never returned twice. Since ids
+///    are stable handles and no queue mutation happens between picks, the
+///    whole set stays resolvable until the caller's next Add/Import.
 class SeedScheduler {
  public:
   explicit SeedScheduler(bool distance_feedback,
@@ -68,8 +82,26 @@ class SeedScheduler {
   virtual ~SeedScheduler() = default;
 
   /// Selects the next seed to mutate and returns its stable id, or
-  /// kInvalidSeedId when the queue is empty.
+  /// kInvalidSeedId when the queue is empty. Equivalent to a one-parent
+  /// selection round (and counted as one in the stats).
   virtual SeedId Select(Rng* rng);
+
+  /// One selection round of the speculative fan-out loop: up to `k`
+  /// *distinct* resident ids in rank order (rank 0 is what Select would
+  /// have returned). Each pick applies the single-pick policy restricted
+  /// to the residents not yet picked this round — admission-order scan,
+  /// priority ties toward the lowest id, per-pick decay, and the uniform
+  /// exploration arm over the remaining candidates — so `k == 1`
+  /// reproduces Select draw for draw. Returns fewer than `k` ids when the
+  /// queue is smaller (empty vector on an empty queue); never returns the
+  /// same id twice.
+  std::vector<SeedId> SelectParents(Rng* rng, size_t k);
+
+  /// The pick primitive behind Select and SelectParents: the selection
+  /// policy over residents whose id is not in `exclude` (kInvalidSeedId
+  /// when none remain). Policy overrides go here — both entry points
+  /// route through it.
+  virtual SeedId SelectExcluding(Rng* rng, std::span<const SeedId> exclude);
 
   /// Resolves a stable id to the resident seed, or nullptr once it has been
   /// evicted. The pointer is invalidated by the next Add/Import — callers

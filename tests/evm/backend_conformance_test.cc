@@ -237,6 +237,55 @@ TEST_P(BackendConformanceTest, TicketsRedeemInSubmissionOrderSemantics) {
   }
 }
 
+TEST_P(BackendConformanceTest, SpeculativeFanOutHoldsManyTicketsInFlight) {
+  // The shape the K-parent campaign loop drives: one wave per parent, all
+  // submitted before any is redeemed, redeemed in an order that is not the
+  // submission order. Every batch must come back intact — its own outcomes,
+  // in its own submission order, equal to the serial reference.
+  std::unique_ptr<ExecutionBackend> backend = MakeBackend(GetParam());
+  Prepare(backend.get());
+  std::vector<SequencePlan> plans = SamplePlans();
+
+  constexpr size_t kParents = 4;
+  std::vector<ExecutionBackend::BatchTicket> tickets;
+  std::vector<std::vector<SequencePlan>> waves;
+  for (size_t parent = 0; parent < kParents; ++parent) {
+    // Parent `p` gets a wave of p+1 plans with per-parent host seeds, so
+    // every wave is distinguishable and differently sized.
+    std::vector<SequencePlan> wave;
+    for (size_t j = 0; j <= parent; ++j) {
+      SequencePlan plan = plans[(parent + j) % plans.size()];
+      plan.host_seed += 0x100 * (parent + 1);
+      wave.push_back(std::move(plan));
+    }
+    waves.push_back(wave);
+    tickets.push_back(backend->SubmitBatch(std::move(wave)));
+  }
+  if (auto* adapter = dynamic_cast<AsyncBackendAdapter*>(backend.get())) {
+    EXPECT_EQ(adapter->inflight_batches(), kParents);
+  }
+
+  // Redeem 2, 0, 3, 1 — neither submission nor reverse order.
+  std::vector<std::vector<SequenceOutcome>> outcomes(kParents);
+  for (size_t parent : {2u, 0u, 3u, 1u}) {
+    outcomes[parent] = backend->WaitBatch(tickets[parent]);
+  }
+  if (auto* adapter = dynamic_cast<AsyncBackendAdapter*>(backend.get())) {
+    EXPECT_EQ(adapter->inflight_batches(), 0u);
+  }
+
+  SessionBackend reference;
+  Prepare(&reference);
+  for (size_t parent = 0; parent < kParents; ++parent) {
+    ASSERT_EQ(outcomes[parent].size(), waves[parent].size()) << parent;
+    for (size_t j = 0; j < waves[parent].size(); ++j) {
+      EXPECT_EQ(Fingerprint(outcomes[parent][j]),
+                Fingerprint(reference.ExecuteSequence(waves[parent][j])))
+          << "parent " << parent << " plan " << j;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformanceTest,
     ::testing::Values(BackendCase{"session", 0}, BackendCase{"async1", 1},

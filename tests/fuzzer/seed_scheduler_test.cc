@@ -136,6 +136,141 @@ TEST(SeedSchedulerTest, PriorityDecayPreventsStarvation) {
       << "some resident was never selected";
 }
 
+// ------------------------------------------- Multi-parent selection (K) --
+
+TEST(SeedSchedulerTest, SelectParentsReturnsDistinctResidents) {
+  SeedScheduler scheduler(/*distance_feedback=*/true, /*max_queue=*/8);
+  for (int i = 0; i < 5; ++i) scheduler.Add(MakeSeed(1.0 + i, i));
+
+  Rng rng(11);
+  std::vector<SeedId> picked = scheduler.SelectParents(&rng, 5);
+
+  // Asking for the whole queue yields a permutation of it: every pick
+  // distinct, every resident covered.
+  ASSERT_EQ(picked.size(), 5u);
+  std::set<SeedId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (SeedId id : picked) EXPECT_NE(scheduler.Get(id), nullptr);
+}
+
+TEST(SeedSchedulerTest, SelectParentsClampsToQueueSize) {
+  SeedScheduler scheduler(true, 8);
+  scheduler.Add(MakeSeed(5.0, 0));
+  scheduler.Add(MakeSeed(7.0, 1));
+  Rng rng(3);
+  EXPECT_EQ(scheduler.SelectParents(&rng, 6).size(), 2u);
+  Rng empty_rng(3);
+  EXPECT_TRUE(SeedScheduler(true, 8).SelectParents(&empty_rng, 4).empty());
+}
+
+TEST(SeedSchedulerTest, SelectParentsOfOneMatchesSelect) {
+  // K=1 is the serial chain: same queue, same rng seed → the same draw as
+  // the single-parent Select, so fanout=1 campaigns reproduce bit-for-bit.
+  auto build = [] {
+    SeedScheduler scheduler(true, 8);
+    for (int i = 0; i < 4; ++i) scheduler.Add(MakeSeed(2.0 + i, i));
+    return scheduler;
+  };
+  SeedScheduler a = build();
+  SeedScheduler b = build();
+  Rng rng_a(9);
+  Rng rng_b(9);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<SeedId> parents = b.SelectParents(&rng_b, 1);
+    ASSERT_EQ(parents.size(), 1u);
+    EXPECT_EQ(a.Select(&rng_a), parents[0]);
+  }
+}
+
+TEST(SeedSchedulerTest, SelectParentsIsDeterministic) {
+  auto run = [] {
+    SeedScheduler scheduler(true, 8);
+    for (int i = 0; i < 6; ++i) scheduler.Add(MakeSeed(1.0 + i, i));
+    Rng rng(21);
+    std::vector<std::vector<SeedId>> rounds;
+    for (int r = 0; r < 10; ++r) rounds.push_back(scheduler.SelectParents(&rng, 3));
+    return rounds;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SeedSchedulerTest, StatsTrackSelectsPerRound) {
+  SeedScheduler scheduler(true, 8);
+  for (int i = 0; i < 4; ++i) scheduler.Add(MakeSeed(1.0 + i, i));
+  Rng rng(5);
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(scheduler.SelectParents(&rng, 2).size(), 2u);
+  }
+  EXPECT_EQ(scheduler.stats().selects, 6u);
+  EXPECT_EQ(scheduler.stats().select_rounds, 3u);
+  EXPECT_DOUBLE_EQ(scheduler.stats().selects_per_round, 2.0);
+
+  // The serial entry point counts as width-1 rounds and dilutes the mean.
+  ASSERT_NE(scheduler.Select(&rng), kInvalidSeedId);
+  EXPECT_EQ(scheduler.stats().selects, 7u);
+  EXPECT_EQ(scheduler.stats().select_rounds, 4u);
+  EXPECT_DOUBLE_EQ(scheduler.stats().selects_per_round, 1.75);
+}
+
+TEST(SeedSchedulerTest, EvictionBetweenRoundsNeverAliasesParents) {
+  // Regression for the aliasing hazard the fan-out refactor must exclude:
+  // a parent-set round picks ids, a subsequent Add evicts one of them, and
+  // the next round must neither resolve the dead handle nor hand out one
+  // resident twice. Uniform selection (no decay) keeps priorities put.
+  SeedScheduler scheduler(/*distance_feedback=*/false, /*max_queue=*/2);
+  scheduler.Add(MakeSeed(1.0, 0));
+  scheduler.Add(MakeSeed(5.0, 1));
+  Rng rng(13);
+  std::vector<SeedId> round1 = scheduler.SelectParents(&rng, 2);
+  ASSERT_EQ(round1.size(), 2u);
+
+  scheduler.Add(MakeSeed(9.0, 2));  // evicts the 1.0 resident — a picked id
+
+  // Exactly one of round1's handles died with the eviction.
+  int dead = 0;
+  for (SeedId id : round1) dead += scheduler.Get(id) == nullptr ? 1 : 0;
+  EXPECT_EQ(dead, 1);
+
+  // The next round hands out two live, distinct residents; the dead id
+  // cannot reappear (ids are never reused).
+  std::vector<SeedId> round2 = scheduler.SelectParents(&rng, 2);
+  ASSERT_EQ(round2.size(), 2u);
+  EXPECT_NE(round2[0], round2[1]);
+  for (SeedId id : round2) {
+    ASSERT_NE(scheduler.Get(id), nullptr);
+    for (SeedId old : round1) {
+      if (scheduler.Get(old) == nullptr) EXPECT_NE(id, old);
+    }
+  }
+}
+
+// A selection policy that violates the exclusion contract (a hostile or
+// buggy subclass): SelectParents must reject the duplicate and truncate the
+// round instead of expanding one resident as two parents.
+class AliasingScheduler : public SeedScheduler {
+ public:
+  AliasingScheduler() : SeedScheduler(/*distance_feedback=*/true, 8) {}
+  SeedId SelectExcluding(Rng*, std::span<const SeedId>) override {
+    return forced;
+  }
+  SeedId forced = kInvalidSeedId;
+};
+
+TEST(SeedSchedulerTest, SelectParentsRejectsAliasingPolicy) {
+  AliasingScheduler scheduler;
+  for (int i = 0; i < 3; ++i) scheduler.Add(MakeSeed(1.0 + i, i));
+  Rng rng(7);
+  scheduler.forced = scheduler.SeedScheduler::SelectExcluding(&rng, {});
+  ASSERT_NE(scheduler.forced, kInvalidSeedId);
+
+  std::vector<SeedId> picked = scheduler.SelectParents(&rng, 3);
+
+  ASSERT_EQ(picked.size(), 1u);  // the second (aliasing) pick ended the round
+  EXPECT_EQ(picked[0], scheduler.forced);
+  EXPECT_EQ(scheduler.stats().selects, 1u);
+  EXPECT_EQ(scheduler.stats().select_rounds, 1u);
+}
+
 // --------------------------------------------------------- Export/import --
 
 TEST(SeedSchedulerTest, ExportTopRanksByPriorityThenAge) {
