@@ -117,6 +117,46 @@ if [ "$MODE" != "--update" ]; then
   fi
 fi
 
+# Timing leg: the substrate micro-benches, written as BENCH_<name>.json in
+# the output dir. These are wall-clock numbers — volatile by nature — so
+# they are never diffed against goldens; they exist so CI (and local runs)
+# archive a machine-readable perf trail next to the reproducibility diffs.
+if [ -x "$BUILD_DIR/micro_substrate" ]; then
+  echo "[reproduce] timing: micro_substrate hot-path benches"
+  bench_json="$OUT_DIR/bench_raw.json"
+  if (cd "$BUILD_DIR" && ./micro_substrate \
+        --benchmark_filter='BM_DispatchLoop|BM_CampaignHundredExecs' \
+        --benchmark_min_time=0.3 \
+        --benchmark_format=json) 2>/dev/null > "$bench_json"; then
+    # One BENCH_<name>.json per benchmark: {"name", "ns_per_op",
+    # "execs_per_sec"} (execs/sec = 1e9/ns_per_op; each iteration of these
+    # benches is one dispatch loop resp. one hundred-exec campaign).
+    python3 - "$bench_json" "$OUT_DIR" <<'PYEOF'
+import json, re, sys
+raw, out_dir = sys.argv[1], sys.argv[2]
+with open(raw) as f:
+    report = json.load(f)
+for bench in report.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    name = bench["name"]
+    ns = bench["real_time"]  # time_unit is ns for these benches
+    slug = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    with open(f"{out_dir}/BENCH_{slug}.json", "w") as f:
+        json.dump({"name": name,
+                   "ns_per_op": ns,
+                   "execs_per_sec": 1e9 / ns if ns > 0 else 0.0},
+                  f, indent=2)
+        f.write("\n")
+    print(f"[reproduce]   {name}: {ns:.0f} ns/op")
+PYEOF
+  else
+    echo "[reproduce] WARN: micro_substrate run failed (timing leg skipped)" >&2
+  fi
+else
+  echo "[reproduce] micro_substrate not built: timing leg skipped"
+fi
+
 if [ $status -eq 0 ]; then
   echo "[reproduce] OK — all bench outputs match the goldens"
 fi

@@ -35,10 +35,11 @@ struct Address {
     return a;
   }
 
-  /// Zero-extends into a 256-bit word.
+  /// Zero-extends into a 256-bit word. Reads the bytes in place — this is
+  /// on the interpreter's per-opcode path (ADDRESS/CALLER/ORIGIN and the
+  /// call family), so it must not allocate.
   U256 ToWord() const {
-    Bytes raw(bytes.begin(), bytes.end());
-    return U256::FromBytesBE(raw).value();
+    return U256::FromBytesBE(BytesView(bytes.data(), bytes.size())).value();
   }
 
   bool IsZero() const {

@@ -1,0 +1,133 @@
+#include "common/alloc_stats.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace mufuzz {
+namespace {
+
+#ifdef MUFUZZ_ALLOC_STATS
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_deallocs{0};
+std::atomic<uint64_t> g_bytes{0};
+#endif
+
+}  // namespace
+
+bool AllocStatsEnabled() {
+#ifdef MUFUZZ_ALLOC_STATS
+  return true;
+#else
+  return false;
+#endif
+}
+
+AllocCounters CurrentAllocStats() {
+  AllocCounters c;
+#ifdef MUFUZZ_ALLOC_STATS
+  c.allocs = g_allocs.load(std::memory_order_relaxed);
+  c.deallocs = g_deallocs.load(std::memory_order_relaxed);
+  c.bytes = g_bytes.load(std::memory_order_relaxed);
+#endif
+  return c;
+}
+
+}  // namespace mufuzz
+
+#ifdef MUFUZZ_ALLOC_STATS
+
+// Global replacement of the allocation functions: count, then defer to
+// malloc/free. Alignment-aware variants overalign via aligned_alloc. These
+// replace the C++ runtime's versions for the whole program (tests and
+// benches linked against mufuzz_core included), which is exactly what the
+// steady-state-allocation invariant needs — nothing can allocate past the
+// counter.
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  mufuzz::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  mufuzz::g_bytes.fetch_add(size, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  mufuzz::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  mufuzz::g_bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  mufuzz::g_deallocs.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = CountedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+
+#endif  // MUFUZZ_ALLOC_STATS

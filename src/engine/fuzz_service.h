@@ -89,7 +89,7 @@ struct JobProgress {
   uint64_t transactions = 0;
   /// Branch-coverage fraction so far (final figure once done).
   double coverage = 0;
-  /// Oracle reports so far (raw while running; deduplicated once done).
+  /// Distinct (bug, pc) oracle findings so far.
   size_t bugs_found = 0;
   /// Completed scheduler rounds: step rounds for a standalone job,
   /// migration rounds for an island member.
@@ -110,6 +110,13 @@ struct JobProgress {
   /// Code-cache counters of the job's backend at snapshot time (process-wide
   /// cache by default — diagnostics, not part of any reproducibility key).
   evm::CodeCacheStats code_cache;
+  /// MUFUZZ_ALLOC_STATS counters (all zero when the hook is compiled out):
+  /// heap allocations since the campaign reached steady state, and the most
+  /// recent pipeline sweep's allocation / execution deltas. Process-wide
+  /// counters — diagnostics, not part of any reproducibility key.
+  uint64_t heap_allocs = 0;
+  uint64_t wave_allocs = 0;
+  uint64_t wave_executions = 0;
 };
 
 /// FuzzService knobs. The execution-semantics knobs (`wave_size`,

@@ -59,7 +59,7 @@ void AsyncExecutionHub::WorkerLoop(size_t index) {
     // replica, so replicas never race and any worker yields the identical
     // outcome for a plan.
     SessionBackend* backend = job.owner->workers_[index].backend.get();
-    *job.slot = backend->ExecuteSequence(*job.plan);
+    backend->ExecuteSequenceInto(*job.plan, job.slot);
     bool batch_done;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -230,9 +230,18 @@ ExecutionBackend::BatchTicket AsyncBackendAdapter::SubmitBatch(
     std::vector<SequencePlan> plans) {
   CheckBound("SubmitBatch");
   BatchTicket ticket = next_async_ticket_++;
-  auto owned = std::make_unique<AsyncExecutionHub::Batch>();
+  std::unique_ptr<AsyncExecutionHub::Batch> owned;
+  if (!batch_pool_.empty()) {
+    owned = std::move(batch_pool_.back());
+    batch_pool_.pop_back();
+  } else {
+    owned = std::make_unique<AsyncExecutionHub::Batch>();
+  }
   owned->plans = std::move(plans);
-  owned->outcomes.resize(owned->plans.size());
+  // Warm outcome slots from the recycle pool: workers ResetForReuse each
+  // slot, so traces record into already-sized buffers.
+  owned->outcomes = AcquireOutcomeBuffer(owned->plans.size());
+  owned->completed = 0;
   AsyncExecutionHub::Batch* batch = owned.get();
   batches_.emplace(ticket, std::move(owned));
   hub_->SubmitJobs(this, batch);
@@ -255,7 +264,15 @@ std::vector<SequenceOutcome> AsyncBackendAdapter::WaitBatch(
     hub_->AwaitBatch(lock, batch);
   }
   std::vector<SequenceOutcome> outcomes = std::move(batch->outcomes);
+  // The spent plans go back to the planner (calldata capacity), the Batch
+  // shell goes back to the batch pool — both client-thread-only stashes.
+  StashSpentPlans(std::move(batch->plans));
+  std::unique_ptr<AsyncExecutionHub::Batch> shell = std::move(it->second);
   batches_.erase(it);
+  shell->plans.clear();
+  shell->outcomes.clear();
+  shell->completed = 0;
+  if (batch_pool_.size() < 16) batch_pool_.push_back(std::move(shell));
   return outcomes;
 }
 

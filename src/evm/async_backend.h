@@ -216,6 +216,9 @@ class AsyncBackendAdapter : public ExecutionBackend {
   /// Unredeemed batches. Mutated only by the adapter's client thread;
   /// Batch::completed (and `in_flight_`) are guarded by the hub mutex.
   std::map<BatchTicket, std::unique_ptr<AsyncExecutionHub::Batch>> batches_;
+  /// Redeemed Batch shells kept warm for the next SubmitBatch (their plan /
+  /// outcome vector capacity survives). Client-thread only, bounded.
+  std::vector<std::unique_ptr<AsyncExecutionHub::Batch>> batch_pool_;
   BatchTicket next_async_ticket_ = 1;
   size_t in_flight_ = 0;  ///< this adapter's jobs queued or executing
 };

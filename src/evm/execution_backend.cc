@@ -19,16 +19,22 @@ std::vector<SequenceOutcome> ExecutionBackend::ExecuteSequenceBatch(
 ExecutionBackend::BatchTicket ExecutionBackend::SubmitBatch(
     std::vector<SequencePlan> plans) {
   BatchTicket ticket = next_ticket_++;
-  pending_.emplace_back(ticket,
-                        ExecuteSequenceBatch(std::span<const SequencePlan>(
-                            plans.data(), plans.size())));
+  PendingBatch pb;
+  pb.ticket = ticket;
+  pb.outcomes = AcquireOutcomeBuffer(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    ExecuteSequenceInto(plans[i], &pb.outcomes[i]);
+  }
+  pb.plans = std::move(plans);
+  pending_.push_back(std::move(pb));
   return ticket;
 }
 
 std::vector<SequenceOutcome> ExecutionBackend::WaitBatch(BatchTicket ticket) {
   for (size_t i = 0; i < pending_.size(); ++i) {
-    if (pending_[i].first != ticket) continue;
-    std::vector<SequenceOutcome> outcomes = std::move(pending_[i].second);
+    if (pending_[i].ticket != ticket) continue;
+    std::vector<SequenceOutcome> outcomes = std::move(pending_[i].outcomes);
+    StashSpentPlans(std::move(pending_[i].plans));
     pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
     return outcomes;
   }
@@ -37,6 +43,47 @@ std::vector<SequenceOutcome> ExecutionBackend::WaitBatch(BatchTicket ticket) {
                "ticket\n",
                static_cast<unsigned long long>(ticket));
   std::abort();
+}
+
+std::vector<SequenceOutcome> ExecutionBackend::AcquireOutcomeBuffer(size_t n) {
+  std::vector<SequenceOutcome> buf;
+  if (!outcome_pool_.empty()) {
+    buf = std::move(outcome_pool_.back());
+    outcome_pool_.pop_back();
+  }
+  while (buf.size() > n) {
+    if (spare_outcomes_.size() < kMaxPooledBuffers * 4) {
+      spare_outcomes_.push_back(std::move(buf.back()));
+    }
+    buf.pop_back();
+  }
+  if (buf.capacity() < n) buf.reserve(n);
+  while (buf.size() < n) {
+    if (!spare_outcomes_.empty()) {
+      buf.push_back(std::move(spare_outcomes_.back()));
+      spare_outcomes_.pop_back();
+    } else {
+      buf.emplace_back();
+    }
+  }
+  return buf;
+}
+
+void ExecutionBackend::RecycleOutcomes(std::vector<SequenceOutcome> outcomes) {
+  if (outcome_pool_.size() >= kMaxPooledBuffers) return;
+  outcome_pool_.push_back(std::move(outcomes));
+}
+
+void ExecutionBackend::StashSpentPlans(std::vector<SequencePlan> plans) {
+  if (plans.empty() || spent_plans_.size() >= kMaxPooledBuffers) return;
+  spent_plans_.push_back(std::move(plans));
+}
+
+std::vector<SequencePlan> ExecutionBackend::TakeSpentPlans() {
+  if (spent_plans_.empty()) return {};
+  std::vector<SequencePlan> plans = std::move(spent_plans_.back());
+  spent_plans_.pop_back();
+  return plans;
 }
 
 SessionBackend::SessionBackend(Host* host, BlockContext block,
@@ -93,32 +140,36 @@ void SessionBackend::Rewind() {
 }
 
 SequenceOutcome SessionBackend::ExecuteSequence(const SequencePlan& plan) {
+  SequenceOutcome out;
+  ExecuteSequenceInto(plan, &out);
+  return out;
+}
+
+void SessionBackend::ExecuteSequenceInto(const SequencePlan& plan,
+                                         SequenceOutcome* out) {
   CheckBound();
   Rewind();
   host_->OnSequenceStart(plan.host_seed);
-  SequenceOutcome out;
-  out.txs.reserve(plan.txs.size());
+  out->ResetForReuse(plan.txs.size());
   trace_.Clear();
-  for (const PreparedTx& ptx : plan.txs) {
+  for (size_t i = 0; i < plan.txs.size(); ++i) {
+    const PreparedTx& ptx = plan.txs[i];
     host_->OnTransactionStart(ptx.request.data);
     ExecResult result = session_->Apply(ptx.request);
-    TxOutcome txo;
+    TxOutcome& txo = out->txs[i];
     txo.tag = ptx.tag;
     txo.success = result.Success();
     txo.outcome = result.outcome;
     txo.gas_used = result.gas_used;
-    txo.cmps = session_->interpreter().cmp_records();
-    txo.trace = std::move(trace_);
-    trace_.Clear();
-    out.instructions += txo.trace.instruction_count();
-    out.touched_pcs.reserve(out.touched_pcs.size() +
-                            txo.trace.branches().size());
+    session_->interpreter().TakeCmpRecords(&txo.cmps);
+    // The recorded events land in the outcome slot; the slot's warm (cleared)
+    // buffers come back to record the next transaction. O(1), no copies.
+    trace_.Swap(&txo.trace);
+    out->instructions += txo.trace.instruction_count();
     for (const BranchEvent& ev : txo.trace.branches()) {
-      out.touched_pcs.push_back(ev.pc);
+      out->touched_pcs.push_back(ev.pc);
     }
-    out.txs.push_back(std::move(txo));
   }
-  return out;
 }
 
 CodeCacheStats SessionBackend::code_cache_stats() const {

@@ -46,6 +46,23 @@ struct TxOutcome {
   uint64_t gas_used = 0;
   TraceRecorder trace;
   std::vector<CmpRecord> cmps;
+
+  /// One oversized sequence must not pin its peak buffers in the recycle
+  /// pools forever; anything past this per-vector capacity is released.
+  static constexpr size_t kMaxRetainedEvents = 1 << 14;
+
+  /// Clears payload but keeps (bounded) heap capacity so a recycled outcome
+  /// records the next transaction without reallocating.
+  void ResetForReuse() {
+    tag = 0;
+    success = false;
+    outcome = Outcome::kSuccess;
+    gas_used = 0;
+    trace.Clear();
+    trace.ShrinkIfOversized(kMaxRetainedEvents);
+    cmps.clear();
+    if (cmps.capacity() > kMaxRetainedEvents) cmps.shrink_to_fit();
+  }
 };
 
 /// Everything one executed SequencePlan produced, in transaction order.
@@ -55,6 +72,30 @@ struct SequenceOutcome {
   uint64_t instructions = 0;
   /// Branch pcs executed, flattened across transactions (trace order).
   std::vector<uint32_t> touched_pcs;
+  /// Warm TxOutcome slots parked when a shorter sequence reuses this
+  /// outcome; ResetForReuse pulls from here before allocating fresh slots,
+  /// so varying sequence lengths don't defeat recycling.
+  std::vector<TxOutcome> spare_txs;
+
+  /// Re-shapes the outcome for `tx_count` transactions, recycling every
+  /// transaction slot's trace/cmp capacity.
+  void ResetForReuse(size_t tx_count) {
+    while (txs.size() > tx_count) {
+      spare_txs.push_back(std::move(txs.back()));
+      txs.pop_back();
+    }
+    while (txs.size() < tx_count) {
+      if (!spare_txs.empty()) {
+        txs.push_back(std::move(spare_txs.back()));
+        spare_txs.pop_back();
+      } else {
+        txs.emplace_back();
+      }
+    }
+    for (TxOutcome& t : txs) t.ResetForReuse();
+    instructions = 0;
+    touched_pcs.clear();
+  }
 };
 
 /// The execution substrate a fuzzing campaign drives: deploy once, mark the
@@ -114,6 +155,15 @@ class ExecutionBackend {
   /// applies each transaction, collecting a self-contained outcome.
   virtual SequenceOutcome ExecuteSequence(const SequencePlan& plan) = 0;
 
+  /// Executes one plan into a caller-provided outcome slot, reusing its heap
+  /// capacity. Semantically identical to `*out = ExecuteSequence(plan)`; the
+  /// in-process backend overrides it with a swap-based implementation that
+  /// makes the steady-state hot path allocation-free.
+  virtual void ExecuteSequenceInto(const SequencePlan& plan,
+                                   SequenceOutcome* out) {
+    *out = ExecuteSequence(plan);
+  }
+
   /// Executes `plans` and returns their outcomes in submission order.
   /// Default: a serial loop over ExecuteSequence; concurrent backends
   /// override (or inherit via SubmitBatch) and may execute out of order —
@@ -139,6 +189,17 @@ class ExecutionBackend {
   /// order relative to other outstanding tickets.
   virtual std::vector<SequenceOutcome> WaitBatch(BatchTicket ticket);
 
+  /// Returns redeemed outcome buffers to the backend's reuse pool; the next
+  /// SubmitBatch draws warm buffers from it instead of allocating. Client
+  /// thread only (the thread that calls SubmitBatch/WaitBatch), so the pools
+  /// need no locking. Pools are bounded; excess buffers are simply freed.
+  void RecycleOutcomes(std::vector<SequenceOutcome> outcomes);
+
+  /// Hands back the plans of a recently redeemed batch so the planner can
+  /// reuse their encoded-calldata capacity. Empty when none are stashed.
+  /// Client thread only.
+  std::vector<SequencePlan> TakeSpentPlans();
+
   /// Execution workers behind this backend (1 for in-process backends);
   /// callers may use it to size waves.
   virtual int worker_count() const { return 1; }
@@ -151,9 +212,29 @@ class ExecutionBackend {
   virtual const WorldState& state() const = 0;
 
  protected:
+  /// Draws a warm outcome buffer of exactly `n` elements from the recycle
+  /// pool (allocating only what the pool can't supply). Client thread only.
+  std::vector<SequenceOutcome> AcquireOutcomeBuffer(size_t n);
+  /// Parks a redeemed batch's plans for TakeSpentPlans. Client thread only.
+  void StashSpentPlans(std::vector<SequencePlan> plans);
+
   /// Stash for the synchronous SubmitBatch/WaitBatch default.
-  std::vector<std::pair<BatchTicket, std::vector<SequenceOutcome>>> pending_;
+  struct PendingBatch {
+    BatchTicket ticket = 0;
+    std::vector<SequencePlan> plans;
+    std::vector<SequenceOutcome> outcomes;
+  };
+  std::vector<PendingBatch> pending_;
   BatchTicket next_ticket_ = 1;
+
+ private:
+  /// Caps every recycle pool; beyond this, buffers are dropped on the floor
+  /// (correctness never depends on recycling).
+  static constexpr size_t kMaxPooledBuffers = 16;
+
+  std::vector<std::vector<SequenceOutcome>> outcome_pool_;
+  std::vector<SequenceOutcome> spare_outcomes_;
+  std::vector<std::vector<SequencePlan>> spent_plans_;
 };
 
 /// In-process backend: a ChainSession plus a TraceRecorder wired as its
@@ -184,6 +265,11 @@ class SessionBackend : public ExecutionBackend {
   void MarkDeployed() override;
   void Rewind() override;
   SequenceOutcome ExecuteSequence(const SequencePlan& plan) override;
+  /// The allocation-free primitive: trace buffers ping-pong between the
+  /// internal recorder and the outcome slot via swap, and comparison records
+  /// are stolen from the interpreter instead of copied.
+  void ExecuteSequenceInto(const SequencePlan& plan,
+                           SequenceOutcome* out) override;
 
   CodeCacheStats code_cache_stats() const override;
 

@@ -42,7 +42,7 @@ Result<Address> ChainSession::Deploy(const Bytes& runtime_code,
 }
 
 ExecResult ChainSession::Apply(const TransactionRequest& tx) {
-  MessageCall call;
+  MessageCall& call = apply_call_;
   call.to = tx.to;
   call.code_address = tx.to;
   call.caller = tx.sender;

@@ -69,6 +69,10 @@ class ChainSession {
   Interpreter interpreter_;
   BlockContext block_;
   uint64_t next_contract_nonce_ = 1;
+  /// Reused MessageCall for Apply(): copy-assigning the calldata into the
+  /// warm buffer keeps the per-transaction path allocation-free (the
+  /// interpreter only reads the call for the duration of the frame).
+  MessageCall apply_call_;
 };
 
 }  // namespace mufuzz::evm

@@ -1,0 +1,142 @@
+#ifndef MUFUZZ_EVM_FRAME_ARENA_H_
+#define MUFUZZ_EVM_FRAME_ARENA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "evm/memory.h"
+#include "evm/stack.h"
+
+namespace mufuzz::evm {
+
+/// Word-granular memory taint tags of one call frame (offset/32 → taint +
+/// call id), so flows like `bool ok = send(...); require(ok)` survive the
+/// memory round trip.
+///
+/// Open-addressing flat map (linear probing, backward-shift deletion)
+/// replacing the per-frame std::unordered_map: the table's capacity is
+/// retained across frames through Clear(), so in steady state the
+/// MSTORE/MLOAD taint path never allocates — an unordered_map frees its
+/// nodes on clear() and re-buys them next frame. Only tainted words live
+/// here (storing taint 0 erases), so tables stay small; Clear is O(table)
+/// with an O(1) fast path for the common untainted frame.
+class MemTaintMap {
+ public:
+  struct Tag {
+    uint32_t taint = 0;
+    int32_t call_id = -1;
+  };
+
+  /// Tag for `word`, or nullptr if untainted. Valid until the next Set.
+  const Tag* Find(uint64_t word) const {
+    if (live_ == 0) return nullptr;
+    const size_t mask = table_.size() - 1;
+    for (size_t i = static_cast<size_t>(word) & mask;; i = (i + 1) & mask) {
+      const Entry& e = table_[i];
+      if (!e.live) return nullptr;
+      if (e.word == word) return &e.tag;
+    }
+  }
+
+  /// Inserts or overwrites the tag for `word`.
+  void Set(uint64_t word, Tag tag) {
+    if (table_.empty() || (live_ + 1) * 4 > table_.size() * 3) Grow();
+    const size_t mask = table_.size() - 1;
+    for (size_t i = static_cast<size_t>(word) & mask;; i = (i + 1) & mask) {
+      Entry& e = table_[i];
+      if (!e.live) {
+        e.word = word;
+        e.tag = tag;
+        e.live = true;
+        ++live_;
+        return;
+      }
+      if (e.word == word) {
+        e.tag = tag;
+        return;
+      }
+    }
+  }
+
+  /// Removes `word`'s tag if present (backward-shift deletion: linear
+  /// probing stays tombstone-free, lookups never degrade).
+  void Erase(uint64_t word) {
+    if (live_ == 0) return;
+    const size_t mask = table_.size() - 1;
+    size_t hole = static_cast<size_t>(word) & mask;
+    for (;; hole = (hole + 1) & mask) {
+      if (!table_[hole].live) return;
+      if (table_[hole].word == word) break;
+    }
+    for (size_t j = (hole + 1) & mask; table_[j].live; j = (j + 1) & mask) {
+      size_t home = static_cast<size_t>(table_[j].word) & mask;
+      bool reachable = hole <= j ? (home <= hole || home > j)
+                                 : (home <= hole && home > j);
+      if (reachable) {
+        table_[hole] = table_[j];
+        hole = j;
+      }
+    }
+    table_[hole].live = false;
+    --live_;
+  }
+
+  /// Empties the map, retaining capacity (up to a cap so one taint-heavy
+  /// frame cannot make every later clear pay for its high-water mark).
+  void Clear() {
+    if (live_ == 0) return;
+    if (table_.size() > kMaxRetainedEntries) table_.resize(kMaxRetainedEntries);
+    std::fill(table_.begin(), table_.end(), Entry{});
+    live_ = 0;
+  }
+
+  size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    uint64_t word = 0;
+    Tag tag;
+    bool live = false;
+  };
+
+  static constexpr size_t kMinCapacity = 16;          // power of two
+  static constexpr size_t kMaxRetainedEntries = 1024;  // power of two
+
+  void Grow() {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(old.empty() ? kMinCapacity : old.size() * 2, Entry{});
+    live_ = 0;
+    for (const Entry& e : old) {
+      if (e.live) Set(e.word, e.tag);
+    }
+  }
+
+  std::vector<Entry> table_;  ///< power-of-two when non-empty
+  size_t live_ = 0;
+};
+
+/// Reusable state of one call frame: operand stack, byte memory, the last
+/// child call's return data, and the word-taint map. The interpreter keeps
+/// a stack-disciplined pool of these (one live arena per active frame,
+/// recursion included), so in steady state frame entry is four
+/// capacity-retaining clears instead of four container constructions — the
+/// dominant per-transaction allocation cost before arenas.
+struct FrameArena {
+  Stack stack;
+  Memory memory;
+  Bytes return_data;
+  MemTaintMap mem_taint;
+
+  void Reset() {
+    stack.Clear();
+    memory.Clear();
+    return_data.clear();
+    mem_taint.Clear();
+  }
+};
+
+}  // namespace mufuzz::evm
+
+#endif  // MUFUZZ_EVM_FRAME_ARENA_H_

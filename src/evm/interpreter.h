@@ -8,6 +8,7 @@
 #include "common/address.h"
 #include "common/bytes.h"
 #include "common/u256.h"
+#include "evm/frame_arena.h"
 #include "evm/host.h"
 #include "evm/trace.h"
 #include "evm/world_state.h"
@@ -117,6 +118,14 @@ class Interpreter : public ReentryHandle {
   /// BranchEvent::cmp_id indexes into this.
   const std::vector<CmpRecord>& cmp_records() const { return cmp_records_; }
 
+  /// Steals the last transaction's comparison records into `out` (cleared
+  /// first), handing the interpreter `out`'s warm buffer in exchange — the
+  /// allocation-free alternative to copying cmp_records() per transaction.
+  void TakeCmpRecords(std::vector<CmpRecord>* out) {
+    out->clear();
+    out->swap(cmp_records_);
+  }
+
   /// ReentryHandle: used by adversarial hosts to call back into contracts.
   bool Reenter(const Address& target, const Address& sender,
                const U256& value, const Bytes& data, uint64_t gas) override;
@@ -154,6 +163,32 @@ class Interpreter : public ReentryHandle {
   ExecResult RunFrameJit(const MessageCall& call, const DecodedCode& decoded,
                          const CompiledCode& compiled);
 
+  /// Checks out the next free frame arena (Reset, ready to use). Arenas are
+  /// pooled with stack discipline — every live frame holds exactly one, so
+  /// indexing by an acquisition counter stays correct under host reentry,
+  /// where two frames can share a `call.depth`.
+  FrameArena& AcquireFrameArena() {
+    if (arena_top_ == frame_arenas_.size()) {
+      frame_arenas_.push_back(std::make_unique<FrameArena>());
+    }
+    FrameArena& arena = *frame_arenas_[arena_top_++];
+    arena.Reset();
+    return arena;
+  }
+
+  /// RAII checkout of a frame arena for the duration of one RunFrame* body
+  /// (they return from many places; the lease releases on every path).
+  struct ArenaLease {
+    explicit ArenaLease(Interpreter* interp)
+        : interp(interp), arena(interp->AcquireFrameArena()) {}
+    ~ArenaLease() { --interp->arena_top_; }
+    ArenaLease(const ArenaLease&) = delete;
+    ArenaLease& operator=(const ArenaLease&) = delete;
+
+    Interpreter* interp;
+    FrameArena& arena;
+  };
+
   WorldState* state_;
   Host* host_;
   BlockContext block_;
@@ -170,6 +205,12 @@ class Interpreter : public ReentryHandle {
   /// before reading it, so construction would be pure overhead, and the
   /// decoded loop's lazily-grown std::vector stack never pays it either.
   std::vector<std::unique_ptr<unsigned char[]>> jit_stacks_;
+  /// Stack-disciplined pool of frame arenas (see FrameArena): arenas_[i]
+  /// belongs to the i-th live frame on this interpreter's call stack.
+  /// Capacity persists for the session lifetime, so steady-state frames
+  /// reuse warm containers instead of constructing fresh ones.
+  std::vector<std::unique_ptr<FrameArena>> frame_arenas_;
+  size_t arena_top_ = 0;
 };
 
 }  // namespace mufuzz::evm

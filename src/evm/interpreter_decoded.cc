@@ -101,15 +101,15 @@ ExecResult Interpreter::RunFrameDecoded(const MessageCall& call,
   const DecodedInsn* const insns = decoded.insns.data();
   const int32_t* const pc_to_insn = decoded.pc_to_insn.data();
 
-  Stack stack;
-  Memory memory;
+  // Frame state lives in a pooled arena: warm containers checked out for
+  // the duration of this frame (nested calls check out their own).
+  ArenaLease lease(this);
+  Stack& stack = lease.arena.stack;
+  Memory& memory = lease.arena.memory;
   // Word-granular memory instrumentation, identical to the byte loop.
-  struct MemTag {
-    uint32_t taint = 0;
-    int32_t call_id = -1;
-  };
-  std::unordered_map<uint64_t, MemTag> mem_taint;
-  Bytes return_data;
+  using MemTag = MemTaintMap::Tag;
+  MemTaintMap& mem_taint = lease.arena.mem_taint;
+  Bytes& return_data = lease.arena.return_data;
   bool caller_guard_seen = false;
   uint64_t gas = call.gas;
   size_t ip = 0;        ///< index into decoded.insns
@@ -130,12 +130,12 @@ ExecResult Interpreter::RunFrameDecoded(const MessageCall& call,
 
   auto mem_tag_load = [&](uint64_t offset) -> MemTag {
     MemTag tag;
-    auto it = mem_taint.find(offset / 32);
-    if (it != mem_taint.end()) tag = it->second;
+    const MemTag* found = mem_taint.Find(offset / 32);
+    if (found != nullptr) tag = *found;
     if (offset % 32 != 0) {
-      it = mem_taint.find(offset / 32 + 1);
-      if (it != mem_taint.end()) {
-        tag.taint |= it->second.taint;
+      found = mem_taint.Find(offset / 32 + 1);
+      if (found != nullptr) {
+        tag.taint |= found->taint;
         tag.call_id = -1;  // misaligned: call identity is lost
       }
     }
@@ -146,9 +146,9 @@ ExecResult Interpreter::RunFrameDecoded(const MessageCall& call,
     if (len == 0) return;
     for (uint64_t w = offset / 32; w <= (offset + len - 1) / 32; ++w) {
       if (taint == 0 && call_id < 0) {
-        mem_taint.erase(w);
+        mem_taint.Erase(w);
       } else {
-        mem_taint[w] = MemTag{taint, call_id};
+        mem_taint.Set(w, MemTag{taint, call_id});
       }
     }
   };
@@ -156,8 +156,8 @@ ExecResult Interpreter::RunFrameDecoded(const MessageCall& call,
     uint32_t t = 0;
     if (len == 0) return t;
     for (uint64_t w = offset / 32; w <= (offset + len - 1) / 32; ++w) {
-      auto it = mem_taint.find(w);
-      if (it != mem_taint.end()) t |= it->second.taint;
+      const MemTag* found = mem_taint.Find(w);
+      if (found != nullptr) t |= found->taint;
     }
     return t;
   };
@@ -415,8 +415,8 @@ dispatch_top:
     uint64_t offset = off.value.low64();
     uint64_t length = len.value.low64();
     if (!charge(6 * ((length + 31) / 32))) return out_of_gas();
-    Bytes input;
-    if (!memory.CopyOut(offset, length, &input)) {
+    BytesView input;
+    if (!memory.ViewOut(offset, length, &input)) {
       return ExecResult{Outcome::kMemoryError, {}, call.gas - gas};
     }
     auto digest = Keccak256(input);

@@ -93,20 +93,23 @@ constexpr uint32_t kCtlDone = 3;     ///< frame->result holds the ExecResult
 /// Full per-frame state. JitFrameRaw must stay the first member: emitted
 /// code addresses the raw prefix, helpers recover the full frame from it.
 struct JitExec {
-  struct MemTag {
-    uint32_t taint = 0;
-    int32_t call_id = -1;
-  };
+  using MemTag = MemTaintMap::Tag;
 
   struct Frame {
     JitFrameRaw raw;
     Interpreter* it = nullptr;
     const MessageCall* call = nullptr;
     const DecodedCode* decoded = nullptr;
-    Memory memory;
-    std::unordered_map<uint64_t, MemTag> mem_taint;
-    Bytes return_data;
+    // Pooled frame state (see FrameArena): the arena this frame checked
+    // out, so compiled frames reuse warm containers exactly like both
+    // interpreter loops. A pointer (not references) keeps Frame standard
+    // layout for the raw-prefix offsetof contract below.
+    FrameArena* arena = nullptr;
     ExecResult result;
+
+    Memory& memory() const { return arena->memory; }
+    MemTaintMap& mem_taint() const { return arena->mem_taint; }
+    Bytes& return_data() const { return arena->return_data; }
   };
 
   static Frame& F(JitFrameRaw* raw) {
@@ -193,12 +196,12 @@ struct JitExec {
   // -- Word-granular memory instrumentation (identical to the loops). ------
   static MemTag MemTagLoad(Frame& f, uint64_t offset) {
     MemTag tag;
-    auto it = f.mem_taint.find(offset / 32);
-    if (it != f.mem_taint.end()) tag = it->second;
+    const MemTag* found = f.mem_taint().Find(offset / 32);
+    if (found != nullptr) tag = *found;
     if (offset % 32 != 0) {
-      it = f.mem_taint.find(offset / 32 + 1);
-      if (it != f.mem_taint.end()) {
-        tag.taint |= it->second.taint;
+      found = f.mem_taint().Find(offset / 32 + 1);
+      if (found != nullptr) {
+        tag.taint |= found->taint;
         tag.call_id = -1;  // misaligned: call identity is lost
       }
     }
@@ -209,9 +212,9 @@ struct JitExec {
     if (len == 0) return;
     for (uint64_t w = offset / 32; w <= (offset + len - 1) / 32; ++w) {
       if (taint == 0 && call_id < 0) {
-        f.mem_taint.erase(w);
+        f.mem_taint().Erase(w);
       } else {
-        f.mem_taint[w] = MemTag{taint, call_id};
+        f.mem_taint().Set(w, MemTag{taint, call_id});
       }
     }
   }
@@ -219,8 +222,8 @@ struct JitExec {
     uint32_t t = 0;
     if (len == 0) return t;
     for (uint64_t w = offset / 32; w <= (offset + len - 1) / 32; ++w) {
-      auto it = f.mem_taint.find(w);
-      if (it != f.mem_taint.end()) t |= it->second.taint;
+      const MemTag* found = f.mem_taint().Find(w);
+      if (found != nullptr) t |= found->taint;
     }
     return t;
   }
@@ -447,8 +450,8 @@ struct JitExec {
     uint64_t offset = off.value.low64();
     uint64_t length = len.value.low64();
     if (!Charge(f, 6 * ((length + 31) / 32))) return FailOutOfGas(f);
-    Bytes input;
-    if (!f.memory.CopyOut(offset, length, &input)) return FailMem(f);
+    BytesView input;
+    if (!f.memory().ViewOut(offset, length, &input)) return FailMem(f);
     auto digest = Keccak256(input);
     U256 r = U256::FromBytesBE(BytesView(digest.data(), 32)).value();
     if (!PushW(f, Word(r, MemTaintRange(f, offset, length)))) {
@@ -549,7 +552,7 @@ struct JitExec {
     Word len = PopW(f);
     if (!dst.value.FitsU64() || !len.value.FitsU64()) return FailMem(f);
     uint64_t src_off = src.value.FitsU64() ? src.value.low64() : UINT64_MAX;
-    if (!f.memory.CopyIn(dst.value.low64(), f.call->data, src_off,
+    if (!f.memory().CopyIn(dst.value.low64(), f.call->data, src_off,
                          len.value.low64())) {
       return FailMem(f);
     }
@@ -572,7 +575,7 @@ struct JitExec {
     Word len = PopW(f);
     if (!dst.value.FitsU64() || !len.value.FitsU64()) return FailMem(f);
     uint64_t src_off = src.value.FitsU64() ? src.value.low64() : UINT64_MAX;
-    if (!f.memory.CopyIn(dst.value.low64(), f.decoded->code, src_off,
+    if (!f.memory().CopyIn(dst.value.low64(), f.decoded->code, src_off,
                          len.value.low64())) {
       return FailMem(f);
     }
@@ -590,7 +593,7 @@ struct JitExec {
                                    const DecodedInsn* ins) {
     Frame& f = F(raw);
     if (!Prelude(f, ins)) return kCtlDone;
-    if (!PushW(f, Word(U256(f.return_data.size())))) return kCtlDone;
+    if (!PushW(f, Word(U256(f.return_data().size())))) return kCtlDone;
     return kCtlNext;
   }
 
@@ -603,7 +606,7 @@ struct JitExec {
     Word len = PopW(f);
     if (!dst.value.FitsU64() || !len.value.FitsU64()) return FailMem(f);
     uint64_t src_off = src.value.FitsU64() ? src.value.low64() : UINT64_MAX;
-    if (!f.memory.CopyIn(dst.value.low64(), f.return_data, src_off,
+    if (!f.memory().CopyIn(dst.value.low64(), f.return_data(), src_off,
                          len.value.low64())) {
       return FailMem(f);
     }
@@ -674,7 +677,7 @@ struct JitExec {
     Word off = PopW(f);
     if (!off.value.FitsU64()) return FailMem(f);
     U256 v;
-    if (!f.memory.Load32(off.value.low64(), &v)) return FailMem(f);
+    if (!f.memory().Load32(off.value.low64(), &v)) return FailMem(f);
     MemTag tag = MemTagLoad(f, off.value.low64());
     Word loaded(v, tag.taint);
     loaded.call_id = tag.call_id;
@@ -688,7 +691,7 @@ struct JitExec {
     Word off = PopW(f);
     Word val = PopW(f);
     if (!off.value.FitsU64() ||
-        !f.memory.Store32(off.value.low64(), val.value)) {
+        !f.memory().Store32(off.value.low64(), val.value)) {
       return FailMem(f);
     }
     MemTaintStore(f, off.value.low64(), 32, val.taint, val.call_id);
@@ -701,7 +704,7 @@ struct JitExec {
     Word off = PopW(f);
     Word val = PopW(f);
     if (!off.value.FitsU64() ||
-        !f.memory.Store8(off.value.low64(),
+        !f.memory().Store8(off.value.low64(),
                          static_cast<uint8_t>(val.value.low64() & 0xff))) {
       return FailMem(f);
     }
@@ -802,7 +805,7 @@ struct JitExec {
   static uint32_t OpMsize(JitFrameRaw* raw, const DecodedInsn* ins) {
     Frame& f = F(raw);
     if (!Prelude(f, ins)) return kCtlDone;
-    if (!PushW(f, Word(U256(f.memory.SizeWords() * 32)))) return kCtlDone;
+    if (!PushW(f, Word(U256(f.memory().SizeWords() * 32)))) return kCtlDone;
     return kCtlNext;
   }
 
@@ -826,7 +829,7 @@ struct JitExec {
     Word len = PopW(f);
     Bytes out;
     if (off.value.FitsU64() && len.value.FitsU64()) {
-      if (!f.memory.CopyOut(off.value.low64(), len.value.low64(), &out)) {
+      if (!f.memory().CopyOut(off.value.low64(), len.value.low64(), &out)) {
         return FailMem(f);
       }
     }
@@ -898,7 +901,7 @@ struct JitExec {
       return FailMem(f);
     }
     Bytes input;
-    if (!f.memory.CopyOut(in_off.value.low64(), in_len.value.low64(),
+    if (!f.memory().CopyOut(in_off.value.low64(), in_len.value.low64(),
                           &input)) {
       return FailMem(f);
     }
@@ -1006,11 +1009,11 @@ struct JitExec {
     ev.success = success;
     if (it->observer_ != nullptr) it->observer_->OnCall(ev);
 
-    f.return_data = child_output;
+    f.return_data() = child_output;
     uint64_t copy_len =
         std::min<uint64_t>(out_len.value.low64(), child_output.size());
     if (copy_len > 0) {
-      if (!f.memory.CopyIn(out_off.value.low64(), child_output, 0,
+      if (!f.memory().CopyIn(out_off.value.low64(), child_output, 0,
                            copy_len)) {
         return FailMem(f);
       }
@@ -1237,18 +1240,25 @@ ExecResult JitExec::Run(Interpreter* it, const MessageCall& call,
   // exactly as both interpreter loops do before dispatching.
   it->state_->Touch(call.to);
 
-  // Operand stack: a pooled, uninitialized buffer reused across frames at
-  // the same depth (nested calls stack up their own) — every slot is
-  // written before it is read, and constructing 1024 Words per frame costs
-  // more than many whole transactions.
-  const size_t depth = static_cast<size_t>(call.depth);
-  if (it->jit_stacks_.size() <= depth) it->jit_stacks_.resize(depth + 1);
-  if (it->jit_stacks_[depth] == nullptr) {
-    it->jit_stacks_[depth].reset(
+  // Memory / taint map / return data come from the pooled arena, like both
+  // interpreter loops. The operand stack keeps its own uninitialized pool —
+  // every slot is written before it is read, and constructing 1024 Words
+  // per frame costs more than many whole transactions — indexed by the
+  // lease slot (live-frame count), not call.depth: host reentry can put two
+  // live frames at the same depth, and they must not share a buffer.
+  Interpreter::ArenaLease lease(it);
+  const size_t slot = it->arena_top_ - 1;
+  if (it->jit_stacks_.size() <= slot) it->jit_stacks_.resize(slot + 1);
+  if (it->jit_stacks_[slot] == nullptr) {
+    it->jit_stacks_[slot].reset(
         new unsigned char[sizeof(Word) * Stack::kMaxDepth]);
   }
   Frame f;
-  f.raw.stack = it->jit_stacks_[depth].get();
+  f.arena = &lease.arena;
+  f.it = it;
+  f.call = &call;
+  f.decoded = &decoded;
+  f.raw.stack = it->jit_stacks_[slot].get();
   f.raw.sp = 0;
   f.raw.gas = call.gas;
   f.raw.steps_ptr = &it->steps_;
@@ -1257,9 +1267,6 @@ ExecResult JitExec::Run(Interpreter* it, const MessageCall& call,
   f.raw.jump_ip = 0;
   f.raw.checked = 1;
   f.raw.depth = call.depth;
-  f.it = it;
-  f.call = &call;
-  f.decoded = &decoded;
 
   compiled.entry(&f.raw);
   return f.result;

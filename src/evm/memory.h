@@ -37,6 +37,26 @@ class Memory {
   /// Returns a copy of [offset, offset+len) (expanding as needed).
   bool CopyOut(uint64_t offset, uint64_t len, Bytes* out);
 
+  /// In-place view of [offset, offset+len) (expanding as needed). Returns
+  /// false if expansion fails. The view is invalidated by the next Expand /
+  /// Store / CopyIn — callers must consume it before touching memory again.
+  /// This is the zero-copy path for KECCAK256, which only reads the range.
+  bool ViewOut(uint64_t offset, uint64_t len, BytesView* out) {
+    if (len == 0) {
+      *out = BytesView();
+      return true;
+    }
+    if (len > kMaxBytes) return false;
+    if (!Expand(offset, len)) return false;
+    *out = BytesView(data_.data() + offset, len);
+    return true;
+  }
+
+  /// Empties the memory, retaining capacity (frame-arena reuse); the next
+  /// Expand re-zeroes whatever it covers, so a reused frame still sees
+  /// all-zero memory.
+  void Clear() { data_.clear(); }
+
   size_t size() const { return data_.size(); }
   /// Number of 32-byte words currently allocated (MSIZE).
   uint64_t SizeWords() const { return (data_.size() + 31) / 32; }

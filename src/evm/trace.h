@@ -172,6 +172,39 @@ class TraceRecorder : public ExecObserver {
     instruction_count_ = 0;
   }
 
+  /// O(1) capacity exchange — the recycle discipline of the execution
+  /// backend: the recorder that accumulated a transaction's events swaps
+  /// into the outcome slot, and the slot's (cleared) buffers swap back to
+  /// record the next transaction. No event vector is ever reallocated in
+  /// steady state.
+  void Swap(TraceRecorder* other) {
+    branches_.swap(other->branches_);
+    jumps_.swap(other->jumps_);
+    calls_.swap(other->calls_);
+    stores_.swap(other->stores_);
+    overflows_.swap(other->overflows_);
+    selfdestructs_.swap(other->selfdestructs_);
+    balance_reads_.swap(other->balance_reads_);
+    block_reads_.swap(other->block_reads_);
+    checked_calls_.swap(other->checked_calls_);
+    std::swap(instruction_count_, other->instruction_count_);
+  }
+
+  /// Shrink-to-reuse hygiene: frees any event buffer whose capacity grew
+  /// past `max_events` (a pathological sequence shouldn't pin its peak
+  /// footprint in the recycle pools forever). Call after Clear().
+  void ShrinkIfOversized(size_t max_events) {
+    if (branches_.capacity() > max_events) branches_.shrink_to_fit();
+    if (jumps_.capacity() > max_events) jumps_.shrink_to_fit();
+    if (calls_.capacity() > max_events) calls_.shrink_to_fit();
+    if (stores_.capacity() > max_events) stores_.shrink_to_fit();
+    if (overflows_.capacity() > max_events) overflows_.shrink_to_fit();
+    if (selfdestructs_.capacity() > max_events) selfdestructs_.shrink_to_fit();
+    if (balance_reads_.capacity() > max_events) balance_reads_.shrink_to_fit();
+    if (block_reads_.capacity() > max_events) block_reads_.shrink_to_fit();
+    if (checked_calls_.capacity() > max_events) checked_calls_.shrink_to_fit();
+  }
+
  private:
   std::vector<BranchEvent> branches_;
   std::vector<JumpEdge> jumps_;

@@ -4,6 +4,151 @@
 
 namespace mufuzz::evm {
 
+// ------------------------------------------------------------------ Storage --
+
+const Storage::Entry* Storage::FindEntry(const U256& key) const {
+  if (!spilled()) {
+    for (size_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i].key == key) return &inline_[i];
+    }
+    return nullptr;
+  }
+  const size_t mask = table_.size() - 1;
+  size_t i = U256::Hasher()(key) & mask;
+  while (table_[i].live) {
+    if (table_[i].key == key) return &table_[i];
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void Storage::EraseInline(size_t index) {
+  inline_[index] = inline_[inline_count_ - 1];
+  --inline_count_;
+}
+
+void Storage::EraseTable(size_t index) {
+  // Backward-shift deletion keeps probe chains intact without tombstones:
+  // walk forward from the hole and pull back every entry whose probe path
+  // crosses it.
+  const size_t mask = table_.size() - 1;
+  size_t hole = index;
+  size_t i = (index + 1) & mask;
+  while (table_[i].live) {
+    size_t ideal = U256::Hasher()(table_[i].key) & mask;
+    if (((i - ideal) & mask) >= ((i - hole) & mask)) {
+      table_[hole] = table_[i];
+      hole = i;
+    }
+    i = (i + 1) & mask;
+  }
+  table_[hole].live = false;
+  --table_live_;
+}
+
+void Storage::TableInsert(const Entry& entry) {
+  if ((table_live_ + 1) * 4 > table_.size() * 3) {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(old.size() * 2, Entry{});
+    table_live_ = 0;
+    for (const Entry& e : old) {
+      if (e.live) TableInsert(e);
+    }
+  }
+  const size_t mask = table_.size() - 1;
+  size_t i = U256::Hasher()(entry.key) & mask;
+  while (table_[i].live) i = (i + 1) & mask;
+  table_[i] = entry;
+  table_[i].live = true;
+  ++table_live_;
+}
+
+void Storage::MigrateToTable() {
+  table_.assign(4 * kInlineCapacity, Entry{});
+  table_live_ = 0;
+  for (size_t i = 0; i < inline_count_; ++i) TableInsert(inline_[i]);
+  inline_count_ = 0;
+}
+
+std::pair<U256, uint32_t> Storage::Exchange(const U256& key,
+                                            const U256& value,
+                                            uint32_t taint) {
+  Entry* e = const_cast<Entry*>(FindEntry(key));
+  if (e == nullptr) {
+    if (value.IsZero() && taint == 0) return {U256::Zero(), 0};
+    if (!value.IsZero()) ++value_count_;
+    if (taint != 0) ++taint_count_;
+    Entry fresh;
+    fresh.key = key;
+    fresh.value = value;
+    fresh.taint = taint;
+    if (!spilled()) {
+      if (inline_count_ < kInlineCapacity) {
+        inline_[inline_count_++] = fresh;
+        return {U256::Zero(), 0};
+      }
+      MigrateToTable();
+    }
+    TableInsert(fresh);
+    return {U256::Zero(), 0};
+  }
+
+  U256 prev = e->value;
+  uint32_t prev_taint = e->taint;
+  if (!prev.IsZero() && value.IsZero()) --value_count_;
+  if (prev.IsZero() && !value.IsZero()) ++value_count_;
+  if (prev_taint != 0 && taint == 0) --taint_count_;
+  if (prev_taint == 0 && taint != 0) ++taint_count_;
+  if (value.IsZero() && taint == 0) {
+    if (spilled()) {
+      EraseTable(static_cast<size_t>(e - table_.data()));
+    } else {
+      EraseInline(static_cast<size_t>(e - inline_.data()));
+    }
+  } else {
+    e->value = value;
+    e->taint = taint;
+  }
+  return {prev, prev_taint};
+}
+
+std::unordered_map<U256, U256, U256::Hasher> Storage::slots() const {
+  std::unordered_map<U256, U256, U256::Hasher> out;
+  out.reserve(value_count_);
+  ForEach([&out](const Entry& e) {
+    if (!e.value.IsZero()) out.emplace(e.key, e.value);
+  });
+  return out;
+}
+
+std::unordered_map<U256, uint32_t, U256::Hasher> Storage::taints() const {
+  std::unordered_map<U256, uint32_t, U256::Hasher> out;
+  out.reserve(taint_count_);
+  ForEach([&out](const Entry& e) {
+    if (e.taint != 0) out.emplace(e.key, e.taint);
+  });
+  return out;
+}
+
+bool operator==(const Storage& a, const Storage& b) {
+  if (a.value_count_ != b.value_count_ || a.taint_count_ != b.taint_count_ ||
+      a.live_count() != b.live_count()) {
+    return false;
+  }
+  bool equal = true;
+  a.ForEach([&](const Storage::Entry& e) {
+    if (!equal) return;
+    const Storage::Entry* other = b.FindEntry(e.key);
+    if (other == nullptr || !(other->value == e.value) ||
+        other->taint != e.taint) {
+      equal = false;
+    }
+  });
+  return equal;
+}
+
+// --------------------------------------------------------------- WorldState --
+
 Account& WorldState::Ensure(const Address& addr) {
   auto it = accounts_.find(addr);
   if (it != accounts_.end()) return it->second;

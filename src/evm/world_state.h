@@ -1,6 +1,7 @@
 #ifndef MUFUZZ_EVM_WORLD_STATE_H_
 #define MUFUZZ_EVM_WORLD_STATE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -22,83 +23,100 @@ struct DecodedCode;
 /// Alongside each slot a taint mask is kept so that flows like "block
 /// timestamp written by tx1, branched on by tx2" survive across transactions
 /// — the oracles need sequence-level taint, not just intra-transaction taint.
+///
+/// Layout: slot value and taint share one entry (a key is live iff its
+/// value or taint is nonzero — the old twin-hash-map semantics, merged), in
+/// a flat structure with two tiers. Most contracts touch a handful of
+/// slots, so entries start in a small inline array scanned linearly — no
+/// heap at all on the SSTORE/SLOAD path; accounts that outgrow it migrate
+/// once into an open-addressing table (linear probing, backward-shift
+/// deletion) whose capacity then only grows. The journaled SSTORE path
+/// (Exchange) is a single probe either way.
 class Storage {
  public:
   U256 Load(const U256& key) const {
-    auto it = slots_.find(key);
-    return it == slots_.end() ? U256::Zero() : it->second;
+    const Entry* e = FindEntry(key);
+    return e == nullptr ? U256::Zero() : e->value;
   }
 
   /// Taint recorded by the most recent store to `key` (kTaintNone if unset).
   uint32_t LoadTaint(const U256& key) const {
-    auto it = taints_.find(key);
-    return it == taints_.end() ? 0 : it->second;
+    const Entry* e = FindEntry(key);
+    return e == nullptr ? 0 : e->taint;
   }
 
   void Store(const U256& key, const U256& value, uint32_t taint = 0) {
     (void)Exchange(key, value, taint);
   }
 
-  /// Store that also returns the previous (value, taint) — one probe per
-  /// map instead of the Load + LoadTaint + Store double-probing the
-  /// journaled SSTORE path would otherwise pay. Writing zero erases the
-  /// slot (and zero taint erases the mask) so the maps stay compact.
+  /// Store that also returns the previous (value, taint) — one probe
+  /// instead of the Load + LoadTaint + Store triple-probing the journaled
+  /// SSTORE path would otherwise pay. Writing zero erases the slot (and
+  /// zero taint erases the mask) so the map stays compact.
   std::pair<U256, uint32_t> Exchange(const U256& key, const U256& value,
-                                     uint32_t taint) {
-    U256 prev;
-    if (value.IsZero()) {
-      auto it = slots_.find(key);
-      if (it != slots_.end()) {
-        prev = it->second;
-        slots_.erase(it);
-      }
-    } else {
-      auto res = slots_.try_emplace(key, value);
-      if (!res.second) {
-        prev = res.first->second;
-        res.first->second = value;
-      }
-    }
-    uint32_t prev_taint = 0;
-    if (taint == 0) {
-      auto it = taints_.find(key);
-      if (it != taints_.end()) {
-        prev_taint = it->second;
-        taints_.erase(it);
-      }
-    } else {
-      auto res = taints_.try_emplace(key, taint);
-      if (!res.second) {
-        prev_taint = res.first->second;
-        res.first->second = taint;
-      }
-    }
-    return {prev, prev_taint};
-  }
+                                     uint32_t taint);
 
-  size_t size() const { return slots_.size(); }
-  bool empty() const { return slots_.empty(); }
+  /// Live slots (nonzero value), matching the old value-map size.
+  size_t size() const { return value_count_; }
+  bool empty() const { return value_count_ == 0; }
   void Clear() {
-    slots_.clear();
-    taints_.clear();
+    inline_count_ = 0;
+    table_.clear();
+    table_live_ = 0;
+    value_count_ = 0;
+    taint_count_ = 0;
   }
 
-  const std::unordered_map<U256, U256, U256::Hasher>& slots() const {
-    return slots_;
-  }
+  /// Materialized value view (by value — storage is no longer backed by a
+  /// hash map; tests and dumps are the only consumers).
+  std::unordered_map<U256, U256, U256::Hasher> slots() const;
   /// Per-slot taint masks — exposed so tests can assert that taint survives
   /// snapshot/revert, not just slot values.
-  const std::unordered_map<U256, uint32_t, U256::Hasher>& taints() const {
-    return taints_;
-  }
+  std::unordered_map<U256, uint32_t, U256::Hasher> taints() const;
 
-  friend bool operator==(const Storage& a, const Storage& b) {
-    return a.slots_ == b.slots_ && a.taints_ == b.taints_;
-  }
+  /// Order-independent equality over live (value, taint) entries — exactly
+  /// the old slots_ == slots_ && taints_ == taints_ comparison.
+  friend bool operator==(const Storage& a, const Storage& b);
 
  private:
-  std::unordered_map<U256, U256, U256::Hasher> slots_;
-  std::unordered_map<U256, uint32_t, U256::Hasher> taints_;
+  struct Entry {
+    U256 key;
+    U256 value;
+    uint32_t taint = 0;
+    bool live = false;  ///< spill-table occupancy (inline uses count)
+  };
+
+  static constexpr size_t kInlineCapacity = 8;
+
+  bool spilled() const { return !table_.empty(); }
+  const Entry* FindEntry(const U256& key) const;
+  /// Visits every live entry (order unspecified).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (spilled()) {
+      for (const Entry& e : table_) {
+        if (e.live) fn(e);
+      }
+    } else {
+      for (size_t i = 0; i < inline_count_; ++i) fn(inline_[i]);
+    }
+  }
+
+  size_t live_count() const {
+    return spilled() ? table_live_ : inline_count_;
+  }
+  void EraseInline(size_t index);
+  void EraseTable(size_t index);
+  /// Inserts into the spill table (grows/rehashes at 3/4 load).
+  void TableInsert(const Entry& entry);
+  void MigrateToTable();
+
+  std::array<Entry, kInlineCapacity> inline_{};
+  size_t inline_count_ = 0;
+  std::vector<Entry> table_;  ///< power-of-two open-addressing spill tier
+  size_t table_live_ = 0;
+  size_t value_count_ = 0;  ///< live entries with nonzero value
+  size_t taint_count_ = 0;  ///< live entries with nonzero taint
 };
 
 /// One blockchain account: balance, code, and storage.

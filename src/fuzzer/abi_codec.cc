@@ -43,14 +43,19 @@ AbiCodec::AbiCodec(const lang::ContractAbi* abi,
 }
 
 Bytes AbiCodec::EncodeCalldata(const Tx& tx) const {
-  const lang::AbiFunction& fn = abi_->functions[tx.fn_index];
   Bytes data;
-  AppendU32BE(&data, fn.selector);
+  EncodeCalldataInto(tx, &data);
+  return data;
+}
+
+void AbiCodec::EncodeCalldataInto(const Tx& tx, Bytes* out) const {
+  const lang::AbiFunction& fn = abi_->functions[tx.fn_index];
+  out->clear();
+  AppendU32BE(out, fn.selector);
   for (size_t i = 0; i < fn.inputs.size(); ++i) {
     U256 word = i < tx.args.size() ? tx.args[i] : U256(0);
-    word.AppendBytesBE(&data);
+    word.AppendBytesBE(out);
   }
-  return data;
 }
 
 U256 AbiCodec::RandomValueForType(const Type& type, Rng* rng) const {

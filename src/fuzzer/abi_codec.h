@@ -26,6 +26,10 @@ class AbiCodec {
   /// Calldata for a transaction: selector + 32-byte words.
   Bytes EncodeCalldata(const Tx& tx) const;
 
+  /// EncodeCalldata into a caller-provided buffer (cleared first), reusing
+  /// its capacity — the plan-recycling path encodes without allocating.
+  void EncodeCalldataInto(const Tx& tx, Bytes* out) const;
+
   /// Typed random value for an ABI parameter type, biased toward boundary
   /// and "interesting" values (0, 1, powers of two, ether-scale amounts).
   U256 RandomValueForType(const lang::Type& type, Rng* rng) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/alloc_stats.h"
 #include "evm/async_backend.h"
 
 namespace mufuzz::fuzzer {
@@ -92,6 +93,12 @@ Campaign::Campaign(const lang::ContractArtifact* artifact,
       codec_.get(), mutation_.get(), scheduler_, feedback_.get(), contract_,
       config_.base_energy, config_.strategy.dynamic_energy,
       host_stream_seed);
+  // Close the steady-state recycling loop: a full queue's evictions hand
+  // their buffers back to the planner, which serves them out again as
+  // FuzzSeed shells for kept children (allocation hygiene only — admission
+  // and eviction decisions are untouched).
+  scheduler_->set_evict_hook(
+      [this](FuzzSeed&& seed) { planner_->RecycleSeed(std::move(seed)); });
 }
 
 Campaign::~Campaign() {
@@ -101,8 +108,14 @@ Campaign::~Campaign() {
   if (owned_backend_ == nullptr && backend_ != nullptr) backend_->Unbind();
 }
 
-ExecSignals Campaign::ApplyOutcome(const evm::SequenceOutcome& outcome) {
-  ExecSignals stats;
+void Campaign::ApplyOutcome(const evm::SequenceOutcome& outcome,
+                            ExecSignals* stats) {
+  stats->new_branches = 0;
+  stats->improved_distance = false;
+  stats->hits_nested = false;
+  stats->saw_overflow = false;
+  stats->touched_pcs.clear();
+  stats->best_tx = 0;
   result_.executions++;
   feedback_->BeginSequence();
 
@@ -110,7 +123,7 @@ ExecSignals Campaign::ApplyOutcome(const evm::SequenceOutcome& outcome) {
     result_.transactions++;
     result_.instructions += txo.trace.instruction_count();
     feedback_->ProcessTx(txo.tag, txo.trace, txo.cmps, txo.success, &result_,
-                         &stats);
+                         stats);
   }
 
   // Coverage-over-time samples.
@@ -121,15 +134,21 @@ ExecSignals Campaign::ApplyOutcome(const evm::SequenceOutcome& outcome) {
         static_cast<int>(result_.executions),
         feedback_->coverage().Fraction());
   }
-  return stats;
 }
 
 ExecSignals Campaign::ExecuteSequenceNow(const Sequence& seq) {
   if (contract_.IsZero() || artifact_->abi.functions.empty()) return {};
-  evm::SequencePlan plan = planner_->BuildPlan(seq);
+  // Route through the ticket API so the probe's plan and outcome flow
+  // through the same recycle pools as wave executions.
+  std::vector<evm::SequencePlan> plans = planner_->AcquirePlanVec();
+  plans.push_back(planner_->BuildPlan(seq));
   ++planned_executions_;
-  evm::SequenceOutcome outcome = backend_->ExecuteSequence(plan);
-  return ApplyOutcome(outcome);
+  std::vector<evm::SequenceOutcome> outcomes =
+      backend_->WaitBatch(backend_->SubmitBatch(std::move(plans)));
+  ApplyOutcome(outcomes.front(), &signals_scratch_);
+  backend_->RecycleOutcomes(std::move(outcomes));
+  planner_->RecyclePlans(backend_->TakeSpentPlans());
+  return signals_scratch_;
 }
 
 void Campaign::MaybeComputeMask(FuzzSeed* seed) {
@@ -148,6 +167,9 @@ void Campaign::MaybeComputeMask(FuzzSeed* seed) {
 void Campaign::SeedCorpus() {
   result_ = CampaignResult();
   planned_executions_ = 0;
+  steady_base_set_ = false;
+  last_wave_allocs_ = 0;
+  last_wave_executions_ = 0;
   result_.total_jumpis = artifact_->total_jumpis;
   result_.island_id = island_id_;
   if (contract_.IsZero()) return;
@@ -168,14 +190,18 @@ void Campaign::SeedCorpus() {
   }
   std::vector<evm::SequenceOutcome> outcomes;
   if (executable) {
-    outcomes = backend_->ExecuteSequenceBatch(
-        std::span<const evm::SequencePlan>(plans.data(), plans.size()));
+    // SubmitBatch instead of ExecuteSequenceBatch(span): same outcomes in
+    // the same order, but the plans move instead of copying and come back
+    // for recycling.
+    outcomes = backend_->WaitBatch(backend_->SubmitBatch(std::move(plans)));
   }
 
   for (int k = 0; k < config_.initial_seeds; ++k) {
-    ExecSignals stats =
-        executable ? ApplyOutcome(outcomes[static_cast<size_t>(k)])
-                   : ExecSignals{};
+    ExecSignals stats;
+    if (executable) {
+      ApplyOutcome(outcomes[static_cast<size_t>(k)], &signals_scratch_);
+      stats = signals_scratch_;
+    }
     FuzzSeed seed;
     seed.seq = std::move(seqs[static_cast<size_t>(k)]);
     seed.hits_nested = stats.hits_nested;
@@ -184,6 +210,16 @@ void Campaign::SeedCorpus() {
     seed.focus_tx = stats.best_tx;
     seed.priority = feedback_->InitialSeedPriority(stats);
     scheduler_->Add(std::move(seed));
+  }
+  if (executable) {
+    backend_->RecycleOutcomes(std::move(outcomes));
+    planner_->RecyclePlans(backend_->TakeSpentPlans());
+  }
+
+  // Steady state starts here: everything the hot loop needs is allocated.
+  if (AllocStatsEnabled()) {
+    steady_alloc_base_ = CurrentAllocStats().allocs;
+    steady_base_set_ = true;
   }
 }
 
@@ -194,10 +230,11 @@ bool Campaign::Done() const {
 }
 
 void Campaign::ApplyWave(MutationPlanner::ParentPlan* parent,
-                         std::vector<MutationPlanner::PlannedChild> children,
+                         std::vector<Sequence> children,
                          std::vector<evm::SequenceOutcome> outcomes) {
   for (size_t i = 0; i < children.size(); ++i) {
-    ExecSignals stats = ApplyOutcome(outcomes[i]);
+    ExecSignals& stats = signals_scratch_;
+    ApplyOutcome(outcomes[i], &stats);
     // UPDATE_ENERGY (Algorithm 1 line 29): productive children extend the
     // parent's budget. Wave semantics: an extension earned by child i is
     // visible when the *next* wave is planned, never retroactively — the
@@ -205,15 +242,22 @@ void Campaign::ApplyWave(MutationPlanner::ParentPlan* parent,
     planner_->ExtendEnergy(parent, stats.new_branches);
     ChildVerdict verdict = feedback_->JudgeChild(stats, &rng_);
     if (!verdict.keep) continue;
-    FuzzSeed child;
-    child.seq = std::move(children[i].seq);
+    FuzzSeed child = planner_->AcquireSeed();
+    // Swap, not move: the shell's recycled sequence buffer lands in
+    // children[i] and flows back to the planner's spare pool warm.
+    std::swap(child.seq, children[i]);
     child.hits_nested = stats.hits_nested;
     child.improved_distance = stats.improved_distance;
-    child.touched_pcs = std::move(stats.touched_pcs);
+    child.touched_pcs = stats.touched_pcs;  // copy: scratch stays warm
     child.focus_tx = stats.best_tx;
     child.priority = verdict.priority;
     scheduler_->Add(std::move(child));
   }
+  // Spent wave: outcomes back to the backend pool, plans (stashed by
+  // WaitBatch) and child sequences back to the planner pools.
+  backend_->RecycleOutcomes(std::move(outcomes));
+  planner_->RecyclePlans(backend_->TakeSpentPlans());
+  planner_->RecycleChildren(std::move(children));
 }
 
 std::vector<Campaign::ParentSlot> Campaign::BeginParentSet(
@@ -233,6 +277,9 @@ std::vector<Campaign::ParentSlot> Campaign::BeginParentSet(
 bool Campaign::SweepParentSet(std::vector<ParentSlot>* parents,
                               uint64_t bound) {
   const int wave_size = std::max(1, config_.wave_size);
+  const bool alloc_stats = AllocStatsEnabled();
+  const uint64_t allocs_before = alloc_stats ? CurrentAllocStats().allocs : 0;
+  const uint64_t execs_before = result_.executions;
 
   // Plan phase (rank order): every parent with budget gets its next wave
   // planned and submitted *before* anyone's outcomes are applied, so an
@@ -250,19 +297,18 @@ bool Campaign::SweepParentSet(std::vector<ParentSlot>* parents,
         planned_executions_ >= bound) {
       continue;
     }
-    std::vector<MutationPlanner::PlannedChild> children =
+    MutationPlanner::Wave planned =
         planner_->PlanWave(&slot.plan, wave_size,
                            bound - planned_executions_, &rng_);
-    if (children.empty()) continue;
-    planned_executions_ += children.size();
-    std::vector<evm::SequencePlan> plans;
-    plans.reserve(children.size());
-    for (MutationPlanner::PlannedChild& child : children) {
-      plans.push_back(std::move(child.plan));
+    if (planned.children.empty()) {
+      planner_->RecycleChildren(std::move(planned.children));
+      planner_->RecyclePlans(std::move(planned.plans));
+      continue;
     }
+    planned_executions_ += planned.children.size();
     InFlightWave wave;
-    wave.children = std::move(children);
-    wave.ticket = backend_->SubmitBatch(std::move(plans));
+    wave.children = std::move(planned.children);
+    wave.ticket = backend_->SubmitBatch(std::move(planned.plans));
     next[r].emplace(std::move(wave));
   }
 
@@ -279,6 +325,12 @@ bool Campaign::SweepParentSet(std::vector<ParentSlot>* parents,
     }
     slot.inflight = std::move(next[r]);
   }
+
+  // Per-wave observability: what one sweep cost in heap traffic.
+  if (alloc_stats) {
+    last_wave_allocs_ = CurrentAllocStats().allocs - allocs_before;
+  }
+  last_wave_executions_ = result_.executions - execs_before;
 
   for (const ParentSlot& slot : *parents) {
     if (slot.inflight.has_value()) return true;
@@ -389,6 +441,11 @@ Campaign::Progress Campaign::SnapshotProgress() const {
     progress.parents_in_flight = static_cast<int>(stream_->parents.size());
   }
   progress.code_cache = backend_->code_cache_stats();
+  if (steady_base_set_ && AllocStatsEnabled()) {
+    progress.heap_allocs = CurrentAllocStats().allocs - steady_alloc_base_;
+  }
+  progress.wave_allocs = last_wave_allocs_;
+  progress.wave_executions = last_wave_executions_;
   return progress;
 }
 

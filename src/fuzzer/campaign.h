@@ -178,7 +178,7 @@ class Campaign {
     uint64_t executions = 0;
     uint64_t transactions = 0;
     double coverage = 0;     ///< branch-coverage fraction so far
-    size_t bugs_found = 0;   ///< raw (pre-dedup) oracle reports so far
+    size_t bugs_found = 0;   ///< distinct (bug, pc) oracle findings so far
     /// Executions planned so far: applied plus in flight. Never regresses
     /// across snapshots.
     uint64_t planned_executions = 0;
@@ -192,6 +192,15 @@ class Campaign {
     /// Code-cache counters at snapshot time (diagnostics; see
     /// CampaignResult::code_cache for the caveats).
     evm::CodeCacheStats code_cache;
+    /// Heap allocations since the end of SeedCorpus (0 unless the build has
+    /// MUFUZZ_ALLOC_STATS and the corpus ran). Process-wide counter, so
+    /// concurrent campaigns see each other's traffic — a steady-state
+    /// health signal, not an exact attribution.
+    uint64_t heap_allocs = 0;
+    /// Allocations / executions applied during the most recent pipeline
+    /// sweep — the per-wave allocation pressure gauge.
+    uint64_t wave_allocs = 0;
+    uint64_t wave_executions = 0;
   };
   Progress SnapshotProgress() const;
 
@@ -202,18 +211,21 @@ class Campaign {
 
   /// Applies one executed sequence's outcome to coverage, distances,
   /// oracles, energy observations, interesting constants, and the
-  /// result counters — strictly in submission order.
-  ExecSignals ApplyOutcome(const evm::SequenceOutcome& outcome);
+  /// result counters — strictly in submission order. Writes into `stats`
+  /// (reset first) so the hot path reuses one scratch ExecSignals instead
+  /// of allocating a touched_pcs vector per execution.
+  void ApplyOutcome(const evm::SequenceOutcome& outcome, ExecSignals* stats);
 
   /// The apply stage for one wave: per child (in submission order) feedback,
-  /// UPDATE_ENERGY against the parent, and the keep/Add decision.
+  /// UPDATE_ENERGY against the parent, and the keep/Add decision. Recycles
+  /// the spent outcomes, plans, and child sequences when done.
   void ApplyWave(MutationPlanner::ParentPlan* parent,
-                 std::vector<MutationPlanner::PlannedChild> children,
+                 std::vector<Sequence> children,
                  std::vector<evm::SequenceOutcome> outcomes);
 
   /// One submitted-but-not-yet-applied wave.
   struct InFlightWave {
-    std::vector<MutationPlanner::PlannedChild> children;
+    std::vector<Sequence> children;
     evm::ExecutionBackend::BatchTicket ticket = 0;
   };
 
@@ -279,6 +291,18 @@ class Campaign {
   /// Present once StepStream has run; absent on the stepped/monolithic path.
   std::optional<StreamState> stream_;
   bool cancelled_ = false;
+
+  /// Scratch for ApplyOutcome — reused across every execution so the
+  /// feedback path appends into a warm touched_pcs buffer.
+  ExecSignals signals_scratch_;
+
+  // MUFUZZ_ALLOC_STATS observability (all zero when the hook is compiled
+  // out): allocation counter at the end of SeedCorpus (steady state starts
+  // there) and the most recent sweep's alloc/exec deltas.
+  uint64_t steady_alloc_base_ = 0;
+  bool steady_base_set_ = false;
+  uint64_t last_wave_allocs_ = 0;
+  uint64_t last_wave_executions_ = 0;
 
   CampaignResult result_;
 };

@@ -8,13 +8,22 @@ EnergyScheduler::EnergyScheduler(const lang::ContractArtifact* artifact,
                                  bool enabled)
     : artifact_(artifact),
       inference_(artifact->runtime_code),
-      enabled_(enabled) {}
+      enabled_(enabled) {
+  // Size the flat table for the contract up front; only foreign pcs (other
+  // code executing under the same trace) grow it later.
+  if (enabled_) weights_.resize(artifact->runtime_code.size());
+}
 
 void EnergyScheduler::ObserveTrace(const evm::TraceRecorder& trace) {
   if (!enabled_) return;
   for (const evm::BranchEvent& ev : trace.branches()) {
-    if (weights_.contains(ev.pc)) continue;  // already weighted
+    if (ev.pc >= weights_.size()) {
+      weights_.resize(static_cast<size_t>(ev.pc) + 1);
+    } else if (weights_[ev.pc].weighted) {
+      continue;  // already weighted
+    }
     BranchInfo info;
+    info.weighted = true;
     // w1: nested-conditional score from the branch map (Algorithm 3 lines
     // 6-10). Compiler-introduced guards keep weight 1.
     const lang::BranchMapEntry* entry = artifact_->FindBranch(ev.pc);
@@ -40,13 +49,14 @@ void EnergyScheduler::ObserveTrace(const evm::TraceRecorder& trace) {
       info.guards_vulnerable = true;
     }
     weights_[ev.pc] = info;
+    ++weighted_count_;
   }
 }
 
 double EnergyScheduler::BranchWeight(uint32_t pc) const {
   if (!enabled_) return 1.0;
-  auto it = weights_.find(pc);
-  return it == weights_.end() ? 1.0 : it->second.weight;
+  const BranchInfo* info = InfoAt(pc);
+  return info == nullptr ? 1.0 : info->weight;
 }
 
 int EnergyScheduler::AssignEnergy(const std::vector<uint32_t>& touched_pcs,
@@ -65,10 +75,8 @@ double EnergyScheduler::VulnerabilityBonus(
   if (!enabled_) return 0.0;
   double bonus = 0.0;
   for (uint32_t pc : touched_pcs) {
-    auto it = weights_.find(pc);
-    if (it != weights_.end() && it->second.guards_vulnerable) {
-      bonus += 1.0;
-    }
+    const BranchInfo* info = InfoAt(pc);
+    if (info != nullptr && info->guards_vulnerable) bonus += 1.0;
   }
   return bonus;
 }

@@ -2,7 +2,6 @@
 #define MUFUZZ_FUZZER_ENERGY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/prefix_inference.h"
@@ -41,7 +40,7 @@ class EnergyScheduler {
   double VulnerabilityBonus(const std::vector<uint32_t>& touched_pcs) const;
 
   bool enabled() const { return enabled_; }
-  size_t weighted_branches() const { return weights_.size(); }
+  size_t weighted_branches() const { return weighted_count_; }
 
   // Weight model constants (exposed for the ablation benches).
   static constexpr double kNestedWeightStep = 0.5;   // w1 per nesting level
@@ -52,12 +51,23 @@ class EnergyScheduler {
   struct BranchInfo {
     double weight = 1.0;
     bool guards_vulnerable = false;
+    bool weighted = false;  ///< ObserveTrace has scored this pc
   };
+
+  /// Flat pc-indexed weight table (branch pcs are bounded by the runtime
+  /// code size; foreign pcs grow it lazily). Hot-path lookups are an array
+  /// load — ObserveTrace / AssignEnergy / VulnerabilityBonus run per wave.
+  const BranchInfo* InfoAt(uint32_t pc) const {
+    if (pc >= weights_.size()) return nullptr;
+    const BranchInfo& info = weights_[pc];
+    return info.weighted ? &info : nullptr;
+  }
 
   const lang::ContractArtifact* artifact_;
   analysis::PrefixInference inference_;
   bool enabled_;
-  std::unordered_map<uint32_t, BranchInfo> weights_;
+  std::vector<BranchInfo> weights_;
+  size_t weighted_count_ = 0;
 };
 
 }  // namespace mufuzz::fuzzer

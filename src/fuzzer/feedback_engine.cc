@@ -6,6 +6,19 @@
 
 namespace mufuzz::fuzzer {
 
+namespace {
+
+/// Every runtime JUMPI pc, in branch-map order — pre-interned into the
+/// dense CoverageMap so the steady-state feedback path never grows it.
+std::vector<uint32_t> BranchMapPcs(const lang::ContractArtifact& artifact) {
+  std::vector<uint32_t> pcs;
+  pcs.reserve(artifact.branch_map.size());
+  for (const auto& entry : artifact.branch_map) pcs.push_back(entry.jumpi_pc);
+  return pcs;
+}
+
+}  // namespace
+
 FeedbackEngine::FeedbackEngine(const lang::ContractArtifact* artifact,
                                const StrategyConfig& strategy,
                                ByteMutator* constants)
@@ -13,7 +26,14 @@ FeedbackEngine::FeedbackEngine(const lang::ContractArtifact* artifact,
       constant_injection_(strategy.constant_injection),
       constants_(constants),
       energy_(artifact, strategy.dynamic_energy),
-      coverage_(artifact->total_jumpis) {}
+      coverage_(artifact->total_jumpis, BranchMapPcs(*artifact)) {
+  for (const auto& entry : artifact->branch_map) {
+    if (entry.jumpi_pc >= branch_by_pc_.size()) {
+      branch_by_pc_.resize(entry.jumpi_pc + 1, nullptr);
+    }
+    branch_by_pc_[entry.jumpi_pc] = &entry;
+  }
+}
 
 void FeedbackEngine::BeginSequence() { best_flip_distance_ = UINT64_MAX; }
 
@@ -25,7 +45,7 @@ void FeedbackEngine::ProcessTx(int tx_index, const evm::TraceRecorder& trace,
     if (coverage_.AddBranch(ev.pc, ev.taken)) ++stats->new_branches;
     stats->touched_pcs.push_back(ev.pc);
 
-    const lang::BranchMapEntry* entry = artifact_->FindBranch(ev.pc);
+    const lang::BranchMapEntry* entry = BranchAt(ev.pc);
     // "Nested branch": at least two enclosing conditional statements
     // counting itself (nesting_depth >= 1 in the branch map).
     if (entry != nullptr && entry->nesting_depth >= 1) {
@@ -59,9 +79,10 @@ void FeedbackEngine::ProcessTx(int tx_index, const evm::TraceRecorder& trace,
   // or call that a require() catches is reverted, not exploitable.
   if (tx_success) {
     OracleContext ctx{&trace, &cmps, artifact_};
-    for (auto& report : RunTxOracles(ctx)) {
-      result->bug_classes.insert(report.bug);
-      result->bugs.push_back(std::move(report));
+    size_t before = result->bugs.size();
+    RunTxOracles(ctx, &seen_bug_keys_, &result->bugs);
+    for (size_t i = before; i < result->bugs.size(); ++i) {
+      result->bug_classes.insert(result->bugs[i].bug);
     }
   }
 }

@@ -13,6 +13,7 @@
 #include "fuzzer/coverage.h"
 #include "fuzzer/energy.h"
 #include "fuzzer/mask.h"
+#include "fuzzer/oracles.h"
 #include "fuzzer/strategy.h"
 #include "lang/codegen.h"
 
@@ -88,13 +89,25 @@ class FeedbackEngine {
   EnergyScheduler& energy() { return energy_; }
 
  private:
+  /// Flat pc → branch-map entry lookup (nullptr = compiler-introduced or
+  /// foreign pc), replacing the per-event linear FindBranch scan.
+  const lang::BranchMapEntry* BranchAt(uint32_t pc) const {
+    return pc < branch_by_pc_.size() ? branch_by_pc_[pc] : nullptr;
+  }
+
   const lang::ContractArtifact* artifact_;
   bool constant_injection_;
   ByteMutator* constants_;
   EnergyScheduler energy_;
   CoverageMap coverage_;
+  std::vector<const lang::BranchMapEntry*> branch_by_pc_;
   /// Smallest flip distance seen in the current sequence (per-sequence).
   uint64_t best_flip_distance_ = UINT64_MAX;
+  /// Campaign-lifetime (bug, pc) keys already reported. Interning at insert
+  /// is equivalent to the old raw-append + DeduplicateReports-at-Finalize
+  /// (first occurrence per key survives either way) but keeps repeat
+  /// findings from allocating report strings on the steady-state path.
+  BugKeySet seen_bug_keys_;
 };
 
 }  // namespace mufuzz::fuzzer

@@ -113,10 +113,13 @@ MutationMask ComputeMask(const Bytes& stream, size_t stride,
   if (stream.empty()) return mask;
   size_t n = 1 + rng->NextBelow(std::min<size_t>(4, stream.size()));
   stride = std::max<size_t>(1, stride);
+  // One mutant buffer for the whole scan: copy-assign re-fills it in place,
+  // so only the first probe pays an allocation.
+  Bytes mutant;
   for (size_t pos = 0; pos < stream.size(); pos += stride) {
     for (int op_index = 0; op_index < kNumMutOps; ++op_index) {
       MutOp op = static_cast<MutOp>(op_index);
-      Bytes mutant = stream;
+      mutant = stream;
       mutator.Apply(&mutant, op, pos, n, rng);
       if (probe(mutant)) {
         // Property preserved: this (position, op) pair is safe to mutate.

@@ -53,6 +53,10 @@ class MutationMask {
     return false;
   }
 
+  /// Empties the mask, retaining capacity — recycled seeds reset their
+  /// stale mask this way so later copies of the (invalid) mask are free.
+  void Reset() { bits_.clear(); }
+
   /// Count of fully-protected positions (no op allowed).
   size_t ProtectedCount() const {
     size_t count = 0;

@@ -57,10 +57,13 @@ bool MutationPipeline::ComputeSeedMask(FuzzSeed* seed, Rng* rng,
   size_t stride = std::max<size_t>(
       1, stream.size() / std::max(1, mask_stride_divisor_));
 
+  // One probe sequence for the whole mask scan: copy-assign re-fills the
+  // warm Tx slots in place instead of allocating a fresh copy per probe.
+  Sequence probe_seq;
   auto probe = [&](const Bytes& mutated) {
-    Sequence tmp = seed->seq;
-    codec_->FromByteStream(mutated, &tmp[focus]);
-    ExecSignals stats = execute(tmp);
+    probe_seq = seed->seq;
+    codec_->FromByteStream(mutated, &probe_seq[focus]);
+    ExecSignals stats = execute(probe_seq);
     return stats.hits_nested || stats.improved_distance;
   };
   seed->mask = ComputeMask(stream, stride, byte_mutator_, rng, probe);

@@ -68,26 +68,110 @@ std::vector<MutationPlanner::ParentPlan> MutationPlanner::BeginParents(
   return parents;
 }
 
-std::vector<MutationPlanner::PlannedChild> MutationPlanner::PlanWave(
-    ParentPlan* parent, int wave_size, uint64_t room, Rng* rng) {
-  std::vector<PlannedChild> children;
-  if (!parent->valid) return children;
+MutationPlanner::Wave MutationPlanner::PlanWave(ParentPlan* parent,
+                                                int wave_size, uint64_t room,
+                                                Rng* rng) {
+  Wave wave;
+  if (!child_vec_pool_.empty()) {
+    wave.children = std::move(child_vec_pool_.back());
+    child_vec_pool_.pop_back();
+  }
+  if (!plan_vec_pool_.empty()) {
+    wave.plans = std::move(plan_vec_pool_.back());
+    plan_vec_pool_.pop_back();
+  }
+  if (!parent->valid) return wave;
   int budget = std::min<int>(wave_size, parent->allowed - parent->planned);
   budget = std::min<int>(
       budget, static_cast<int>(std::min<uint64_t>(
                   room, static_cast<uint64_t>(INT32_MAX))));
-  if (budget <= 0) return children;
-  children.reserve(budget);
+  if (budget <= 0) return wave;
   for (int i = 0; i < budget; ++i) {
-    PlannedChild child;
-    child.seq = parent->seq;
-    mutation_->MutateChild(&child.seq, parent->mask, parent->mask_valid,
+    // Copy-assign into a warm slot: the recycled Sequence's Tx/args vectors
+    // keep their capacity, so the parent copy doesn't allocate.
+    Sequence* seq = NextChildSlot(&wave.children);
+    *seq = parent->seq;
+    mutation_->MutateChild(seq, parent->mask, parent->mask_valid,
                            parent->focus, rng);
-    child.plan = BuildPlan(child.seq);
-    children.push_back(std::move(child));
+    BuildPlanInto(*seq, NextPlanSlot(&wave.plans));
     ++parent->planned;
   }
-  return children;
+  return wave;
+}
+
+Sequence* MutationPlanner::NextChildSlot(std::vector<Sequence>* children) {
+  if (!spare_children_.empty()) {
+    children->push_back(std::move(spare_children_.back()));
+    spare_children_.pop_back();
+  } else {
+    children->emplace_back();
+  }
+  return &children->back();
+}
+
+evm::SequencePlan* MutationPlanner::NextPlanSlot(
+    std::vector<evm::SequencePlan>* plans) {
+  if (!spare_plans_.empty()) {
+    plans->push_back(std::move(spare_plans_.back()));
+    spare_plans_.pop_back();
+  } else {
+    plans->emplace_back();
+  }
+  return &plans->back();
+}
+
+void MutationPlanner::RecycleChildren(std::vector<Sequence> children) {
+  for (Sequence& seq : children) {
+    if (spare_children_.size() >= kMaxSpareObjects) break;
+    spare_children_.push_back(std::move(seq));
+  }
+  children.clear();
+  if (child_vec_pool_.size() < kMaxPooledVectors) {
+    child_vec_pool_.push_back(std::move(children));
+  }
+}
+
+void MutationPlanner::RecyclePlans(std::vector<evm::SequencePlan> plans) {
+  for (evm::SequencePlan& plan : plans) {
+    if (spare_plans_.size() >= kMaxSpareObjects) break;
+    spare_plans_.push_back(std::move(plan));
+  }
+  plans.clear();
+  if (plan_vec_pool_.size() < kMaxPooledVectors) {
+    plan_vec_pool_.push_back(std::move(plans));
+  }
+}
+
+FuzzSeed MutationPlanner::AcquireSeed() {
+  if (spare_seeds_.empty()) return FuzzSeed{};
+  FuzzSeed seed = std::move(spare_seeds_.back());
+  spare_seeds_.pop_back();
+  // Containers keep their capacity; scalar fields reset to the
+  // default-constructed state. `seq` intentionally keeps its stale
+  // transactions — clearing would destroy the warm Tx slots — so the
+  // caller must overwrite or swap it before the seed is read.
+  seed.touched_pcs.clear();
+  seed.mask.Reset();
+  seed.priority = 1.0;
+  seed.hits_nested = false;
+  seed.improved_distance = false;
+  seed.focus_tx = 0;
+  seed.mask_valid = false;
+  return seed;
+}
+
+void MutationPlanner::RecycleSeed(FuzzSeed seed) {
+  if (spare_seeds_.size() >= kMaxSpareObjects) return;
+  spare_seeds_.push_back(std::move(seed));
+}
+
+std::vector<evm::SequencePlan> MutationPlanner::AcquirePlanVec() {
+  std::vector<evm::SequencePlan> plans;
+  if (!plan_vec_pool_.empty()) {
+    plans = std::move(plan_vec_pool_.back());
+    plan_vec_pool_.pop_back();
+  }
+  return plans;
 }
 
 void MutationPlanner::ExtendEnergy(ParentPlan* parent, int new_branches) {
@@ -97,24 +181,50 @@ void MutationPlanner::ExtendEnergy(ParentPlan* parent, int new_branches) {
 
 evm::SequencePlan MutationPlanner::BuildPlan(const Sequence& seq) {
   evm::SequencePlan plan;
-  plan.host_seed = host_stream_.NextU64();
-  plan.txs.reserve(seq.size());
+  if (!spare_plans_.empty()) {
+    plan = std::move(spare_plans_.back());
+    spare_plans_.pop_back();
+  }
+  BuildPlanInto(seq, &plan);
+  return plan;
+}
+
+void MutationPlanner::BuildPlanInto(const Sequence& seq,
+                                    evm::SequencePlan* plan) {
+  plan->host_seed = host_stream_.NextU64();
   const std::vector<Address>& senders = codec_->senders();
   const size_t fn_count = codec_->abi().functions.size();
+  const uint64_t default_gas = evm::TransactionRequest().gas;
+  size_t used = 0;
   for (size_t i = 0; i < seq.size(); ++i) {
     const Tx& tx = seq[i];
     if (tx.fn_index < 0 || tx.fn_index >= static_cast<int>(fn_count)) {
       continue;
     }
-    evm::PreparedTx prepared;
+    if (used == plan->txs.size()) {
+      if (!spare_txs_.empty()) {
+        plan->txs.push_back(std::move(spare_txs_.back()));
+        spare_txs_.pop_back();
+      } else {
+        plan->txs.emplace_back();
+      }
+    }
+    // Every field is overwritten — a recycled slot can't leak stale state.
+    evm::PreparedTx& prepared = plan->txs[used];
     prepared.tag = static_cast<int>(i);
     prepared.request.to = contract_;
     prepared.request.sender = senders[tx.sender_index % senders.size()];
     prepared.request.value = tx.value;
-    prepared.request.data = codec_->EncodeCalldata(tx);
-    plan.txs.push_back(std::move(prepared));
+    prepared.request.gas = default_gas;
+    codec_->EncodeCalldataInto(tx, &prepared.request.data);
+    ++used;
   }
-  return plan;
+  while (plan->txs.size() > used) {
+    if (spare_txs_.size() < kMaxSpareObjects) {
+      spare_txs_.push_back(std::move(plan->txs.back()));
+    }
+    plan->txs.pop_back();
+  }
 }
 
 }  // namespace mufuzz::fuzzer

@@ -48,11 +48,14 @@ class MutationPlanner {
     int cap = 0;      ///< absolute ceiling: base * kMaxEnergyFactor
   };
 
-  /// One planned child: the mutated sequence (kept for the apply stage's
-  /// keep/Add decision) and its encoded execution plan.
-  struct PlannedChild {
-    Sequence seq;
-    evm::SequencePlan plan;
+  /// One planned wave: the mutated child sequences (kept for the apply
+  /// stage's keep/Add decision) and their encoded plans (shipped to the
+  /// backend), index-aligned. Both vectors are drawn from the planner's
+  /// recycle pools — hand them back via RecycleChildren / RecyclePlans when
+  /// spent, and the steady-state planning path stops allocating.
+  struct Wave {
+    std::vector<Sequence> children;
+    std::vector<evm::SequencePlan> plans;
   };
 
   /// Runs before energy assignment on the freshly selected parent —
@@ -71,8 +74,17 @@ class MutationPlanner {
                                        int fanout);
 
   /// Plans up to min(wave_size, parent budget left, `room`) children.
-  std::vector<PlannedChild> PlanWave(ParentPlan* parent, int wave_size,
-                                     uint64_t room, Rng* rng);
+  Wave PlanWave(ParentPlan* parent, int wave_size, uint64_t room, Rng* rng);
+
+  /// Returns a spent wave's child sequences to the recycle pool (their
+  /// nested Tx/args capacity is reused by the next PlanWave). Client thread
+  /// only, like every planner call.
+  void RecycleChildren(std::vector<Sequence> children);
+
+  /// Returns spent plans — typically `backend->TakeSpentPlans()` after a
+  /// WaitBatch — so the next BuildPlan encodes into their warm calldata
+  /// buffers instead of allocating.
+  void RecyclePlans(std::vector<evm::SequencePlan> plans);
 
   /// UPDATE_ENERGY (Algorithm 1 line 29), applied by the apply stage:
   /// productive children extend the parent's budget, up to the cap.
@@ -84,7 +96,32 @@ class MutationPlanner {
   /// with its position in `seq` so feedback indexes line up.
   evm::SequencePlan BuildPlan(const Sequence& seq);
 
+  /// A warm FuzzSeed shell for the apply stage: containers keep their
+  /// capacity from a recycled (evicted) seed, scalar fields are reset.
+  /// `seq` may still hold stale transactions (clearing would free the warm
+  /// Tx slots) — the caller must overwrite or swap it before reading.
+  FuzzSeed AcquireSeed();
+
+  /// Returns an evicted seed's buffers to the pool (the scheduler's
+  /// evict-hook target). Beyond the cap the seed is simply freed.
+  void RecycleSeed(FuzzSeed seed);
+
+  /// A pooled empty plan vector for one-off (probe) submissions, so the
+  /// mask-probe path shares the wave path's vector recycling.
+  std::vector<evm::SequencePlan> AcquirePlanVec();
+
  private:
+  /// BuildPlan into a recycled plan object: PreparedTx slots (and their
+  /// calldata buffers) are reused in place, extras parked in spare_txs_.
+  void BuildPlanInto(const Sequence& seq, evm::SequencePlan* plan);
+  /// Appends a warm slot (from the spare stash when possible) and returns it.
+  Sequence* NextChildSlot(std::vector<Sequence>* children);
+  evm::SequencePlan* NextPlanSlot(std::vector<evm::SequencePlan>* plans);
+
+  /// Pool caps — beyond these, recycled objects are simply freed.
+  static constexpr size_t kMaxPooledVectors = 16;
+  static constexpr size_t kMaxSpareObjects = 256;
+
   const AbiCodec* codec_;
   MutationPipeline* mutation_;
   SeedScheduler* scheduler_;
@@ -95,6 +132,15 @@ class MutationPlanner {
   /// Private stream for per-sequence environment seeds, advanced once per
   /// BuildPlan in planning order.
   Rng host_stream_;
+
+  // Recycle pools (client-thread only; recycling never affects results —
+  // every reused object is fully overwritten before use).
+  std::vector<std::vector<Sequence>> child_vec_pool_;
+  std::vector<Sequence> spare_children_;
+  std::vector<std::vector<evm::SequencePlan>> plan_vec_pool_;
+  std::vector<evm::SequencePlan> spare_plans_;
+  std::vector<evm::PreparedTx> spare_txs_;
+  std::vector<FuzzSeed> spare_seeds_;
 };
 
 }  // namespace mufuzz::fuzzer

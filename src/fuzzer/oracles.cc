@@ -1,7 +1,7 @@
 #include "fuzzer/oracles.h"
 
+#include <algorithm>
 #include <set>
-#include <unordered_set>
 
 #include "analysis/disasm.h"
 #include "evm/opcodes.h"
@@ -28,32 +28,51 @@ int LineForPc(const lang::ContractArtifact* artifact, uint32_t pc) {
 }  // namespace
 
 std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
+  BugKeySet seen;
   std::vector<BugReport> reports;
+  RunTxOracles(ctx, &seen, &reports);
+  return reports;
+}
+
+void RunTxOracles(const OracleContext& ctx, BugKeySet* seen,
+                  std::vector<BugReport>* out) {
   const evm::TraceRecorder& trace = *ctx.trace;
+  // The key check comes first so repeat findings — the overwhelmingly
+  // common case in a steady-state campaign — cost one set lookup and never
+  // build a message string. `build` runs only for new keys.
+  auto emit = [&](BugClass bug, uint32_t pc, auto&& build) {
+    if (!seen->insert({static_cast<int>(bug), pc}).second) return;
+    out->push_back(build());
+  };
 
   // ---- BD: block-state taint reaching control flow or a call value. ----
   for (const BranchEvent& ev : trace.branches()) {
     if (ev.cond_taint & evm::kTaintBlock) {
-      reports.push_back({BugClass::kBlockDependency, ev.pc,
+      emit(BugClass::kBlockDependency, ev.pc, [&] {
+        return BugReport{BugClass::kBlockDependency, ev.pc,
                          LineForPc(ctx.artifact, ev.pc),
-                         "block-state value influences branch condition",
-                         -1});
+                         "block-state value influences branch condition", -1};
+      });
     }
   }
   for (const CallEvent& ev : trace.calls()) {
     if ((ev.value_taint & evm::kTaintBlock) && !ev.value.IsZero()) {
-      reports.push_back({BugClass::kBlockDependency, ev.pc, 0,
+      emit(BugClass::kBlockDependency, ev.pc, [&] {
+        return BugReport{BugClass::kBlockDependency, ev.pc, 0,
                          "block-state value influences transferred amount",
-                         -1});
+                         -1};
+      });
     }
   }
 
   // ---- TO: tx.origin in a branch condition. ----
   for (const BranchEvent& ev : trace.branches()) {
     if (ev.cond_taint & evm::kTaintOrigin) {
-      reports.push_back({BugClass::kTxOriginUse, ev.pc,
+      emit(BugClass::kTxOriginUse, ev.pc, [&] {
+        return BugReport{BugClass::kTxOriginUse, ev.pc,
                          LineForPc(ctx.artifact, ev.pc),
-                         "tx.origin used in branch condition", -1});
+                         "tx.origin used in branch condition", -1};
+      });
     }
   }
 
@@ -65,9 +84,11 @@ std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
     }
     const CmpRecord& cmp = (*ctx.cmp_records)[ev.cmp_id];
     if (cmp.op == CmpOp::kEq && (cmp.taint & evm::kTaintBalance)) {
-      reports.push_back({BugClass::kStrictEtherEquality, ev.pc,
+      emit(BugClass::kStrictEtherEquality, ev.pc, [&] {
+        return BugReport{BugClass::kStrictEtherEquality, ev.pc,
                          LineForPc(ctx.artifact, ev.pc),
-                         "balance compared for strict equality", -1});
+                         "balance compared for strict equality", -1};
+      });
     }
   }
 
@@ -76,11 +97,13 @@ std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
     constexpr uint32_t kAttackerTaint =
         evm::kTaintCalldata | evm::kTaintCallValue;
     if (ev.operand_taint & kAttackerTaint) {
-      reports.push_back({BugClass::kIntegerOverflow, ev.pc, 0,
+      emit(BugClass::kIntegerOverflow, ev.pc, [&] {
+        return BugReport{BugClass::kIntegerOverflow, ev.pc, 0,
                          std::string("wrapping ") +
                              evm::GetOpInfo(ev.op).name +
                              " on attacker-influenced operands",
-                         -1});
+                         -1};
+      });
     }
   }
 
@@ -90,9 +113,11 @@ std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
     bool attacker_target =
         (ev.target_taint & (evm::kTaintCalldata | evm::kTaintStorage)) != 0;
     if (attacker_target && !ev.caller_guard_seen) {
-      reports.push_back({BugClass::kUnprotectedDelegatecall, ev.pc, 0,
+      emit(BugClass::kUnprotectedDelegatecall, ev.pc, [&] {
+        return BugReport{BugClass::kUnprotectedDelegatecall, ev.pc, 0,
                          "delegatecall target controllable and unguarded",
-                         -1});
+                         -1};
+      });
     }
   }
 
@@ -108,8 +133,10 @@ std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
       if (outer.pc == inner.pc && inner.depth > outer.depth &&
           outer.kind == Op::kCall && !outer.value.IsZero() &&
           outer.gas > 2300) {
-        reports.push_back({BugClass::kReentrancy, outer.pc, 0,
-                           "call site re-entered before state settled", -1});
+        emit(BugClass::kReentrancy, outer.pc, [&] {
+          return BugReport{BugClass::kReentrancy, outer.pc, 0,
+                           "call site re-entered before state settled", -1};
+        });
       }
     }
   }
@@ -117,24 +144,29 @@ std::vector<BugReport> RunTxOracles(const OracleContext& ctx) {
   // ---- US: selfdestruct reached without a caller guard. ----
   for (const auto& ev : trace.selfdestructs()) {
     if (!ev.caller_guard_seen) {
-      reports.push_back({BugClass::kUnprotectedSelfdestruct, ev.pc, 0,
-                         "selfdestruct reachable by arbitrary caller", -1});
+      emit(BugClass::kUnprotectedSelfdestruct, ev.pc, [&] {
+        return BugReport{BugClass::kUnprotectedSelfdestruct, ev.pc, 0,
+                         "selfdestruct reachable by arbitrary caller", -1};
+      });
     }
   }
 
-  // ---- UE: failed external call whose status never reached a JUMPI. ----
-  std::unordered_set<int32_t> checked(trace.checked_calls().begin(),
-                                      trace.checked_calls().end());
+  // ---- UE: failed external call whose status never reached a JUMPI. The
+  // checked-calls list is scanned linearly — it is a handful of entries,
+  // and building a hash set per transaction put an allocation on the
+  // steady-state path for nothing. ----
+  const auto& checked = trace.checked_calls();
   for (const CallEvent& ev : trace.calls()) {
     if (ev.kind == Op::kCall && !ev.success && ev.to_external &&
-        !checked.contains(ev.call_id)) {
-      reports.push_back({BugClass::kUnhandledException, ev.pc, 0,
+        std::find(checked.begin(), checked.end(), ev.call_id) ==
+            checked.end()) {
+      emit(BugClass::kUnhandledException, ev.pc, [&] {
+        return BugReport{BugClass::kUnhandledException, ev.pc, 0,
                          "external call failed and result was not checked",
-                         -1});
+                         -1};
+      });
     }
   }
-
-  return reports;
 }
 
 bool CheckEtherFreezing(const lang::ContractArtifact& artifact,

@@ -1,6 +1,9 @@
 #ifndef MUFUZZ_FUZZER_ORACLES_H_
 #define MUFUZZ_FUZZER_ORACLES_H_
 
+#include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "analysis/bug_types.h"
@@ -31,6 +34,19 @@ struct OracleContext {
 ///  TO — ORIGIN taint in a branch condition,
 ///  UE — a failed external call whose status never reached a JUMPI.
 std::vector<analysis::BugReport> RunTxOracles(const OracleContext& ctx);
+
+/// (bug class, pc) keys already reported — the report-interning set the
+/// sink-based oracle pass threads through a campaign.
+using BugKeySet = std::set<std::pair<int, uint32_t>>;
+
+/// Sink-based oracle pass: appends to `out` only reports whose (bug, pc)
+/// key is new to `seen`, in the same scan order as the vector-returning
+/// overload — so the appended stream equals DeduplicateReports() over the
+/// full raw stream. Duplicate findings are suppressed *before* their
+/// message strings are built: once every reachable finding has fired once,
+/// the steady-state fuzz loop runs this allocation-free.
+void RunTxOracles(const OracleContext& ctx, BugKeySet* seen,
+                  std::vector<analysis::BugReport>* out);
 
 /// EF oracle (§IV-D via ContractFuzzer): the contract can receive ether (a
 /// payable function exists) yet its runtime code contains no instruction

@@ -104,6 +104,7 @@ bool SeedScheduler::Add(FuzzSeed seed) {
       stats_.rejected++;
       return false;
     }
+    if (evict_hook_) evict_hook_(std::move(queue_[worst].seed));
     queue_.erase(queue_.begin() + worst);
     stats_.evicted++;
   }

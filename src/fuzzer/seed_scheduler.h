@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -114,6 +115,13 @@ class SeedScheduler {
   /// tie) is evicted to make room.
   virtual bool Add(FuzzSeed seed);
 
+  /// Optional sink for evicted residents: when set, Add hands the victim
+  /// to the hook instead of destroying it, so its warm buffers (sequence,
+  /// touched pcs, mask) can be recycled. Purely an allocation optimization —
+  /// admission and eviction decisions are unchanged.
+  using EvictHook = std::function<void(FuzzSeed&&)>;
+  void set_evict_hook(EvictHook hook) { evict_hook_ = std::move(hook); }
+
   /// Clones the top `k` residents ranked by (priority desc, id asc) — the
   /// island's contribution to a migration exchange buffer.
   std::vector<FuzzSeed> ExportTop(size_t k);
@@ -155,6 +163,7 @@ class SeedScheduler {
   size_t max_queue_;
   SeedId next_id_ = 1;  // 0 is kInvalidSeedId
   SeedQueueStats stats_;
+  EvictHook evict_hook_;
 };
 
 }  // namespace mufuzz::fuzzer

@@ -1,0 +1,188 @@
+// Differential test: the two-tier flat Storage map against the retired
+// twin-hash-map semantics (one map of nonzero values, one of nonzero taint
+// masks), over random store/exchange streams. Exercises the inline→spill
+// migration, backward-shift deletion, and the journaled rewind path on top.
+
+#include "evm/world_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/u256.h"
+
+namespace mufuzz::evm {
+namespace {
+
+/// The retired Storage semantics: two hash maps, keys erased when their
+/// value (resp. taint) goes to zero.
+class TwinMapReference {
+ public:
+  U256 Load(const U256& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? U256::Zero() : it->second;
+  }
+
+  uint32_t LoadTaint(const U256& key) const {
+    auto it = taints_.find(key);
+    return it == taints_.end() ? 0 : it->second;
+  }
+
+  std::pair<U256, uint32_t> Exchange(const U256& key, const U256& value,
+                                     uint32_t taint) {
+    std::pair<U256, uint32_t> prev{Load(key), LoadTaint(key)};
+    if (value == U256::Zero()) {
+      values_.erase(key);
+    } else {
+      values_[key] = value;
+    }
+    if (taint == 0) {
+      taints_.erase(key);
+    } else {
+      taints_[key] = taint;
+    }
+    return prev;
+  }
+
+  size_t size() const { return values_.size(); }
+
+  const std::unordered_map<U256, U256, U256::Hasher>& values() const {
+    return values_;
+  }
+  const std::unordered_map<U256, uint32_t, U256::Hasher>& taints() const {
+    return taints_;
+  }
+
+ private:
+  std::unordered_map<U256, U256, U256::Hasher> values_;
+  std::unordered_map<U256, uint32_t, U256::Hasher> taints_;
+};
+
+void CheckAgainstReference(const Storage& storage,
+                           const TwinMapReference& reference,
+                           uint64_t key_range) {
+  ASSERT_EQ(storage.size(), reference.size());
+  ASSERT_EQ(storage.slots(), reference.values());
+  ASSERT_EQ(storage.taints(), reference.taints());
+  for (uint64_t k = 0; k < key_range; ++k) {
+    U256 key(k);
+    ASSERT_EQ(storage.Load(key), reference.Load(key)) << "key " << k;
+    ASSERT_EQ(storage.LoadTaint(key), reference.LoadTaint(key)) << "key " << k;
+  }
+}
+
+/// Random Exchange stream over a small key pool. Zero values / zero taints
+/// are frequent so the erase paths (inline swap-remove and table
+/// backward-shift) run constantly; the pool exceeds kInlineCapacity so the
+/// migration path triggers in most seeds.
+TEST(FlatStorageDiffTest, RandomExchangeStreamsMatchTwinMaps) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Storage storage;
+    TwinMapReference reference;
+    Rng rng(seed);
+    const uint64_t key_range = 48;  // > inline capacity → spill migration
+    for (int op = 0; op < 6000; ++op) {
+      U256 key(rng.NextBelow(key_range));
+      U256 value =
+          rng.Chance(0.35) ? U256::Zero() : U256(rng.NextInRange(1, 500));
+      uint32_t taint = rng.Chance(0.5)
+                           ? 0
+                           : static_cast<uint32_t>(rng.NextInRange(1, 0xff));
+      auto got = storage.Exchange(key, value, taint);
+      auto want = reference.Exchange(key, value, taint);
+      ASSERT_EQ(got.first, want.first) << "seed " << seed << " op " << op;
+      ASSERT_EQ(got.second, want.second) << "seed " << seed << " op " << op;
+      if (op % 500 == 0) CheckAgainstReference(storage, reference, key_range);
+    }
+    CheckAgainstReference(storage, reference, key_range);
+  }
+}
+
+/// Entries with zero value but nonzero taint (and vice versa) must stay
+/// live in exactly one of the two views — the merged-entry layout must not
+/// conflate "value dead" with "entry dead".
+TEST(FlatStorageDiffTest, ValueAndTaintLivenessAreIndependent) {
+  Storage storage;
+  TwinMapReference reference;
+  U256 key(7);
+  const std::pair<uint64_t, uint32_t> steps[] = {
+      {5, 0},
+      {5, 3},
+      {0, 3},  // value dies, taint keeps entry live
+      {0, 0},  // entry fully dead
+      {0, 9},  // resurrect via taint alone
+      {4, 0},  // taint dies, value keeps entry live
+      {0, 0}};
+  for (auto [value, taint] : steps) {
+    auto got = storage.Exchange(key, U256(value), taint);
+    auto want = reference.Exchange(key, U256(value), taint);
+    EXPECT_EQ(got, want) << "value " << value << " taint " << taint;
+    CheckAgainstReference(storage, reference, /*key_range=*/16);
+  }
+  EXPECT_TRUE(storage.empty());
+}
+
+/// Inline-tier boundary: exactly kInlineCapacity keys stay inline; one more
+/// migrates. Either way the observables match the reference.
+TEST(FlatStorageDiffTest, SpillMigrationPreservesEntries) {
+  for (uint64_t keys : {8ull, 9ull, 40ull}) {
+    Storage storage;
+    TwinMapReference reference;
+    for (uint64_t k = 0; k < keys; ++k) {
+      storage.Store(U256(k), U256(k + 100), static_cast<uint32_t>(k % 3));
+      reference.Exchange(U256(k), U256(k + 100), static_cast<uint32_t>(k % 3));
+    }
+    CheckAgainstReference(storage, reference, keys + 4);
+    // Delete every other key, then overwrite the survivors.
+    for (uint64_t k = 0; k < keys; k += 2) {
+      storage.Store(U256(k), U256::Zero(), 0);
+      reference.Exchange(U256(k), U256::Zero(), 0);
+    }
+    for (uint64_t k = 1; k < keys; k += 2) {
+      storage.Store(U256(k), U256(k * 7), 0);
+      reference.Exchange(U256(k), U256(k * 7), 0);
+    }
+    CheckAgainstReference(storage, reference, keys + 4);
+  }
+}
+
+/// The journaled rewind path on top of the flat map: snapshot, mutate
+/// through spill migration and erasure, revert, and compare whole accounts
+/// via operator== (which walks live flat-map entries order-independently).
+TEST(FlatStorageDiffTest, JournalRewindRoundTripsThroughFlatMap) {
+  WorldState world;
+  Address contract = Address::FromUint(0xc0ffee);
+  world.Touch(contract);
+  for (uint64_t k = 0; k < 6; ++k) {
+    world.SetStorage(contract, U256(k), U256(k + 1), /*taint=*/1);
+  }
+  const Account baseline = *world.Find(contract);
+
+  size_t snap = world.Snapshot();
+  Rng rng(99);
+  for (int op = 0; op < 2000; ++op) {
+    U256 key(rng.NextBelow(64));  // forces spill migration under journal
+    U256 value = rng.Chance(0.3) ? U256::Zero() : U256(rng.NextU64() % 1000);
+    world.SetStorage(contract, key, value,
+                     static_cast<uint32_t>(rng.NextBelow(4)));
+  }
+  ASSERT_NE(*world.Find(contract), baseline);
+
+  // RestoreKeep rewinds but keeps the snapshot usable — the per-sequence
+  // rewind the fuzzer hot loop performs.
+  world.RestoreKeep(snap);
+  EXPECT_EQ(*world.Find(contract), baseline);
+
+  for (int op = 0; op < 500; ++op) {
+    world.SetStorage(contract, U256(rng.NextBelow(64)),
+                     U256(rng.NextU64() % 1000), 0);
+  }
+  world.RevertTo(snap);
+  EXPECT_EQ(*world.Find(contract), baseline);
+}
+
+}  // namespace
+}  // namespace mufuzz::evm
