@@ -30,6 +30,16 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+uint32_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint32_t>(code);
+}
+
+bool StatusCodeFromWire(uint32_t wire, StatusCode* code) {
+  if (wire > static_cast<uint32_t>(StatusCode::kInternal)) return false;
+  *code = static_cast<StatusCode>(wire);
+  return true;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);

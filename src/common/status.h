@@ -2,6 +2,7 @@
 #define MUFUZZ_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -28,6 +29,15 @@ enum class StatusCode {
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
+
+/// Stable on-the-wire integer for a status code (the enum value; the enum
+/// is append-only, so these survive protocol version skew).
+uint32_t StatusCodeToWire(StatusCode code);
+
+/// Parses a wire integer back into a StatusCode. Returns false (leaving
+/// `code` untouched) for integers this build does not know — the caller
+/// maps those to kInternal rather than trusting the peer.
+bool StatusCodeFromWire(uint32_t wire, StatusCode* code);
 
 /// A cheap value type describing success or failure of an operation.
 ///
@@ -69,6 +79,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Rebuilds a Status from an arbitrary (code, message) pair — the wire
+  /// deserialization path. kOk yields OK() and drops the message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -47,6 +47,8 @@ int DefaultWorkerCount() {
 FuzzService::FuzzService(ServiceOptions options) : options_(options) {
   workers_ = options_.workers > 0 ? options_.workers : DefaultWorkerCount();
   options_.round_quantum = std::max(1, options_.round_quantum);
+  paused_ = options_.start_paused;
+  last_metrics_log_ = Clock::now();
   if (options_.backend_workers > 0 && options_.share_backend) {
     evm::AsyncExecutionHub::Options hub_options;
     hub_options.workers = options_.backend_workers;
@@ -93,6 +95,15 @@ Status FuzzService::ValidateSubmission(const FuzzJob& job) const {
     return Status::InvalidArgument(
         "ServiceOptions::fanout must be >= 0 (0 = no override)");
   }
+  if (options_.step_slots < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::step_slots must be >= 0 (0 = no fair-share gate)");
+  }
+  if (options_.metrics_log_interval_ms < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::metrics_log_interval_ms must be >= 0 (0 = no "
+        "periodic log line)");
+  }
   if (job.config.wave_size < 0) {
     return Status::InvalidArgument("job \"" + job.name +
                                    "\": CampaignConfig::wave_size must be "
@@ -131,11 +142,52 @@ fuzzer::CampaignConfig FuzzService::EffectiveConfig(const FuzzJob& job) const {
 
 // -------------------------------------------------------------- Admission --
 
+namespace {
+
+/// Canonical tenant key: the empty tenant is the "default" tenant.
+std::string ResolveTenant(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
+}
+
+}  // namespace
+
+Status FuzzService::AdmitLocked(const std::string& tenant, size_t incoming) {
+  TenantRecord& record = tenants_[tenant];
+  submitted_total_ += incoming;
+  record.submitted += incoming;
+  if (options_.max_live_jobs > 0 &&
+      live_jobs_.size() + incoming > options_.max_live_jobs) {
+    rejected_global_ += incoming;
+    record.rejected += incoming;
+    return Status::ResourceExhausted(
+        "global admission queue full (" + std::to_string(live_jobs_.size()) +
+        " live jobs, bound " + std::to_string(options_.max_live_jobs) +
+        "); retry after jobs drain");
+  }
+  if (options_.max_live_jobs_per_tenant > 0 &&
+      record.live + incoming > options_.max_live_jobs_per_tenant) {
+    rejected_tenant_ += incoming;
+    record.rejected += incoming;
+    return Status::ResourceExhausted(
+        "tenant \"" + tenant + "\" admission queue full (" +
+        std::to_string(record.live) + " live jobs, bound " +
+        std::to_string(options_.max_live_jobs_per_tenant) +
+        "); retry after this tenant's jobs drain");
+  }
+  admitted_total_ += incoming;
+  record.admitted += incoming;
+  record.live += incoming;
+  return Status::OK();
+}
+
 Result<JobTicket> FuzzService::Submit(FuzzJob job) {
   Status status = ValidateSubmission(job);
   if (!status.ok()) return status;
   std::lock_guard<std::mutex> lock(mu_);
   if (stop_) return Status::Internal("FuzzService is shutting down");
+  std::string tenant = ResolveTenant(job.tenant);
+  Status admitted = AdmitLocked(tenant, 1);
+  if (!admitted.ok()) return admitted;
   JobTicket ticket = next_ticket_++;
   auto record = std::make_unique<JobRecord>();
   record->ticket = ticket;
@@ -144,6 +196,8 @@ Result<JobTicket> FuzzService::Submit(FuzzJob job) {
   record->outcome.name = record->job.name;
   record->progress.state = JobState::kQueued;
   record->progress.fanout = std::max(1, record->config.fanout);
+  record->tenant = std::move(tenant);
+  record->admitted_at = Clock::now();
   live_jobs_.emplace(ticket, record.get());
   jobs_.emplace(ticket, std::move(record));
   work_cv_.notify_all();
@@ -166,6 +220,48 @@ Result<GroupTicket> FuzzService::SubmitIslandGroup(std::vector<FuzzJob> jobs) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (stop_) return Status::Internal("FuzzService is shutting down");
+
+  // All-or-nothing admission: every member counts as one attempt, and a
+  // bound violation rejects (and counts) the whole group.
+  std::map<std::string, size_t> per_tenant;
+  for (const FuzzJob& job : jobs) ++per_tenant[ResolveTenant(job.tenant)];
+  const size_t total = jobs.size();
+  submitted_total_ += total;
+  for (const auto& [tenant, count] : per_tenant) {
+    tenants_[tenant].submitted += count;
+  }
+  auto reject_all = [&](bool global) {
+    (global ? rejected_global_ : rejected_tenant_) += total;
+    for (const auto& [tenant, count] : per_tenant) {
+      tenants_[tenant].rejected += count;
+    }
+  };
+  if (options_.max_live_jobs > 0 &&
+      live_jobs_.size() + total > options_.max_live_jobs) {
+    reject_all(/*global=*/true);
+    return Status::ResourceExhausted(
+        "global admission queue cannot take an island group of " +
+        std::to_string(total) + " (" + std::to_string(live_jobs_.size()) +
+        " live jobs, bound " + std::to_string(options_.max_live_jobs) + ")");
+  }
+  if (options_.max_live_jobs_per_tenant > 0) {
+    for (const auto& [tenant, count] : per_tenant) {
+      if (tenants_[tenant].live + count > options_.max_live_jobs_per_tenant) {
+        reject_all(/*global=*/false);
+        return Status::ResourceExhausted(
+            "tenant \"" + tenant + "\" admission queue cannot take " +
+            std::to_string(count) + " island members (" +
+            std::to_string(tenants_[tenant].live) + " live jobs, bound " +
+            std::to_string(options_.max_live_jobs_per_tenant) + ")");
+      }
+    }
+  }
+  admitted_total_ += total;
+  for (const auto& [tenant, count] : per_tenant) {
+    tenants_[tenant].admitted += count;
+    tenants_[tenant].live += count;
+  }
+
   auto group = std::make_unique<GroupRecord>();
   GroupTicket group_ticket;
   for (FuzzJob& job : jobs) {
@@ -177,6 +273,8 @@ Result<GroupTicket> FuzzService::SubmitIslandGroup(std::vector<FuzzJob> jobs) {
     record->outcome.name = record->job.name;
     record->progress.state = JobState::kQueued;
     record->progress.fanout = std::max(1, record->config.fanout);
+    record->tenant = ResolveTenant(record->job.tenant);
+    record->admitted_at = Clock::now();
     record->group = group.get();
     group->members.push_back(record.get());
     group_ticket.members.push_back(ticket);
@@ -249,6 +347,93 @@ void FuzzService::CancelGroup(const GroupTicket& group) {
   for (JobTicket ticket : group.members) Cancel(ticket);
 }
 
+void FuzzService::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [ticket, record] : live_jobs_) record->cancel_requested = true;
+  work_cv_.notify_all();
+}
+
+void FuzzService::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+ServiceStats FuzzService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
+ServiceStats FuzzService::StatsLocked() const {
+  ServiceStats stats;
+  stats.submitted = submitted_total_;
+  stats.admitted = admitted_total_;
+  stats.rejected_global = rejected_global_;
+  stats.rejected_tenant = rejected_tenant_;
+  stats.completed = completed_total_;
+  stats.cancelled = cancelled_total_;
+  stats.deadline_hits = deadline_hits_;
+  stats.rounds = rounds_done_;
+  stats.live_jobs = live_jobs_.size();
+  stats.executions = TotalExecutionsLocked();
+  if (rate_samples_.size() >= 2) {
+    const auto& first = rate_samples_.front();
+    const auto& last = rate_samples_.back();
+    double seconds =
+        std::chrono::duration<double>(last.first - first.first).count();
+    if (seconds > 0 && last.second >= first.second) {
+      stats.executions_per_sec =
+          static_cast<double>(last.second - first.second) / seconds;
+    }
+  }
+  if (hub_ != nullptr) {
+    stats.hub_workers = hub_->worker_count();
+    stats.hub_queue_depth = hub_->queue_depth();
+    stats.hub_queue_capacity = hub_->queue_capacity();
+  }
+  stats.sessions_created = session_pool_.created();
+
+  // Live depth / executions per tenant come from the live records; the
+  // monotone counters come from the tenant table.
+  std::map<std::string, std::pair<size_t, uint64_t>> live_now;  // queued, exec
+  for (const auto& [ticket, record] : live_jobs_) {
+    auto& entry = live_now[record->tenant];
+    if (record->stage == Stage::kAdmitted || record->stage == Stage::kCompiled ||
+        record->stage == Stage::kConstruct) {
+      ++entry.first;
+      ++stats.queued_jobs;
+    }
+    entry.second += record->progress.executions;
+  }
+  stats.tenants.reserve(tenants_.size());
+  for (const auto& [name, record] : tenants_) {
+    TenantStats tenant;
+    tenant.tenant = name;
+    tenant.submitted = record.submitted;
+    tenant.admitted = record.admitted;
+    tenant.rejected = record.rejected;
+    tenant.completed = record.completed;
+    tenant.cancelled = record.cancelled;
+    tenant.deadline_hits = record.deadline_hits;
+    tenant.stepped_quanta = record.stepped_quanta;
+    tenant.live_jobs = record.live;
+    auto it = live_now.find(name);
+    tenant.queued_jobs = it != live_now.end() ? it->second.first : 0;
+    tenant.executions = record.completed_executions +
+                        (it != live_now.end() ? it->second.second : 0);
+    stats.tenants.push_back(std::move(tenant));
+  }
+  return stats;
+}
+
+uint64_t FuzzService::TotalExecutionsLocked() const {
+  uint64_t total = completed_executions_;
+  for (const auto& [ticket, record] : live_jobs_) {
+    total += record->progress.executions;
+  }
+  return total;
+}
+
 // ------------------------------------------------------------ Coordinator --
 
 bool FuzzService::AllDoneLocked() const { return live_jobs_.empty(); }
@@ -258,7 +443,9 @@ void FuzzService::CoordinatorMain() {
     RoundPlan plan;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !AllDoneLocked(); });
+      work_cv_.wait(lock, [this] {
+        return stop_ || (!paused_ && !AllDoneLocked());
+      });
       if (stop_ && AllDoneLocked()) return;
       PlanRoundLocked(&plan);
     }
@@ -277,12 +464,17 @@ void FuzzService::PlanRoundLocked(RoundPlan* plan) {
   const uint64_t quantum = static_cast<uint64_t>(options_.round_quantum);
   const uint64_t interval =
       static_cast<uint64_t>(std::max(1, options_.exchange_interval));
+  const auto now = Clock::now();
+  // Standalone jobs ready to step this round; the fair-share gate below
+  // decides which of them actually get a slot.
+  std::vector<JobRecord*> step_candidates;
 
   // Iterate with an explicit iterator: a cancel-before-start completes the
   // job inline, which erases its live_jobs_ node — advance first.
   for (auto it = live_jobs_.begin(); it != live_jobs_.end();) {
     JobRecord* r = it->second;
     ++it;
+    CheckDeadlineLocked(r, now);
     switch (r->stage) {
       case Stage::kAdmitted:
         if (r->cancel_requested) {
@@ -324,12 +516,7 @@ void FuzzService::PlanRoundLocked(RoundPlan* plan) {
             plan->finals.push_back(r);
             plan->tasks.push_back([this, r] { FinalizeJob(r); });
           } else {
-            plan->steps.push_back(r);
-            plan->tasks.push_back([r, quantum] {
-              auto start = Clock::now();
-              r->campaign->StepStream(quantum);
-              r->active_ms += MsBetween(start, Clock::now());
-            });
+            step_candidates.push_back(r);
           }
         } else {
           if (r->cancel_requested && !r->campaign->Done()) {
@@ -338,7 +525,15 @@ void FuzzService::PlanRoundLocked(RoundPlan* plan) {
             plan->finals.push_back(r);
             plan->tasks.push_back([this, r] { FinalizeJob(r); });
           } else if (!r->campaign->Done()) {
+            // Island rounds are barrier-coupled across the archipelago, so
+            // they are never gated — but their work still charges the
+            // tenant's fair-share deficit.
             r->group->stepped_this_round = true;
+            tenants_[r->tenant].stepped_quanta += interval;
+            if (r->progress.first_step_round < 0) {
+              r->progress.first_step_round =
+                  static_cast<int64_t>(rounds_done_);
+            }
             plan->steps.push_back(r);
             plan->tasks.push_back([r, interval] {
               auto start = Clock::now();
@@ -358,6 +553,46 @@ void FuzzService::PlanRoundLocked(RoundPlan* plan) {
       case Stage::kDone:
         break;
     }
+  }
+
+  // Deficit fair-share over the standalone candidates: repeatedly pick the
+  // job whose tenant has the least stepped work so far (ties: higher job
+  // priority, then lower ticket), charging the tenant one quantum per pick
+  // so the next pick sees the updated deficit. With no step_slots gate
+  // every candidate is picked — in the same deterministic order — and the
+  // charge keeps the tenants' deficit counters honest either way.
+  const size_t slots =
+      options_.step_slots > 0 ? static_cast<size_t>(options_.step_slots)
+                              : step_candidates.size();
+  size_t picked = 0;
+  while (picked < slots && !step_candidates.empty()) {
+    size_t best = 0;
+    for (size_t i = 1; i < step_candidates.size(); ++i) {
+      const JobRecord* a = step_candidates[i];
+      const JobRecord* b = step_candidates[best];
+      const uint64_t wa = tenants_[a->tenant].stepped_quanta;
+      const uint64_t wb = tenants_[b->tenant].stepped_quanta;
+      if (wa != wb ? wa < wb
+                   : (a->job.priority != b->job.priority
+                          ? a->job.priority > b->job.priority
+                          : a->ticket < b->ticket)) {
+        best = i;
+      }
+    }
+    JobRecord* r = step_candidates[best];
+    step_candidates.erase(step_candidates.begin() +
+                          static_cast<long>(best));
+    tenants_[r->tenant].stepped_quanta += quantum;
+    if (r->progress.first_step_round < 0) {
+      r->progress.first_step_round = static_cast<int64_t>(rounds_done_);
+    }
+    plan->steps.push_back(r);
+    plan->tasks.push_back([r, quantum] {
+      auto start = Clock::now();
+      r->campaign->StepStream(quantum);
+      r->active_ms += MsBetween(start, Clock::now());
+    });
+    ++picked;
   }
 }
 
@@ -442,6 +677,58 @@ void FuzzService::SettleRoundLocked(const RoundPlan& plan) {
       }
     }
   }
+
+  ++rounds_done_;
+  SampleRoundLocked(Clock::now());
+}
+
+void FuzzService::CheckDeadlineLocked(JobRecord* r,
+                                      std::chrono::steady_clock::time_point
+                                          now) {
+  if (r->deadline_hit || r->cancel_requested || r->job.deadline_ms == 0 ||
+      r->stage == Stage::kDone) {
+    return;
+  }
+  if (now - r->admitted_at <
+      std::chrono::milliseconds(r->job.deadline_ms)) {
+    return;
+  }
+  r->deadline_hit = true;
+  r->cancel_requested = true;
+  r->progress.deadline_expired = true;
+  ++deadline_hits_;
+  ++tenants_[r->tenant].deadline_hits;
+}
+
+void FuzzService::SampleRoundLocked(
+    std::chrono::steady_clock::time_point now) {
+  rate_samples_.emplace_back(now, TotalExecutionsLocked());
+  while (rate_samples_.size() > 64) rate_samples_.pop_front();
+
+  if (options_.metrics_log_interval_ms <= 0) return;
+  if (now - last_metrics_log_ <
+      std::chrono::milliseconds(options_.metrics_log_interval_ms)) {
+    return;
+  }
+  last_metrics_log_ = now;
+  ServiceStats stats = StatsLocked();
+  std::string tenants;
+  for (const TenantStats& tenant : stats.tenants) {
+    if (!tenants.empty()) tenants += ",";
+    tenants += tenant.tenant + ":" + std::to_string(tenant.live_jobs);
+  }
+  std::fprintf(stderr,
+               "[mufuzzd] execs=%llu execs/s=%.0f live=%zu queued=%zu "
+               "rounds=%llu rejected=%llu/%llu deadline_hits=%llu "
+               "hub_queue=%zu/%zu tenants=[%s]\n",
+               static_cast<unsigned long long>(stats.executions),
+               stats.executions_per_sec, stats.live_jobs, stats.queued_jobs,
+               static_cast<unsigned long long>(stats.rounds),
+               static_cast<unsigned long long>(stats.rejected_tenant),
+               static_cast<unsigned long long>(stats.rejected_global),
+               static_cast<unsigned long long>(stats.deadline_hits),
+               stats.hub_queue_depth, stats.hub_queue_capacity,
+               tenants.c_str());
 }
 
 void FuzzService::BuildSharderLocked(GroupRecord* group) {
@@ -560,6 +847,22 @@ void FuzzService::MarkDoneLocked(JobRecord* r) {
   r->outcome.elapsed_ms = r->active_ms;
   live_jobs_.erase(r->ticket);
   if (r->group != nullptr) --r->group->open_members;
+
+  TenantRecord& tenant = tenants_[r->tenant];
+  --tenant.live;
+  ++tenant.completed;
+  ++completed_total_;
+  const bool via_cancel =
+      r->progress.cancelled ||
+      (r->outcome.result.has_value() && r->outcome.result->cancelled);
+  if (via_cancel) {
+    ++tenant.cancelled;
+    ++cancelled_total_;
+  }
+  if (r->outcome.result.has_value()) {
+    tenant.completed_executions += r->outcome.result->executions;
+    completed_executions_ += r->outcome.result->executions;
+  }
   JobProgress& p = r->progress;
   p.state = JobState::kDone;
   // A finished job has nothing speculative left: the finalize path drained
@@ -585,7 +888,9 @@ void FuzzService::CancelBeforeStartLocked(JobRecord* r) {
   // stays empty (it can never be mistaken for a zero-coverage row) and the
   // error says why; the progress snapshot still reports the cancellation.
   r->finalize_cancelled = true;
-  r->outcome.error = "cancelled before the campaign started";
+  r->outcome.error = r->deadline_hit
+                         ? "deadline expired before the campaign started"
+                         : "cancelled before the campaign started";
   r->progress.cancelled = true;
   MarkDoneLocked(r);
 }

@@ -1,9 +1,11 @@
 #ifndef MUFUZZ_ENGINE_FUZZ_SERVICE_H_
 #define MUFUZZ_ENGINE_FUZZ_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -40,6 +42,23 @@ struct FuzzJob {
   /// ParallelRunner compat shim reads this tag; the FuzzService API forms
   /// groups explicitly via SubmitIslandGroup and ignores it on Submit.
   int island_group = -1;
+
+  // ------------------------------------------------------- Multi-tenancy --
+  /// Accounting identity for admission control, fair-share scheduling, and
+  /// the per-tenant metrics plane. Empty maps to "default". Tenancy is
+  /// scheduling-only: it decides *when* a job's rounds run and whether the
+  /// job is admitted at all, never what its campaign computes.
+  std::string tenant;
+  /// Fair-share tie-break among a tenant's own ready jobs (higher steps
+  /// first; ties fall back to ticket order). Does not buy a tenant more
+  /// aggregate share — that is the fair-share deficit's job.
+  int priority = 0;
+  /// Wall-clock budget in milliseconds, measured from admission. 0 = none.
+  /// Expiry rides the Cancel path: the job stops at its next round boundary
+  /// with a partial-but-valid result flagged `cancelled` (or an empty
+  /// result if the campaign never started), and the expiry is counted in
+  /// ServiceStats::deadline_hits and flagged on the job's progress.
+  uint64_t deadline_ms = 0;
 };
 
 /// What came back for one job. `result` is empty exactly when the job never
@@ -107,6 +126,13 @@ struct JobProgress {
   uint64_t inflight_executions = 0;
   /// Set once the job finished via the cancel path.
   bool cancelled = false;
+  /// Set when the job's `deadline_ms` expired (the cancellation — counted
+  /// in ServiceStats::deadline_hits — was deadline-initiated).
+  bool deadline_expired = false;
+  /// Service round counter value when the job's campaign first stepped
+  /// (-1 until then). Deterministic given submission order and service
+  /// options — what the fair-share ordering tests pin.
+  int64_t first_step_round = -1;
   /// Code-cache counters of the job's backend at snapshot time (process-wide
   /// cache by default — diagnostics, not part of any reproducibility key).
   evm::CodeCacheStats code_cache;
@@ -160,6 +186,74 @@ struct ServiceOptions {
   /// for any quantum (unlike islands' exchange_interval, which is a real
   /// round barrier and part of the semantics). Clamped to >= 1.
   int round_quantum = 128;
+
+  // -------------------------------------------- Admission & multi-tenancy --
+  /// Upper bound on *live* (admitted, not yet done) jobs across all
+  /// tenants; a Submit past the bound is rejected with ResourceExhausted
+  /// instead of buffering unboundedly. 0 = unbounded.
+  size_t max_live_jobs = 0;
+  /// Same bound per tenant. 0 = unbounded.
+  size_t max_live_jobs_per_tenant = 0;
+  /// Standalone step slices the coordinator schedules per round. When more
+  /// jobs are ready than slots, tenants split the slots by deficit
+  /// fair-share: each round repeatedly picks the ready job whose tenant has
+  /// the least stepped work so far (ties: higher job priority, then lower
+  /// ticket), charging the tenant one quantum per pick. Island archipelago
+  /// rounds are barrier-coupled and never gated, but their stepped work is
+  /// charged to the tenant, deprioritizing its standalone jobs in turn.
+  /// Scheduling-only — results never depend on when a job's rounds ran.
+  /// 0 = no gate (every ready job steps every round).
+  int step_slots = 0;
+  /// Emit a one-line metrics summary (executions/s, live jobs, queue
+  /// depths, rejects, deadline hits) to stderr roughly this often, at
+  /// round boundaries. 0 = never.
+  int metrics_log_interval_ms = 0;
+  /// Construct the coordinator paused: jobs are admitted (and admission
+  /// bounds enforced) but no round runs until Resume(). Lets tests build a
+  /// deterministic backlog before scheduling starts.
+  bool start_paused = false;
+};
+
+/// Point-in-time metrics for one tenant (ServiceStats::tenants entry).
+struct TenantStats {
+  std::string tenant;
+  uint64_t submitted = 0;      ///< admission attempts (valid configs only)
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;       ///< admission-control rejections
+  uint64_t completed = 0;      ///< jobs that reached kDone
+  uint64_t cancelled = 0;      ///< completions via the cancel path
+  uint64_t deadline_hits = 0;  ///< cancellations initiated by a deadline
+  uint64_t executions = 0;     ///< finished + live snapshot executions
+  /// Fair-share deficit counter: executions' worth of step quanta charged
+  /// to the tenant so far (standalone quanta + island intervals).
+  uint64_t stepped_quanta = 0;
+  size_t live_jobs = 0;    ///< admitted, not yet done (queue depth now)
+  size_t queued_jobs = 0;  ///< live jobs whose campaign is not stepping yet
+};
+
+/// Point-in-time service metrics — the metrics plane the STATS verb and the
+/// periodic log line serve. Counters are monotone over the service's
+/// lifetime; depths/rates are snapshots.
+struct ServiceStats {
+  uint64_t submitted = 0;        ///< admission attempts (valid configs only)
+  uint64_t admitted = 0;
+  uint64_t rejected_global = 0;  ///< rejected by the global live-job bound
+  uint64_t rejected_tenant = 0;  ///< rejected by a per-tenant bound
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_hits = 0;
+  uint64_t rounds = 0;  ///< coordinator rounds completed
+  size_t live_jobs = 0;
+  size_t queued_jobs = 0;
+  uint64_t executions = 0;  ///< finished jobs + live progress snapshots
+  /// Throughput over the recent round window (0 until two samples exist).
+  double executions_per_sec = 0;
+  // Shared execution hub utilization (all zero without a shared hub).
+  int hub_workers = 0;
+  size_t hub_queue_depth = 0;
+  size_t hub_queue_capacity = 0;
+  size_t sessions_created = 0;  ///< session-pool diagnostics
+  std::vector<TenantStats> tenants;  ///< sorted by tenant name
 };
 
 /// Worker threads to use by default: $MUFUZZ_WORKERS when set to a positive
@@ -257,6 +351,17 @@ class FuzzService {
   /// Cancels every member of a group.
   void CancelGroup(const GroupTicket& group);
 
+  /// Requests cancellation of every live job (the server-shutdown path:
+  /// unblocks Wait()ers bounded by one round per job).
+  void CancelAll();
+
+  /// Starts the coordinator after a `start_paused` construction. Idempotent;
+  /// no-op on a service that never paused.
+  void Resume();
+
+  /// Snapshot of the metrics plane (safe from any thread).
+  ServiceStats Stats() const;
+
   /// Resolved worker-thread count.
   int workers() const { return workers_; }
 
@@ -287,6 +392,9 @@ class FuzzService {
     JobOutcome outcome;
     double active_ms = 0;
     int rounds = 0;  ///< completed standalone step rounds
+    std::string tenant;  ///< resolved ("" mapped to "default")
+    std::chrono::steady_clock::time_point admitted_at;
+    bool deadline_hit = false;  ///< deadline expiry already counted
 
     // Filled by setup tasks.
     std::optional<lang::ContractArtifact> compiled;
@@ -321,6 +429,20 @@ class FuzzService {
     std::vector<JobRecord*> finals;    ///< finalize tasks
   };
 
+  /// Per-tenant accounting: admission counters for the metrics plane plus
+  /// the fair-share deficit (`stepped_quanta`) the step scheduler keys on.
+  struct TenantRecord {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    uint64_t cancelled = 0;
+    uint64_t deadline_hits = 0;
+    uint64_t completed_executions = 0;
+    uint64_t stepped_quanta = 0;
+    size_t live = 0;
+  };
+
   void CoordinatorMain();
   /// Builds this round's task list (requires mu_). Tasks run outside the
   /// lock; each touches only its own job record.
@@ -348,6 +470,18 @@ class FuzzService {
   Status ValidateSubmission(const FuzzJob& job) const;
   fuzzer::CampaignConfig EffectiveConfig(const FuzzJob& job) const;
   bool AllDoneLocked() const;
+  /// Admission gate: checks the global and per-tenant live-job bounds for
+  /// `incoming` more jobs of `tenant`, counting the attempt (and any
+  /// rejection) in the metrics plane.
+  Status AdmitLocked(const std::string& tenant, size_t incoming);
+  /// Marks the job cancel-requested when its deadline expired (counted once).
+  void CheckDeadlineLocked(JobRecord* r,
+                           std::chrono::steady_clock::time_point now);
+  /// Finished + live-snapshot executions across all jobs.
+  uint64_t TotalExecutionsLocked() const;
+  /// Appends a throughput sample and emits the periodic metrics log line.
+  void SampleRoundLocked(std::chrono::steady_clock::time_point now);
+  ServiceStats StatsLocked() const;
 
   ServiceOptions options_;
   int workers_ = 1;
@@ -368,6 +502,24 @@ class FuzzService {
   std::vector<GroupRecord*> live_groups_;
   JobTicket next_ticket_ = 1;
   bool stop_ = false;
+  bool paused_ = false;  ///< start_paused and Resume() not called yet
+
+  // Metrics plane (all guarded by mu_). tenants_ is insert-only: a tenant's
+  // counters survive its last job so STATS stays a lifetime view.
+  std::map<std::string, TenantRecord> tenants_;
+  uint64_t submitted_total_ = 0;
+  uint64_t admitted_total_ = 0;
+  uint64_t rejected_global_ = 0;
+  uint64_t rejected_tenant_ = 0;
+  uint64_t completed_total_ = 0;
+  uint64_t cancelled_total_ = 0;
+  uint64_t deadline_hits_ = 0;
+  uint64_t completed_executions_ = 0;
+  uint64_t rounds_done_ = 0;
+  /// (time, total executions) ring for the executions/s window.
+  std::deque<std::pair<std::chrono::steady_clock::time_point, uint64_t>>
+      rate_samples_;
+  std::chrono::steady_clock::time_point last_metrics_log_;
 
   std::thread coordinator_;
 };

@@ -23,6 +23,11 @@ AsyncExecutionHub::AsyncExecutionHub(Options options, SessionPool* pool)
   }
 }
 
+size_t AsyncExecutionHub::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 AsyncExecutionHub::~AsyncExecutionHub() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -61,6 +61,12 @@ class AsyncExecutionHub {
   int worker_count() const { return options_.workers; }
   SessionPool* session_pool() const { return session_pool_; }
 
+  /// Plans queued but not yet picked up by a worker — the metrics plane's
+  /// backlog view (a full queue means submitters are backpressured).
+  size_t queue_depth() const;
+  /// Resolved submission-queue capacity bound.
+  size_t queue_capacity() const { return static_cast<size_t>(options_.queue_capacity); }
+
  private:
   friend class AsyncBackendAdapter;
 

@@ -1,0 +1,129 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mufuzz::server {
+
+MufuzzClient::~MufuzzClient() { Close(); }
+
+Status MufuzzClient::Connect(const std::string& host, int port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable IPv4 address \"" + host +
+                                   "\"");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::ExecutionError(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::ExecutionError("connect " + host + ":" +
+                                       std::to_string(port) + ": " +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void MufuzzClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Bytes> MufuzzClient::RoundTrip(Verb request, BytesView payload,
+                                      Verb expected) {
+  if (fd_ < 0) {
+    return Status::ExecutionError("not connected to a daemon");
+  }
+  if (!WriteFrame(fd_, static_cast<uint8_t>(request), payload)) {
+    Close();
+    return Status::ExecutionError("connection lost while sending request");
+  }
+  uint8_t verb;
+  Bytes response;
+  FrameRead got = ReadFrame(fd_, &verb, &response);
+  if (got != FrameRead::kOk) {
+    Close();
+    return Status::ExecutionError(
+        got == FrameRead::kEof ? "daemon closed the connection"
+                               : "connection lost while reading response");
+  }
+  if (verb == static_cast<uint8_t>(Verb::kRError)) {
+    return DecodeError(response);  // in-band failure; connection stays open
+  }
+  if (verb != static_cast<uint8_t>(expected)) {
+    Close();
+    return Status::Internal("daemon answered with unexpected verb " +
+                            std::to_string(verb));
+  }
+  return response;
+}
+
+Result<Bytes> MufuzzClient::TicketRoundTrip(Verb request, uint64_t ticket,
+                                            Verb expected) {
+  WireWriter w;
+  w.U64(ticket);
+  return RoundTrip(request, w.bytes(), expected);
+}
+
+Result<uint64_t> MufuzzClient::Submit(const SubmitRequest& request) {
+  Bytes payload = EncodeSubmitRequest(request);
+  MUFUZZ_ASSIGN_OR_RETURN(Bytes response,
+                          RoundTrip(Verb::kSubmit, payload, Verb::kRTicket));
+  WireReader r(response);
+  uint64_t ticket;
+  MUFUZZ_RETURN_IF_ERROR(r.U64(&ticket));
+  MUFUZZ_RETURN_IF_ERROR(r.ExpectDone());
+  return ticket;
+}
+
+Result<WireProgress> MufuzzClient::Poll(uint64_t ticket) {
+  MUFUZZ_ASSIGN_OR_RETURN(
+      Bytes response,
+      TicketRoundTrip(Verb::kPoll, ticket, Verb::kRProgress));
+  WireProgress progress;
+  MUFUZZ_RETURN_IF_ERROR(DecodeProgress(response, &progress));
+  return progress;
+}
+
+Status MufuzzClient::Cancel(uint64_t ticket) {
+  MUFUZZ_ASSIGN_OR_RETURN(Bytes response,
+                          TicketRoundTrip(Verb::kCancel, ticket, Verb::kROk));
+  if (!response.empty()) {
+    return Status::ParseError("CANCEL acknowledgment carries no payload");
+  }
+  return Status::OK();
+}
+
+Result<engine::ServiceStats> MufuzzClient::Stats() {
+  MUFUZZ_ASSIGN_OR_RETURN(Bytes response,
+                          RoundTrip(Verb::kStats, BytesView(), Verb::kRStats));
+  engine::ServiceStats stats;
+  MUFUZZ_RETURN_IF_ERROR(DecodeStats(response, &stats));
+  return stats;
+}
+
+Result<WireOutcome> MufuzzClient::Wait(uint64_t ticket) {
+  MUFUZZ_ASSIGN_OR_RETURN(
+      Bytes response,
+      TicketRoundTrip(Verb::kWait, ticket, Verb::kROutcome));
+  WireOutcome outcome;
+  MUFUZZ_RETURN_IF_ERROR(DecodeOutcome(response, &outcome));
+  return outcome;
+}
+
+}  // namespace mufuzz::server

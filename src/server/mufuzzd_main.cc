@@ -1,0 +1,118 @@
+// mufuzzd — the networked fuzzing daemon. Binds a MufuzzServer over one
+// FuzzService and runs until SIGINT/SIGTERM. All scheduling knobs (workers,
+// admission bounds, fair-share slots, metrics cadence) are flags; the
+// execution-semantics knobs arrive per job over the wire, so the daemon
+// itself never perturbs the reproducibility key.
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --host A              IPv4 listen address (default 127.0.0.1)\n"
+      "  --port N              TCP port; 0 = ephemeral (default 7337)\n"
+      "  --workers N           campaign worker threads (default: auto)\n"
+      "  --backend-workers N   async execution workers; 0 = in-thread\n"
+      "  --max-live-jobs N     global admission bound; 0 = unbounded\n"
+      "  --max-live-jobs-per-tenant N   per-tenant bound; 0 = unbounded\n"
+      "  --step-slots N        fair-share step slices per round; 0 = all\n"
+      "  --round-quantum N     executions per standalone step slice\n"
+      "  --metrics-interval-ms N   stderr metrics line cadence; 0 = never\n",
+      argv0);
+}
+
+bool ParseInt(const char* s, long* out) {
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mufuzz::server::ServerOptions options;
+  options.port = 7337;
+  options.service.metrics_log_interval_ms = 10'000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      Usage(argv[0]);
+      return 0;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mufuzzd: %s needs a value\n", flag.c_str());
+      return 2;
+    }
+    const char* value = argv[++i];
+    long n = 0;
+    if (flag == "--host") {
+      options.host = value;
+      continue;
+    }
+    if (!ParseInt(value, &n)) {
+      std::fprintf(stderr, "mufuzzd: %s wants an integer, got \"%s\"\n",
+                   flag.c_str(), value);
+      return 2;
+    }
+    if (flag == "--port") {
+      options.port = static_cast<int>(n);
+    } else if (flag == "--workers") {
+      options.service.workers = static_cast<int>(n);
+    } else if (flag == "--backend-workers") {
+      options.service.backend_workers = static_cast<int>(n);
+    } else if (flag == "--max-live-jobs") {
+      options.service.max_live_jobs = static_cast<size_t>(n);
+    } else if (flag == "--max-live-jobs-per-tenant") {
+      options.service.max_live_jobs_per_tenant = static_cast<size_t>(n);
+    } else if (flag == "--step-slots") {
+      options.service.step_slots = static_cast<int>(n);
+    } else if (flag == "--round-quantum") {
+      options.service.round_quantum = static_cast<int>(n);
+    } else if (flag == "--metrics-interval-ms") {
+      options.service.metrics_log_interval_ms = static_cast<int>(n);
+    } else {
+      std::fprintf(stderr, "mufuzzd: unknown flag %s\n", flag.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  mufuzz::server::MufuzzServer server(std::move(options));
+  mufuzz::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mufuzzd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // The readiness line the smoke tests (and humans) wait for.
+  std::printf("mufuzzd listening on port %d (%d workers)\n", server.port(),
+              server.service().workers());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    timespec ts{0, 100'000'000};  // 100ms — signal latency bound
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("mufuzzd: shutting down\n");
+  std::fflush(stdout);
+  server.Stop();
+  return 0;
+}

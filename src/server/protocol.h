@@ -1,0 +1,198 @@
+#ifndef MUFUZZ_SERVER_PROTOCOL_H_
+#define MUFUZZ_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "engine/fuzz_service.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/campaign_result.h"
+
+namespace mufuzz::server {
+
+/// The mufuzzd wire protocol: length-prefixed binary frames over a stream
+/// socket.
+///
+/// ## Framing
+///
+///   u32 LE  length   — bytes that follow (verb + payload); >= 1
+///   u8      verb     — one of Verb below
+///   u8[length-1]     — verb-specific payload
+///
+/// A frame whose declared length exceeds kMaxFrameLength is rejected with
+/// an ERROR frame (ResourceExhausted) and the connection is closed — the
+/// stream cannot be resynchronized past an unread body that large. Every
+/// in-band failure below that (unknown verb, malformed payload) is answered
+/// with an ERROR frame and the connection stays usable: framing was intact,
+/// so the next request parses cleanly. A connection that dies mid-frame is
+/// simply closed.
+///
+/// ## Conversation
+///
+/// Strict request/response: the client sends one request frame and reads
+/// exactly one response frame (WAIT blocks server-side until the job is
+/// done). All integers are little-endian; strings and byte blobs are
+/// u32-length-prefixed. Every multi-byte decode is bounds-checked — a
+/// truncated or over-long payload yields a ParseError, never a crash.
+enum class Verb : uint8_t {
+  // Requests.
+  kSubmit = 0x01,  ///< SubmitRequest → kRTicket | kRError
+  kPoll = 0x02,    ///< u64 ticket → kRProgress | kRError
+  kCancel = 0x03,  ///< u64 ticket → kROk | kRError
+  kStats = 0x04,   ///< (empty) → kRStats | kRError
+  kWait = 0x05,    ///< u64 ticket → kROutcome | kRError (blocks)
+  // Responses.
+  kRTicket = 0x81,    ///< u64 ticket
+  kRProgress = 0x82,  ///< WireProgress
+  kROk = 0x83,        ///< (empty)
+  kRStats = 0x84,     ///< engine::ServiceStats
+  kROutcome = 0x85,   ///< WireOutcome
+  kRError = 0x7F,     ///< u32 status code, string message
+};
+
+/// Hard bound on `length` (verb + payload). Large enough for any contract
+/// source plus config; small enough that a hostile length prefix cannot
+/// balloon server memory.
+inline constexpr uint32_t kMaxFrameLength = 8u * 1024 * 1024;
+
+// --------------------------------------------------------- Encode helpers --
+
+/// Appends primitive values to a growing byte buffer (all little-endian).
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);  ///< IEEE-754 bit pattern as u64
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  const Bytes& bytes() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked sequential decoder over a received payload. Every getter
+/// returns ParseError on underrun; ExpectDone() rejects trailing bytes so a
+/// payload must parse exactly.
+class WireReader {
+ public:
+  explicit WireReader(BytesView data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I32(int32_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  Status Str(std::string* s);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  Status ExpectDone() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------- Message types --
+
+/// SUBMIT payload: tenancy envelope + the full CampaignConfig, so a job
+/// submitted over the wire is the *same* reproducibility key as one handed
+/// to FuzzService directly — the end-to-end determinism contract depends on
+/// no knob being lost in transit.
+struct SubmitRequest {
+  std::string tenant;
+  std::string name;
+  std::string source;  ///< contract text, compiled server-side
+  int32_t priority = 0;
+  uint64_t deadline_ms = 0;
+  fuzzer::CampaignConfig config;
+};
+
+/// POLL response: the JobProgress fields a remote client can act on. The
+/// process-local diagnostics (code-cache / allocation counters) stay
+/// server-side — they describe the daemon's process, not the job.
+struct WireProgress {
+  engine::JobState state = engine::JobState::kUnknown;
+  uint64_t executions = 0;
+  uint64_t transactions = 0;
+  double coverage = 0;
+  uint64_t bugs_found = 0;
+  int32_t round_index = 0;
+  int32_t fanout = 1;
+  int32_t parents_in_flight = 0;
+  uint64_t inflight_executions = 0;
+  bool cancelled = false;
+  bool deadline_expired = false;
+  int64_t first_step_round = -1;
+};
+
+/// WAIT response: the JobOutcome with the CampaignResult serialized field
+/// for field (every operator== field), so the decoded result compares
+/// bit-identically against a locally computed one.
+struct WireOutcome {
+  std::string name;
+  std::string error;
+  bool has_result = false;
+  fuzzer::CampaignResult result;  ///< meaningful when has_result
+};
+
+Bytes EncodeSubmitRequest(const SubmitRequest& request);
+Status DecodeSubmitRequest(BytesView payload, SubmitRequest* request);
+
+Bytes EncodeProgress(const engine::JobProgress& progress);
+Status DecodeProgress(BytesView payload, WireProgress* progress);
+
+Bytes EncodeOutcome(const engine::JobOutcome& outcome);
+Status DecodeOutcome(BytesView payload, WireOutcome* outcome);
+
+Bytes EncodeStats(const engine::ServiceStats& stats);
+Status DecodeStats(BytesView payload, engine::ServiceStats* stats);
+
+Bytes EncodeError(const Status& status);
+/// Always returns non-OK: the decoded error, or ParseError if the error
+/// frame itself was malformed.
+Status DecodeError(BytesView payload);
+
+void EncodeCampaignResult(const fuzzer::CampaignResult& result,
+                          WireWriter* writer);
+Status DecodeCampaignResult(WireReader* reader,
+                            fuzzer::CampaignResult* result);
+
+// ------------------------------------------------------------ Frame I/O ----
+
+/// How a frame read ended (the server's connection loop dispatches on it).
+enum class FrameRead {
+  kOk,        ///< verb/payload filled
+  kEof,       ///< peer closed cleanly between frames
+  kTooLarge,  ///< declared length exceeds kMaxFrameLength (unsyncable)
+  kMalformed, ///< zero-length frame (no verb byte)
+  kIoError,   ///< socket error or mid-frame EOF
+};
+
+/// Blocking read of one frame from `fd`.
+FrameRead ReadFrame(int fd, uint8_t* verb, Bytes* payload);
+
+/// Blocking write of one frame; false on a broken connection (SIGPIPE is
+/// suppressed).
+bool WriteFrame(int fd, uint8_t verb, BytesView payload);
+
+}  // namespace mufuzz::server
+
+#endif  // MUFUZZ_SERVER_PROTOCOL_H_

@@ -1,0 +1,157 @@
+// Socket-path soak: hundreds of submissions churning submit/poll/cancel/
+// wait through real TCP connections against an in-process mufuzzd, at 1,
+// 2, and 4 service workers — the concurrency workout the CI TSan job runs
+// over the whole server stack (accept loop, per-connection handlers,
+// FuzzService tenancy bookkeeping). Functional assertions ride along:
+// non-cancelled jobs reproduce their serial RunCampaign results through
+// the wire, admission keeps its books balanced, and the final STATS
+// snapshot is self-consistent.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/builtin.h"
+#include "fuzzer/campaign.h"
+#include "lang/compiler.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace mufuzz::server {
+namespace {
+
+using fuzzer::CampaignResult;
+
+constexpr int kClients = 4;
+constexpr int kJobsPerClient = 13;
+constexpr int kExecs = 48;
+
+SubmitRequest SoakRequest(int client, int index) {
+  const corpus::CorpusEntry& entry =
+      index % 2 == 0 ? corpus::CrowdsaleExample() : corpus::GameExample();
+  SubmitRequest request;
+  request.name = "c" + std::to_string(client) + "#" + std::to_string(index);
+  request.source = entry.source;
+  request.tenant = "tenant" + std::to_string(client % 2);
+  request.config.seed = 5000 + client * 100 + index;
+  request.config.max_executions = kExecs;
+  return request;
+}
+
+CampaignResult Reference(const SubmitRequest& request) {
+  auto artifact = lang::CompileContract(request.source);
+  EXPECT_TRUE(artifact.ok());
+  return fuzzer::RunCampaign(*artifact, request.config);
+}
+
+void Soak(int workers) {
+  SCOPED_TRACE("workers=" + std::to_string(workers));
+  ServerOptions options;
+  options.port = 0;
+  options.service.workers = workers;
+  options.service.round_quantum = 16;  // many boundaries → many poll windows
+  // A loose per-tenant bound that real churn actually hits now and then —
+  // rejected submissions are retried below, so the rejection path gets
+  // exercised under full concurrency without making the test flaky.
+  options.service.max_live_jobs_per_tenant = kClients * kJobsPerClient;
+  MufuzzServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  struct Submitted {
+    uint64_t ticket;
+    SubmitRequest request;
+    bool cancelled;
+  };
+  std::vector<std::vector<Submitted>> submitted(kClients);
+
+  // Each thread owns its connection (the client is single-threaded by
+  // contract); all of them churn the daemon concurrently.
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &submitted, c] {
+      MufuzzClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        SubmitRequest request = SoakRequest(c, i);
+        auto ticket = client.Submit(request);
+        while (!ticket.ok()) {
+          // Only admission pressure is acceptable — and it clears as jobs
+          // drain.
+          ASSERT_EQ(ticket.status().code(), StatusCode::kResourceExhausted)
+              << ticket.status().ToString();
+          std::this_thread::yield();
+          ticket = client.Submit(request);
+        }
+        bool cancel = i % 3 == 2;
+        if (cancel) {
+          if (i % 2 == 0) {
+            for (;;) {  // let it visibly start first
+              auto progress = client.Poll(*ticket);
+              ASSERT_TRUE(progress.ok()) << progress.status().ToString();
+              if (progress->executions > 0 ||
+                  progress->state == engine::JobState::kDone) {
+                break;
+              }
+              std::this_thread::yield();
+            }
+          }
+          ASSERT_TRUE(client.Cancel(*ticket).ok());
+        }
+        submitted[c].push_back(Submitted{*ticket, request, cancel});
+      }
+      // Drain this connection's jobs with blocking WAITs — handler
+      // threads park in FuzzService::Wait concurrently.
+      for (const Submitted& entry : submitted[c]) {
+        auto outcome = client.Wait(entry.ticket);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        if (!outcome->has_result) {
+          EXPECT_TRUE(entry.cancelled) << entry.request.name << ": "
+                                       << outcome->error;
+          EXPECT_FALSE(outcome->error.empty());
+        } else if (entry.cancelled && outcome->result.cancelled) {
+          EXPECT_LE(outcome->result.executions,
+                    static_cast<uint64_t>(kExecs) + 64);
+        } else {
+          EXPECT_EQ(Reference(entry.request), outcome->result)
+              << entry.request.name << " diverged across the wire";
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The books must balance exactly, even after rejected-and-retried
+  // submissions: every admitted job completed, and the live set is empty.
+  MufuzzClient auditor;
+  ASSERT_TRUE(auditor.Connect("127.0.0.1", server.port()).ok());
+  auto stats = auditor.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->submitted, stats->admitted + stats->rejected_global +
+                                  stats->rejected_tenant);
+  EXPECT_EQ(stats->admitted,
+            static_cast<uint64_t>(kClients * kJobsPerClient));
+  EXPECT_EQ(stats->completed, stats->admitted);
+  EXPECT_EQ(stats->live_jobs, 0u);
+  uint64_t tenant_admitted = 0;
+  for (const engine::TenantStats& t : stats->tenants) {
+    EXPECT_EQ(t.live_jobs, 0u);
+    EXPECT_EQ(t.completed, t.admitted);
+    tenant_admitted += t.admitted;
+  }
+  EXPECT_EQ(tenant_admitted, stats->admitted);
+  EXPECT_GE(server.connections_accepted(),
+            static_cast<uint64_t>(kClients) + 1);
+
+  server.Stop();
+}
+
+TEST(ServerSoakTest, OneWorker) { Soak(1); }
+TEST(ServerSoakTest, TwoWorkers) { Soak(2); }
+TEST(ServerSoakTest, FourWorkers) { Soak(4); }
+
+}  // namespace
+}  // namespace mufuzz::server
